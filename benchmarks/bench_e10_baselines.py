@@ -1,0 +1,118 @@
+"""E10 — LH*RS against mirroring, striping and XOR grouping (table).
+
+Paper theme: the design-space table.  Same workload on every scheme;
+columns are the published trade-offs: storage overhead, failure-free
+search/insert messages, availability level, single-bucket recovery cost.
+Expected shape: mirroring = 100% storage/fast recovery; striping = cheap
+storage but ~2s-message searches; LH*g = ~1/m storage, LH*-cost search,
+1-availability, whole-F2-scan recovery; LH*RS = ~k/m storage, LH*-cost
+search, k-availability, group-local recovery.
+"""
+
+import pytest
+
+from harness import fmt, save_table, scaled
+from repro.baselines import LHGConfig, LHGFile, LHMFile, LHSFile, LHStarBaseline
+from repro.core import LHRSConfig, LHRSFile
+from repro.sim.rng import make_rng
+
+COUNT = scaled(600)
+CAPACITY = 16
+PAYLOAD = 64
+
+
+def load(file, seed=21):
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=COUNT, replace=False)]
+    for key in keys:
+        file.insert(key, key.to_bytes(8, "big") * (PAYLOAD // 8))
+    return keys
+
+
+def measure_costs(file, keys):
+    for key in keys:
+        file.search(key)
+    with file.stats.measure("s") as sw:
+        for key in keys[:50]:
+            file.search(key)
+    with file.stats.measure("i") as iw:
+        for offset, key in enumerate(keys[:50]):
+            file.insert(10**9 + offset, b"x" * PAYLOAD)
+    return sw.messages / 50, iw.messages / 50
+
+
+def run_comparison():
+    rows = []
+
+    lh = LHStarBaseline(capacity=CAPACITY)
+    keys = load(lh)
+    s, i = measure_costs(lh, keys)
+    rows.append(("LH*", 0, 0.0, s, i, None))
+
+    lhm = LHMFile(capacity=CAPACITY)
+    keys = load(lhm)
+    s, i = measure_costs(lhm, keys)
+    node = lhm.fail_data_bucket(1)
+    with lhm.stats.measure("r") as rw:
+        lhm.recover([node])
+    rows.append(("LH*m", 1, lhm.storage_overhead(), s, i, rw.messages))
+
+    lhs = LHSFile(stripes=4, capacity=CAPACITY)
+    keys = load(lhs)
+    s, i = measure_costs(lhs, keys)
+    rows.append(("LH*s s=4", 1, lhs.storage_overhead(), s, i, None))
+
+    lhg = LHGFile(LHGConfig(group_size=4, bucket_capacity=CAPACITY))
+    keys = load(lhg)
+    s, i = measure_costs(lhg, keys)
+    node = lhg.fail_data_bucket(1)
+    with lhg.stats.measure("r") as rw:
+        lhg.recover([node])
+    rows.append(("LH*g m=4", 1, lhg.storage_overhead(), s, i, rw.messages))
+
+    for k in (1, 2, 3):
+        lhrs = LHRSFile(
+            LHRSConfig(group_size=4, availability=k, bucket_capacity=CAPACITY)
+        )
+        keys = load(lhrs)
+        s, i = measure_costs(lhrs, keys)
+        node = lhrs.fail_data_bucket(1)
+        with lhrs.stats.measure("r") as rw:
+            lhrs.recover([node])
+        rows.append((f"LH*RS k={k}", k, lhrs.storage_overhead(), s, i,
+                     rw.messages))
+    return rows
+
+
+def test_e10_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = [
+        f"{'scheme':<12} {'avail':>5} {'overhead':>9} {'search':>7} "
+        f"{'insert':>7} {'recover 1 bucket':>17}"
+    ]
+    for name, avail, overhead, search, insert, recovery in rows:
+        rec = f"{recovery} msgs" if recovery is not None else "-"
+        lines.append(
+            f"{name:<12} {avail:>5} {fmt(overhead, 9, 3)} {fmt(search, 7)} "
+            f"{fmt(insert, 7)} {rec:>17}"
+        )
+    save_table(
+        "e10_baselines",
+        "E10: the design space — who pays what for availability",
+        lines,
+    )
+    table = {name: (avail, ovh, s, i, r) for name, avail, ovh, s, i, r in rows}
+    # Storage: mirroring ~1.0 >> grouping ~1/m; striping ~1/s.
+    assert table["LH*m"][1] == pytest.approx(1.0)
+    assert table["LH*g m=4"][1] < 0.5
+    assert table["LH*s s=4"][1] == pytest.approx(0.25, rel=0.1)
+    # Search: striping pays ~2s; everyone else ~2.
+    assert table["LH*s s=4"][2] >= 7.5
+    for name in ("LH*", "LH*m", "LH*g m=4", "LH*RS k=1", "LH*RS k=2"):
+        assert table[name][2] == pytest.approx(2.0, abs=0.05)
+    # Insert: ~1+k for LH*RS, ~2 for mirroring, ~s+1 for striping.
+    assert table["LH*RS k=1"][3] < table["LH*RS k=2"][3] < table["LH*RS k=3"][3]
+    # Recovery: mirroring cheapest; LH*g scans F2 (more than LH*RS group).
+    assert table["LH*m"][4] < table["LH*RS k=1"][4] < table["LH*g m=4"][4]
+    # Only LH*RS offers availability > 1.
+    assert table["LH*RS k=3"][0] == 3

@@ -1,0 +1,105 @@
+"""E11 — File build and split cost (figure).
+
+Paper theme: what scaling-up costs.  Growing an LH*RS file pays the LH*
+split machinery plus parity maintenance: every insert ships k Δ-records,
+and every split re-groups its movers (one batched delete at the source
+group and one batched insert at the target group per parity bucket).
+The series tabulates cumulative messages per record while a file grows,
+for k = 0..2, splitting the parity-maintenance share out; LH*g's
+split-silence is the contrast.
+"""
+
+import pytest
+
+from harness import fmt, save_table, scaled
+from repro.baselines import LHGConfig, LHGFile
+from repro.core import LHRSConfig, LHRSFile
+from repro.sim.rng import make_rng
+
+CHECKPOINTS = [scaled(250), scaled(1000), scaled(4000)]
+PARITY_KINDS = ("parity.update", "parity.batch")
+
+
+def grow(file, upto, inserted, rng_keys):
+    for key in rng_keys[inserted:upto]:
+        file.insert(int(key), b"x" * 64)
+    return upto
+
+
+def run_series():
+    rng = make_rng(33)
+    keys = rng.choice(10**9, size=CHECKPOINTS[-1], replace=False)
+    rows = []
+    for k in (0, 1, 2):
+        file = LHRSFile(LHRSConfig(group_size=4, availability=k,
+                                   bucket_capacity=16))
+        inserted = 0
+        for checkpoint in CHECKPOINTS:
+            inserted = grow(file, checkpoint, inserted, keys)
+            total = file.stats.total
+            parity_msgs = sum(total.by_kind.get(kind, 0)
+                              for kind in PARITY_KINDS)
+            rows.append(
+                {
+                    "scheme": f"LH*RS k={k}",
+                    "records": inserted,
+                    "buckets": file.bucket_count,
+                    "splits": file.coordinator.state.splits_done,
+                    "msgs_per_record": total.messages / inserted,
+                    "parity_share": parity_msgs / total.messages,
+                }
+            )
+    # LH*g contrast: splits ship no parity messages at all.
+    lhg = LHGFile(LHGConfig(group_size=4, bucket_capacity=16))
+    inserted = 0
+    for checkpoint in CHECKPOINTS:
+        inserted = grow(lhg, checkpoint, inserted, keys)
+        total = lhg.stats.total
+        parity_msgs = total.by_kind.get("gparity.apply", 0)
+        rows.append(
+            {
+                "scheme": "LH*g m=4",
+                "records": inserted,
+                "buckets": lhg.bucket_count,
+                "splits": lhg.coordinator.state.splits_done,
+                "msgs_per_record": total.messages / inserted,
+                "parity_share": parity_msgs / total.messages,
+            }
+        )
+    return rows
+
+
+def test_e11_build_cost(benchmark):
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    lines = [
+        f"{'scheme':<12} {'records':>8} {'buckets':>8} {'splits':>7} "
+        f"{'msgs/record':>12} {'parity share':>13}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['scheme']:<12} {r['records']:>8} {r['buckets']:>8} "
+            f"{r['splits']:>7} {fmt(r['msgs_per_record'], 12)} "
+            f"{fmt(r['parity_share'], 13)}"
+        )
+    save_table(
+        "e11_build",
+        "E11: build cost while scaling — msgs/record flat in M; parity "
+        "share grows with k",
+        lines,
+    )
+    final = {r["scheme"]: r for r in rows if r["records"] == CHECKPOINTS[-1]}
+    # Cost per record is ~flat in M (scalability); tiny smoke-scale files
+    # are still in their warm-up transient, so only check at full scale.
+    from harness import SCALE
+
+    if SCALE >= 0.75:
+        for scheme in final:
+            series = [
+                r["msgs_per_record"] for r in rows if r["scheme"] == scheme
+            ]
+            assert max(series) / min(series) < 1.6
+    # ... and ordered in k.
+    assert (final["LH*RS k=0"]["msgs_per_record"]
+            < final["LH*RS k=1"]["msgs_per_record"]
+            < final["LH*RS k=2"]["msgs_per_record"])
+    assert final["LH*RS k=0"]["parity_share"] == 0.0

@@ -1,0 +1,95 @@
+"""E14 (extension) — File shrink: merge costs and parity maintenance.
+
+The papers treat deletions/shrink as the rare case and sketch the
+machinery (§4.3 themes); this experiment measures it: the message cost
+of one merge as a function of k (the dissolving bucket's records leave
+their record groups and re-enter the absorber's), and a full
+grow→churn-down→shrink lifecycle with the underflow policy, verifying
+parity stays consistent and availability math tracks the smaller file.
+"""
+
+import pytest
+
+from harness import build_lhrs, fmt, save_table, scaled
+from repro.sdds.coordinator import SplitPolicy
+from repro.core import LHRSConfig, LHRSFile
+from repro.sim.rng import make_rng
+
+
+def measure_merge_cost(k):
+    file, _ = build_lhrs(m=4, k=k, capacity=16, count=scaled(600), payload=64)
+    moved = len(file.data_servers()[-1].bucket)
+    with file.stats.measure("merge") as window:
+        file.rs_coordinator.merge_once()
+    assert file.verify_parity_consistency() == []
+    return {
+        "k": k,
+        "records_moved": moved,
+        "messages": window.messages,
+        "parity_batches": window.by_kind.get("parity.batch", 0),
+        "kbytes": window.bytes / 1024,
+    }
+
+
+def lifecycle():
+    file = LHRSFile(
+        LHRSConfig(group_size=4, availability=1, bucket_capacity=16),
+        split_policy=SplitPolicy(threshold=0.58, merge_threshold=0.25),
+    )
+    rng = make_rng(14)
+    keys = [int(x) for x in rng.choice(10**9, size=scaled(1500), replace=False)]
+    for key in keys:
+        file.insert(key, b"x" * 64)
+    peak = file.bucket_count
+    for key in keys[: int(len(keys) * 0.93)]:
+        file.delete(key)
+    shrunk = file.bucket_count
+    assert file.verify_parity_consistency() == []
+    survivors = keys[int(len(keys) * 0.93):]
+    served = sum(1 for key in survivors[::7] if file.search(key).found)
+    return {
+        "peak_buckets": peak,
+        "shrunk_buckets": shrunk,
+        "records_left": file.total_records(),
+        "sampled_reads_ok": served,
+        "sampled_reads": len(survivors[::7]),
+        "availability": file.analytic_availability(0.99),
+    }
+
+
+def test_e14_shrink(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [measure_merge_cost(k) for k in (0, 1, 2)],
+        rounds=1, iterations=1,
+    )
+    life = lifecycle()
+    lines = [
+        f"{'k':>3} {'records moved':>14} {'messages':>9} "
+        f"{'parity batches':>15} {'KB':>7}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['k']:>3} {r['records_moved']:>14} {r['messages']:>9} "
+            f"{r['parity_batches']:>15} {fmt(r['kbytes'], 7)}"
+        )
+    lines.append("")
+    lines.append("Underflow-policy lifecycle (grow, delete 93%, auto-shrink):")
+    lines.append(
+        f"  peak {life['peak_buckets']} buckets -> {life['shrunk_buckets']} "
+        f"after churn; {life['records_left']} records left; "
+        f"{life['sampled_reads_ok']}/{life['sampled_reads']} sampled reads OK; "
+        f"P(0.99) = {life['availability']:.6f}"
+    )
+    save_table(
+        "e14_shrink",
+        "E14 (ext): merge cost grows with k (2k parity batches per merge); "
+        "the underflow policy shrinks a churned file safely",
+        lines,
+    )
+    costs = {r["k"]: r for r in rows}
+    assert costs[0]["parity_batches"] == 0
+    assert costs[1]["parity_batches"] == 2      # 1 delete + 1 insert batch
+    assert costs[2]["parity_batches"] == 4
+    assert costs[0]["messages"] < costs[1]["messages"] < costs[2]["messages"]
+    assert life["shrunk_buckets"] < life["peak_buckets"]
+    assert life["sampled_reads_ok"] == life["sampled_reads"]

@@ -1,0 +1,72 @@
+"""E1 — Storage overhead vs (m, k).
+
+Paper theme: parity storage is ~k/m of data storage; the data file keeps
+LH*'s ~70% load factor, so the *byte* overhead is (k/m)/load while the
+*allocated-bucket* overhead is exactly k/m.  This bench builds files for
+a grid of (m, k) and tabulates measured against analytic.
+"""
+
+import pytest
+
+from harness import build_lhrs, fmt, save_table, scaled
+
+GRID = [(4, 1), (4, 2), (4, 3), (8, 1), (8, 2), (16, 1)]
+COUNT = scaled(3000)
+
+
+def run_grid():
+    rows = []
+    for m, k in GRID:
+        file, _ = build_lhrs(m=m, k=k, capacity=32, count=COUNT, payload=100)
+        groups = len(file.group_levels())
+        bucket_overhead = file.parity_bucket_count() / file.bucket_count
+        rows.append(
+            {
+                "m": m,
+                "k": k,
+                "buckets": file.bucket_count,
+                "groups": groups,
+                "load": file.load_factor(),
+                "bucket_overhead": bucket_overhead,
+                "byte_overhead": file.storage_overhead(),
+                "analytic_k_over_m": k / m,
+            }
+        )
+    return rows
+
+
+def render(rows):
+    header = (
+        f"{'m':>4} {'k':>3} {'buckets':>8} {'load':>6} "
+        f"{'bucket-ovh':>11} {'k/m':>6} {'byte-ovh':>9} {'(k/m)/load':>11}"
+    )
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{r['m']:>4} {r['k']:>3} {r['buckets']:>8} "
+            f"{fmt(r['load'], 6)} {fmt(r['bucket_overhead'], 11, 3)} "
+            f"{fmt(r['analytic_k_over_m'], 6, 3)} "
+            f"{fmt(r['byte_overhead'], 9, 3)} "
+            f"{fmt(r['analytic_k_over_m'] / r['load'], 11, 3)}"
+        )
+    return lines
+
+
+def test_e1_storage_overhead(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    save_table(
+        "e1_storage",
+        "E1: storage overhead vs (m, k) — allocated overhead = k/m; "
+        "byte overhead ~ (k/m)/load",
+        render(rows),
+    )
+    for r in rows:
+        # Allocated overhead tracks k/m (partial last group adds slack).
+        assert r["bucket_overhead"] == pytest.approx(
+            r["analytic_k_over_m"], rel=0.4
+        )
+        # Byte overhead tracks (k/m)/load (wide groups in small files
+        # run sparser, hence the generous band).
+        assert r["byte_overhead"] == pytest.approx(
+            r["analytic_k_over_m"] / r["load"], rel=0.45
+        )

@@ -1,0 +1,68 @@
+"""E2 — Failure-free key-search cost vs file size and k.
+
+Paper theme: LH*RS key search never touches parity, so its cost is
+LH*'s — ~2 messages from a converged client, ≤ 4 + IAM worst case from
+any stale image, *independent of the file size M and of k*.
+"""
+
+import pytest
+
+from harness import build_lhrs, fmt, save_table, scaled
+
+
+def measure_search_costs(count, k):
+    file, keys = build_lhrs(k=k, capacity=8, count=count, payload=64)
+    sample = keys[: min(scaled(300), len(keys))]
+    # Fresh client: worst-case image.
+    fresh = file.new_client()
+    worst = 0
+    with file.stats.measure("fresh") as fresh_w:
+        for key in sample:
+            with file.stats.measure("one") as one:
+                outcome = fresh.search(key)
+            assert outcome.found
+            worst = max(worst, one.messages)
+    # Converged client: one convergence pass, then the measured pass.
+    for key in sample:
+        file.client.search(key)
+    with file.stats.measure("steady") as steady_w:
+        for key in sample:
+            file.client.search(key)
+    n = len(sample)
+    return {
+        "M": file.bucket_count,
+        "k": k,
+        "fresh_avg": fresh_w.messages / n,
+        "steady_avg": steady_w.messages / n,
+        "worst": worst,
+    }
+
+
+def run_sweep():
+    rows = []
+    for count in (scaled(200), scaled(800), scaled(3200)):
+        for k in (0, 1, 2):
+            rows.append(measure_search_costs(count, k))
+    return rows
+
+
+def test_e2_search_cost(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'M':>6} {'k':>3} {'steady avg':>11} {'fresh avg':>10} {'worst':>6}"]
+    for r in rows:
+        lines.append(
+            f"{r['M']:>6} {r['k']:>3} {fmt(r['steady_avg'], 11)} "
+            f"{fmt(r['fresh_avg'], 10)} {r['worst']:>6}"
+        )
+    save_table(
+        "e2_search",
+        "E2: key-search messages — flat in M and k (steady ~2, worst <= 5)",
+        lines,
+    )
+    for r in rows:
+        assert r["steady_avg"] == pytest.approx(2.0, abs=0.01)
+        assert r["worst"] <= 5  # request + 2 hops + reply + IAM
+    # Independence of k at fixed M band:
+    by_m = {}
+    for r in rows:
+        by_m.setdefault(r["M"], []).append(r["steady_avg"])

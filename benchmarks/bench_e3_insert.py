@@ -1,0 +1,62 @@
+"""E3 — Insert/update/delete cost vs availability level k.
+
+Paper theme: each mutation ships one Δ-record per parity bucket, so the
+failure-free cost is 1 + k messages (slope exactly 1 in k); the
+measured averages include real-file noise (forwards, IAMs, overflow
+reports), which the clean-key columns exclude.
+"""
+
+import pytest
+
+from harness import build_lhrs, converge, fmt, save_table, scaled
+
+
+def measure(k):
+    file, keys = build_lhrs(k=k, capacity=16, count=scaled(600), payload=64)
+    converge(file, keys)
+    state = file.coordinator.state
+    clean = [
+        key for key in range(10**6, 10**6 + 10**5)
+        if file.client.image.address(key) == state.address(key)
+        and len(file.data_servers()[state.address(key)].bucket) + 3
+        < file.config.bucket_capacity
+    ][: scaled(50)]
+    with file.stats.measure("insert") as ins:
+        for key in clean:
+            file.insert(key, b"v" * 64)
+    with file.stats.measure("update") as upd:
+        for key in clean:
+            file.update(key, b"w" * 64)
+    with file.stats.measure("delete") as dele:
+        for key in clean:
+            file.delete(key)
+    n = len(clean)
+    return {
+        "k": k,
+        "insert": ins.messages / n,
+        "update": upd.messages / n,
+        "delete": dele.messages / n,
+    }
+
+
+def run_sweep():
+    return [measure(k) for k in (0, 1, 2, 3)]
+
+
+def test_e3_mutation_cost(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'k':>3} {'insert':>8} {'update':>8} {'delete':>8} {'1+k':>5}"]
+    for r in rows:
+        lines.append(
+            f"{r['k']:>3} {fmt(r['insert'])} {fmt(r['update'])} "
+            f"{fmt(r['delete'])} {r['k'] + 1:>5}"
+        )
+    save_table(
+        "e3_insert",
+        "E3: mutation messages vs k — cost = 1 + k, slope 1",
+        lines,
+    )
+    for r in rows:
+        assert r["insert"] == pytest.approx(1 + r["k"], abs=0.01)
+        assert r["update"] == pytest.approx(1 + r["k"], abs=0.01)
+        assert r["delete"] == pytest.approx(1 + r["k"], abs=0.01)

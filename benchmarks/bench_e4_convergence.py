@@ -1,0 +1,60 @@
+"""E4 — Client image convergence (figure).
+
+Paper theme: a brand-new client needs O(log M) IAMs before its image
+stops causing forwarding; afterwards operations run at the flat LH*
+cost.  The series below reports cumulative IAMs and the per-window
+average search cost as a fresh client works through a random key
+stream, for three file sizes.
+"""
+
+import math
+
+from harness import build_lhrs, save_table, scaled
+
+
+def run_series(count):
+    file, keys = build_lhrs(k=1, capacity=8, count=count, payload=32)
+    fresh = file.new_client()
+    window = 50
+    series = []
+    for start in range(0, min(len(keys), scaled(500)), window):
+        chunk = keys[start:start + window]
+        with file.stats.measure("w") as w:
+            for key in chunk:
+                fresh.search(key)
+        series.append(
+            {
+                "ops": start + len(chunk),
+                "iams": fresh.image.adjustments,
+                "avg_cost": w.messages / len(chunk),
+            }
+        )
+    return file.bucket_count, series
+
+
+def run_all():
+    return [run_series(scaled(n)) for n in (400, 1600, 6400)]
+
+
+def test_e4_image_convergence(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = []
+    for m, series in results:
+        lines.append(f"file size M = {m}:")
+        lines.append(f"  {'ops':>5} {'cum IAMs':>9} {'avg search msgs':>16}")
+        for point in series:
+            lines.append(
+                f"  {point['ops']:>5} {point['iams']:>9} "
+                f"{point['avg_cost']:>16.3f}"
+            )
+        bound = 3 * math.ceil(math.log2(m)) + 3
+        lines.append(f"  total IAMs {series[-1]['iams']} <= bound {bound}")
+    save_table(
+        "e4_convergence",
+        "E4: fresh-client convergence — O(log M) IAMs, then flat ~2-msg "
+        "searches",
+        lines,
+    )
+    for m, series in results:
+        assert series[-1]["iams"] <= 3 * math.ceil(math.log2(m)) + 3
+        assert series[-1]["avg_cost"] <= 2.2  # converged by the end

@@ -1,0 +1,85 @@
+"""E5 — File availability vs size and k (figure).
+
+Paper theme: the motivating collapse P = p^M of an unprotected file, and
+how k parity buckets per group hold availability up; the closed form is
+cross-checked by Monte-Carlo sampling on the failure injector.
+"""
+
+import math
+
+import pytest
+
+from harness import save_table, scaled
+from repro.core import file_availability, monte_carlo_file_availability
+
+SIZES = [4, 16, 64, 256, 1024, 4096]
+LEVELS = [0, 1, 2, 3]
+
+
+def run_grid(p=0.99, m=4):
+    rows = []
+    for size in SIZES:
+        row = {"M": size}
+        for k in LEVELS:
+            row[k] = file_availability(size, m, p, k=k)
+        rows.append(row)
+    return rows
+
+
+def run_monte_carlo(p=0.99, m=4):
+    checks = []
+    trials = scaled(4000, minimum=500)
+    for size in (16, 64):
+        for k in (0, 1, 2):
+            analytic = file_availability(size, m, p, k=k)
+            estimate = monte_carlo_file_availability(
+                size, m, p, k, trials=trials, seed=size * 10 + k
+            )
+            checks.append((size, k, analytic, estimate, trials))
+    return checks
+
+
+def test_e5_availability(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    checks = run_monte_carlo()
+    lines = [
+        f"{'M':>6} " + " ".join(f"{'k=' + str(k):>10}" for k in LEVELS)
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['M']:>6} "
+            + " ".join(f"{row[k]:>10.6f}" for k in LEVELS)
+        )
+    from plotting import ascii_chart
+
+    lines.append("")
+    lines.extend(
+        ascii_chart(
+            {
+                f"k={k}": [(row["M"], row[k]) for row in rows]
+                for k in LEVELS
+            },
+            x_label="M (log)",
+            y_label="P(all data servable)",
+            logx=True,
+        )
+    )
+    lines.append("")
+    lines.append("Monte-Carlo cross-check (p=0.99):")
+    lines.append(f"{'M':>6} {'k':>3} {'analytic':>10} {'sampled':>10}")
+    for size, k, analytic, estimate, trials in checks:
+        lines.append(f"{size:>6} {k:>3} {analytic:>10.4f} {estimate:>10.4f}")
+    save_table(
+        "e5_availability",
+        "E5: P(all data servable) vs M and k at p=0.99 — fixed k decays, "
+        "higher k decays slower",
+        lines,
+    )
+    # Shape assertions: monotone in k; decaying in M; k=0 collapses.
+    for row in rows:
+        values = [row[k] for k in LEVELS]
+        assert values == sorted(values)
+    assert rows[-1][0] < 0.01 < rows[-1][2]
+    for size, k, analytic, estimate, trials in checks:
+        sigma = math.sqrt(max(analytic * (1 - analytic), 1e-9) / trials)
+        assert estimate == pytest.approx(analytic, abs=max(6 * sigma, 0.02))

@@ -1,0 +1,72 @@
+"""E7 — Bucket recovery cost vs failures and bucket size (table).
+
+Paper theme: recovering f <= k lost buckets of one group reads the m-1+f
+... m+k-1 survivors once (dump messages with ~0.7b records each), does
+the RS decode (XOR fast path when f=1), and bulk-loads f spares.
+Messages grow with the survivor count, bytes with b, decode work with f.
+"""
+
+import pytest
+
+from harness import build_lhrs, fmt, save_table, scaled
+from repro.sim.stats import LatencyModel
+
+MODEL = LatencyModel()
+
+
+def measure(m, k, f, count, capacity):
+    file, _ = build_lhrs(
+        m=m, k=k, capacity=capacity, count=count, payload=100, seed=f * 100 + k
+    )
+    victims = [file.fail_data_bucket(b) for b in range(f)]
+    symbol_ops_before = sum(p.symbol_ops for p in file.parity_servers(0))
+    with file.stats.measure("recovery") as window:
+        summary = file.recover(victims)
+    assert file.verify_parity_consistency() == []
+    return {
+        "m": m,
+        "k": k,
+        "f": f,
+        "b_records": count // file.bucket_count,
+        "messages": window.messages,
+        "kbytes": window.bytes / 1024,
+        "records": summary["records"],
+        "sim_ms": MODEL.window_time(window) * 1e3,
+    }
+
+
+def run_grid():
+    rows = []
+    for count, capacity in ((scaled(1000), 16), (scaled(4000), 64)):
+        for k, fs in ((1, (1,)), (2, (1, 2)), (3, (1, 2, 3))):
+            for f in fs:
+                rows.append(measure(4, k, f, count, capacity))
+    return rows
+
+
+def test_e7_bucket_recovery(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    lines = [
+        f"{'b~':>5} {'k':>3} {'f':>3} {'messages':>9} {'KB moved':>9} "
+        f"{'records rebuilt':>16} {'sim ms':>8}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['b_records']:>5} {r['k']:>3} {r['f']:>3} {r['messages']:>9} "
+            f"{fmt(r['kbytes'], 9)} {r['records']:>16} {fmt(r['sim_ms'], 8, 3)}"
+        )
+    save_table(
+        "e7_recovery",
+        "E7: group recovery cost — messages = 2(m-f+k_surviving)+f loads; "
+        "bytes ~ b; decode grows with f",
+        lines,
+    )
+    for r in rows:
+        m, k, f = r["m"], r["k"], r["f"]
+        expected = 2 * ((m - f) + k) + f  # dumps are calls, loads are sends
+        assert r["messages"] == expected
+    # More simultaneous failures -> fewer survivor dumps but more loads;
+    # byte volume scales with bucket size.
+    small = [r for r in rows if r["b_records"] < 20]
+    large = [r for r in rows if r["b_records"] >= 20]
+    assert sum(r["kbytes"] for r in large) > sum(r["kbytes"] for r in small)

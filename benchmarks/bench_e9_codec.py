@@ -1,0 +1,82 @@
+"""E9 — RS encode/decode throughput (figure; real CPU benchmark).
+
+Paper theme: the parity calculus is table-driven GF arithmetic; the XOR
+row (parity bucket 0) is markedly faster than general GF rows, GF(2^8)
+and GF(2^16) trade table size against symbol count, and decode adds only
+a small matrix-inversion term over encode.  These are genuine
+pytest-benchmark timings on the host CPU.
+"""
+
+import pytest
+
+from repro.gf import GF
+from repro.rs import RSCodec
+
+PAYLOAD = 4096
+M = 4
+
+
+def make_group(codec, seed=1):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    payloads = [rng.integers(0, 256, PAYLOAD, dtype=np.uint8).tobytes()
+                for _ in range(codec.m)]
+    parity = codec.encode(payloads)
+    shares = {j: p for j, p in enumerate(payloads)}
+    shares.update({codec.m + i: p for i, p in enumerate(parity)})
+    return payloads, shares
+
+
+@pytest.mark.parametrize("width", [8, 16])
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_e9_encode_throughput(benchmark, width, k):
+    codec = RSCodec(m=M, k=k, field=GF(width))
+    payloads, _ = make_group(codec)
+    result = benchmark(codec.encode, payloads)
+    assert len(result) == k
+    benchmark.extra_info["MB_encoded"] = M * PAYLOAD / 1e6
+    benchmark.extra_info["config"] = f"GF(2^{width}) m={M} k={k}"
+
+
+@pytest.mark.parametrize("width", [8, 16])
+@pytest.mark.parametrize("lost", [[0], [0, 1], [0, 1, 2]])
+def test_e9_decode_throughput(benchmark, width, lost):
+    k = len(lost)
+    codec = RSCodec(m=M, k=k, field=GF(width))
+    payloads, shares = make_group(codec)
+    survivors = {p: v for p, v in shares.items() if p not in lost}
+    result = benchmark(codec.recover, survivors, lost)
+    for pos in lost:
+        assert result[pos] == payloads[pos]
+    benchmark.extra_info["config"] = f"GF(2^{width}) f={k}"
+
+
+def test_e9_xor_fast_path_vs_general_row(benchmark):
+    """Fold a Δ into parity 0 (XOR) vs parity 1 (general GF row)."""
+    codec = RSCodec(m=M, k=2, field=GF(8))
+    delta = bytes(range(256)) * (PAYLOAD // 256)
+
+    def both():
+        acc0 = codec.new_parity_accumulator(PAYLOAD)
+        acc1 = codec.new_parity_accumulator(PAYLOAD)
+        codec.fold(acc0, 0, 2, delta)  # coefficient 1: XOR
+        codec.fold(acc1, 1, 2, delta)  # general coefficient
+        return acc0, acc1
+
+    benchmark(both)
+
+
+def test_e9_delta_update_throughput(benchmark):
+    """The steady-state path: one Δ folded into k parity accumulators."""
+    k = 2
+    codec = RSCodec(m=M, k=k, field=GF(8))
+    delta = bytes(range(256)) * (PAYLOAD // 256)
+    accs = [codec.new_parity_accumulator(PAYLOAD) for _ in range(k)]
+
+    def update():
+        for i in range(k):
+            accs[i] = codec.fold(accs[i], i, 1, delta)
+
+    benchmark(update)
+    benchmark.extra_info["KB_per_update"] = PAYLOAD / 1024

@@ -1,0 +1,74 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eN_*.py`` module regenerates one table/figure of the
+evaluation (see DESIGN.md §4).  Conventions:
+
+* each experiment builds its workload through `repro.workloads`, runs
+  on the simulator, and renders a plain-text table;
+* tables print to stdout *and* persist under ``benchmarks/output/`` so
+  EXPERIMENTS.md can quote them;
+* a representative kernel is wrapped with pytest-benchmark so
+  ``pytest benchmarks/ --benchmark-only`` also yields timing rows.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.sim.rng import make_rng
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: scale factor: set REPRO_BENCH_SCALE=0.2 for quick smoke runs
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale a workload size by REPRO_BENCH_SCALE."""
+    return max(int(n * SCALE), minimum)
+
+
+def save_table(name: str, title: str, lines: list[str]) -> str:
+    """Print and persist an experiment's table; returns the text."""
+    text = "\n".join([title, "-" * len(title), *lines, ""])
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def build_lhrs(
+    m: int = 4,
+    k: int = 1,
+    capacity: int = 16,
+    count: int = 500,
+    payload: int = 64,
+    seed: int = 42,
+    **config_kwargs,
+) -> tuple[LHRSFile, list[int]]:
+    """An LH*RS file pre-loaded with a uniform workload."""
+    config = LHRSConfig(
+        group_size=m, availability=k, bucket_capacity=capacity, **config_kwargs
+    )
+    file = LHRSFile(config)
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=count, replace=False)]
+    value = b"x" * payload
+    for key in keys:
+        file.insert(key, value)
+    return file, keys
+
+
+def converge(file, keys, sample: int | None = None) -> None:
+    """Converge the default client's image by searching known keys."""
+    for key in keys if sample is None else keys[:sample]:
+        file.search(key)
+
+
+def fmt(value, width: int = 8, digits: int = 2) -> str:
+    """Fixed-width numeric cell."""
+    if isinstance(value, float):
+        return f"{value:>{width}.{digits}f}"
+    return f"{value:>{width}}"

@@ -1,0 +1,64 @@
+"""Tiny ASCII plotting for the figure-type experiments.
+
+The papers' evaluation has both tables and figures; the benchmark
+harness renders figures as terminal charts so `benchmarks/output/`
+carries the curve shapes, not just the numbers.
+"""
+
+from __future__ import annotations
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> list[str]:
+    """Render named (x, y) series as an ASCII chart, one glyph each."""
+    import math
+
+    glyphs = "*o+x#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return ["(no data)"]
+
+    def tx(x: float) -> float:
+        return math.log10(max(x, 1e-12)) if logx else x
+
+    xs = [tx(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        label = f"{y_hi:9.3g}" if r == 0 else (
+            f"{y_lo:9.3g}" if r == height - 1 else " " * 9
+        )
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(" " * 10 + "-" * (width + 2))
+    x_axis = f"{(10 ** x_lo if logx else x_lo):.3g}"
+    x_end = f"{(10 ** x_hi if logx else x_hi):.3g}"
+    pad = width - len(x_axis) - len(x_end)
+    lines.append(" " * 11 + x_axis + " " * max(pad, 1) + x_end
+                 + (f"   {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return lines

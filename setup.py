@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP
+517 editable installs (which build an editable wheel) cannot run.  With
+no pyproject.toml in the tree, `pip install -e .` falls back to
+`setup.py develop`, which needs only setuptools.  All metadata lives in
+setup.cfg.
+"""
+
+from setuptools import setup
+
+setup()

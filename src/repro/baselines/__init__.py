@@ -1,0 +1,24 @@
+"""Baseline high-availability schemes LH*RS is evaluated against.
+
+* ``LHStarBaseline`` — plain LH* (0-availability): the cost floor.
+* ``LHMFile`` — LH*m-style mirroring: every bucket fully replicated;
+  1-availability at 100% storage overhead, fastest recovery (a copy).
+* ``LHSFile`` — LH*s-style record striping: each record split into s
+  stripes plus one XOR parity stripe, each stripe in its own segment
+  file; 1-availability at 1/s overhead, but every key search must
+  gather s stripes (the scheme's published weakness).
+* ``LHGFile`` — LH*g record grouping with invariant group keys and a
+  separate LH* parity file: 1-availability at ~1/group-size overhead,
+  LH*-cost searches, zero parity traffic on splits, but recovery must
+  scan the parity file.
+
+LH*RS generalizes LH*g: same failure-free profile, but k-availability
+and direct group-to-parity addressing.
+"""
+
+from repro.baselines.lh_star import LHStarBaseline
+from repro.baselines.lhg import LHGConfig, LHGFile
+from repro.baselines.mirroring import LHMFile
+from repro.baselines.striping import LHSFile
+
+__all__ = ["LHStarBaseline", "LHMFile", "LHSFile", "LHGFile", "LHGConfig"]

@@ -1,0 +1,24 @@
+"""Plain LH* as the 0-availability baseline.
+
+A thin alias with the comparison-harness conveniences, so experiment E10
+can treat every scheme uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.sdds.file import LHStarFile
+
+
+class LHStarBaseline(LHStarFile):
+    """LH* without any availability machinery: the cost floor."""
+
+    #: survivable simultaneous bucket failures (per group; LH* has none)
+    availability_level = 0
+
+    def storage_overhead(self) -> float:
+        """Redundant bytes / data bytes: none."""
+        return 0.0
+
+    def redundancy_bucket_count(self) -> int:
+        """Extra buckets beyond the data buckets: none."""
+        return 0

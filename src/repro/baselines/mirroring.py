@@ -1,0 +1,284 @@
+"""LH*m-style mirroring baseline.
+
+Every data bucket has a full replica (mirror) on a distinct node.  Each
+mutation is applied at the primary and forwarded to the mirror — 2
+messages per insert against LH*RS's 1 + k — and the storage overhead is
+100%.  The payoff is the simplest and fastest recovery there is: copy
+the surviving replica.  1-availability per bucket pair; losing both
+members of a pair loses data.
+
+The forwarding discipline mirrors (sic) the LH*RS parity rule: the
+primary mutates its own store *first*, so a mirror recovered mid-send is
+rebuilt from current state and the lost forward needs no resend.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lh import addressing
+from repro.sdds.client import Client
+from repro.sdds.coordinator import Coordinator, SplitPolicy
+from repro.sdds.file import LHStarFile
+from repro.sdds.server import DataServer
+from repro.sim.messages import Message
+from repro.sim.network import NodeUnavailable
+from repro.sim.node import Node
+
+
+def mirror_node(file_id: str, bucket: int) -> str:
+    """Node id of the mirror of data bucket ``bucket``."""
+    return f"{file_id}.m{bucket}"
+
+
+class MirrorServer(Node):
+    """The replica: applies commanded operations, never decides routing."""
+
+    def __init__(self, node_id: str, file_id: str, number: int, level: int,
+                 n0: int):
+        super().__init__(node_id)
+        self.file_id = file_id
+        self.number = number
+        self.level = level
+        self.n0 = n0
+        self.records: dict[int, Any] = {}
+
+    def handle_mirror_insert(self, message: Message) -> None:
+        self.records[message.payload["key"]] = message.payload["value"]
+
+    handle_mirror_update = handle_mirror_insert
+
+    def handle_mirror_delete(self, message: Message) -> None:
+        self.records.pop(message.payload["key"], None)
+
+    def handle_mirror_bulk(self, message: Message) -> None:
+        for key, value in message.payload["records"]:
+            self.records[key] = value
+
+    def handle_mirror_split(self, message: Message) -> None:
+        """Drop the movers (the target's mirror receives them via the
+        target primary's bulk forward) and bump the level."""
+        stay, _ = addressing.split_records(
+            list(self.records.items()),
+            lambda item: item[0],
+            self.number,
+            self.level,
+            self.n0,
+        )
+        self.records = dict(stay)
+        self.level += 1
+
+    def handle_mirror_search(self, message: Message) -> None:
+        """Serve a read while the primary is down (degraded mode)."""
+        payload = message.payload
+        key = payload["key"]
+        self.send(
+            payload["client"],
+            "search.result",
+            {
+                "request": payload["request"],
+                "key": key,
+                "found": key in self.records,
+                "value": self.records.get(key),
+            },
+        )
+
+    def handle_mirror_dump(self, message: Message) -> dict:
+        return {
+            "records": list(self.records.items()),
+            "level": self.level,
+        }
+
+    def handle_mirror_load(self, message: Message) -> None:
+        self.records = dict(message.payload["records"])
+        self.level = message.payload["level"]
+
+
+class MirroredDataServer(DataServer):
+    """A primary that forwards every mutation to its mirror."""
+
+    @property
+    def _mirror(self) -> str:
+        return mirror_node(self.file_id, self.number)
+
+    def _forward_mirror(self, kind: str, payload: dict) -> None:
+        try:
+            self.send(self._mirror, kind, payload)
+        except NodeUnavailable:
+            # Rebuilt mirrors copy current primary state; no resend.
+            self.send(
+                self._coordinator(), "report.unavailable",
+                {"node": self._mirror, "kind": None, "op": None},
+            )
+
+    def apply_insert(self, key: int, value: Any) -> None:
+        super().apply_insert(key, value)
+        self._forward_mirror("mirror.insert", {"key": key, "value": value})
+
+    def apply_update(self, key: int, value: Any) -> None:
+        super().apply_update(key, value)
+        self._forward_mirror("mirror.update", {"key": key, "value": value})
+
+    def apply_delete(self, key: int) -> None:
+        super().apply_delete(key)
+        self._forward_mirror("mirror.delete", {"key": key})
+
+    def handle_split(self, message: Message) -> Any:
+        result = super().handle_split(message)
+        self._forward_mirror("mirror.split", {})
+        return result
+
+    def handle_records_bulk(self, message: Message) -> None:
+        super().handle_records_bulk(message)
+        self._forward_mirror(
+            "mirror.bulk", {"records": message.payload["records"]}
+        )
+
+    def handle_bucket_dump(self, message: Message) -> dict:
+        return {
+            "records": list(self.bucket.records.items()),
+            "level": self.level,
+        }
+
+    def handle_bucket_load(self, message: Message) -> None:
+        """Recovery: adopt the mirror's dump."""
+        self.bucket.records = dict(message.payload["records"])
+        self.bucket.level = message.payload["level"]
+
+
+class LHMCoordinator(Coordinator):
+    """Coordinator creating mirror pairs and recovering either member."""
+
+    def make_server(self, number: int, level: int) -> MirroredDataServer:
+        return MirroredDataServer(
+            node_id=self._data_node(number),
+            file_id=self.file_id,
+            number=number,
+            level=level,
+            capacity=self.capacity,
+            n0=self.state.n0,
+        )
+
+    def _make_mirror(self, number: int, level: int) -> MirrorServer:
+        return MirrorServer(
+            node_id=mirror_node(self.file_id, number),
+            file_id=self.file_id,
+            number=number,
+            level=level,
+            n0=self.state.n0,
+        )
+
+    def bootstrap(self) -> None:
+        for m in range(self.state.n0):
+            self._net().register(self._make_mirror(m, 0))
+        super().bootstrap()
+
+    def on_new_bucket(self, number: int, level: int) -> None:
+        self._net().register(self._make_mirror(number, level))
+
+    def merge_once(self) -> tuple[int, int]:
+        raise NotImplementedError(
+            "file shrink for the mirrored baseline would need the merge "
+            "protocol replicated on mirrors; out of scope here"
+        )
+
+    # ------------------------------------------------------------------
+    def handle_report_unavailable(self, message: Message) -> None:
+        payload = message.payload
+        kind, op = payload.get("kind"), payload.get("op")
+        node_id = payload["node"]
+
+        if kind == "search" and op:
+            # Degraded read from the mirror while we recover.
+            bucket = self.state.address(op["key"])
+            self.send(mirror_node(self.file_id, bucket), "mirror.search", op)
+            op = None
+        if not self._net().is_available(node_id):
+            self.recover_node(node_id)
+        if op is not None:
+            self.deliver_routed(
+                kind, dict(op, hops=op.get("hops", 0) + 1),
+                self.state.address(op["key"]),
+            )
+
+    def recover_node(self, node_id: str) -> None:
+        """Copy the surviving pair member onto a spare."""
+        prefix = f"{self.file_id}."
+        rest = node_id[len(prefix):]
+        bucket = int(rest[1:])
+        net = self._net()
+        if rest.startswith("d"):
+            dump = self.call(mirror_node(self.file_id, bucket), "mirror.dump")
+            net.unregister(node_id)
+            net.register(self.make_server(bucket, dump["level"]))
+            self.send(node_id, "bucket.load", dump)
+        elif rest.startswith("m"):
+            status = self.call(self._data_node(bucket), "bucket.dump")
+            net.unregister(node_id)
+            net.register(self._make_mirror(bucket, status["level"]))
+            self.send(node_id, "mirror.load", status)
+        else:
+            raise ValueError(f"cannot recover node {node_id!r}")
+
+
+class LHMClient(Client):
+    """Client that reports failures for mirror failover."""
+
+    def on_unavailable(self, kind: str, payload: dict,
+                       failure: NodeUnavailable) -> None:
+        self.send(
+            f"{self.file_id}.coord",
+            "report.unavailable",
+            {"kind": kind, "op": payload, "node": failure.node_id},
+        )
+
+
+class LHMFile(LHStarFile):
+    """A running mirrored LH* file."""
+
+    coordinator_class = LHMCoordinator
+    client_class = LHMClient
+    availability_level = 1
+
+    def mirror_servers(self) -> list[MirrorServer]:
+        return [
+            self.network.nodes[mirror_node(self.file_id, m)]
+            for m in range(self.bucket_count)
+        ]
+
+    def storage_overhead(self) -> float:
+        """Mirror bytes / data bytes: 1.0 by construction."""
+        data = sum(
+            len(v) for s in self.data_servers() for v in s.bucket.records.values()
+        )
+        mirrored = sum(
+            len(v) for s in self.mirror_servers() for v in s.records.values()
+        )
+        return mirrored / data if data else 0.0
+
+    def redundancy_bucket_count(self) -> int:
+        return self.bucket_count
+
+    def fail_data_bucket(self, bucket: int) -> str:
+        node_id = f"{self.file_id}.d{bucket}"
+        self.network.fail(node_id)
+        return node_id
+
+    def fail_mirror(self, bucket: int) -> str:
+        node_id = mirror_node(self.file_id, bucket)
+        self.network.fail(node_id)
+        return node_id
+
+    def recover(self, node_ids: list[str]) -> None:
+        for node_id in node_ids:
+            self.coordinator.recover_node(node_id)
+
+    def verify_mirror_consistency(self) -> list[str]:
+        """Oracle: every pair must hold identical records."""
+        problems = []
+        for primary, mirror in zip(self.data_servers(), self.mirror_servers()):
+            if primary.bucket.records != mirror.records:
+                problems.append(f"bucket {primary.number} differs from mirror")
+            if primary.level != mirror.level:
+                problems.append(f"bucket {primary.number} level differs")
+        return problems

@@ -1,0 +1,190 @@
+"""LH*s-style record striping baseline.
+
+Every record is cut into ``stripes`` fragments plus one XOR parity
+fragment; fragment j lives in *segment file* j (its own LH* file on the
+shared network), all under the record's key.  Storage overhead is
+1/stripes and any single fragment is recoverable — but a key search must
+gather ``stripes`` fragments (≈ 2·stripes messages), the published
+weakness LH*g/LH*RS were designed to avoid.
+"""
+
+from __future__ import annotations
+
+from repro.sdds.client import SearchOutcome
+from repro.sdds.coordinator import SplitPolicy
+from repro.sdds.file import LHStarFile
+from repro.sim.network import Network, NodeUnavailable
+
+
+def split_into_stripes(payload: bytes, stripes: int) -> list[bytes]:
+    """Cut a payload into ``stripes`` equal fragments (last zero-padded)."""
+    size = (len(payload) + stripes - 1) // stripes if payload else 0
+    return [payload[i * size:(i + 1) * size].ljust(size, b"\0") if size else b""
+            for i in range(stripes)]
+
+
+def xor_parity(fragments: list[bytes]) -> bytes:
+    """XOR of equal-length fragments."""
+    if not fragments:
+        return b""
+    out = bytearray(len(fragments[0]))
+    for fragment in fragments:
+        for i, byte in enumerate(fragment):
+            out[i] ^= byte
+    return bytes(out)
+
+
+class LHSFile:
+    """A striped store: ``stripes`` data segments plus one parity segment.
+
+    Not an ``LHStarFile`` subclass — it *owns* several of them.  The
+    public surface matches the other schemes where meaningful.
+    """
+
+    availability_level = 1
+
+    def __init__(
+        self,
+        stripes: int = 4,
+        capacity: int = 32,
+        file_id: str = "s",
+        policy: SplitPolicy | None = None,
+    ):
+        if stripes < 2:
+            raise ValueError("striping needs at least 2 data stripes")
+        self.stripes = stripes
+        self.file_id = file_id
+        self.network = Network()
+        self.segments = [
+            LHStarFile(
+                file_id=f"{file_id}{j}",
+                capacity=capacity,
+                policy=policy,
+                network=self.network,
+            )
+            for j in range(stripes + 1)  # last one is the parity segment
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.network.stats
+
+    @property
+    def parity_segment(self) -> LHStarFile:
+        return self.segments[self.stripes]
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, payload: bytes) -> None:
+        """Store: stripes fragments + parity fragment, length-tagged."""
+        fragments = split_into_stripes(payload, self.stripes)
+        for j, fragment in enumerate(fragments):
+            self.segments[j].insert(key, (len(payload), fragment))
+        self.parity_segment.insert(key, (len(payload), xor_parity(fragments)))
+
+    def update(self, key: int, payload: bytes) -> None:
+        fragments = split_into_stripes(payload, self.stripes)
+        for j, fragment in enumerate(fragments):
+            self.segments[j].update(key, (len(payload), fragment))
+        self.parity_segment.update(key, (len(payload), xor_parity(fragments)))
+
+    def delete(self, key: int) -> None:
+        for segment in self.segments:
+            segment.delete(key)
+
+    def search(self, key: int) -> SearchOutcome:
+        """Gather every data fragment (2·stripes messages); reconstruct a
+        single unavailable fragment from the others plus parity."""
+        fragments: list[bytes | None] = [None] * self.stripes
+        length = None
+        missing = []
+        for j in range(self.stripes):
+            try:
+                outcome = self.segments[j].search(key)
+            except NodeUnavailable:
+                missing.append(j)
+                continue
+            if not outcome.found:
+                return SearchOutcome(key=key, found=False)
+            length, fragments[j] = outcome.value
+        if missing:
+            if len(missing) > 1:
+                raise NodeUnavailable(f"{len(missing)} stripes of key {key}")
+            parity_outcome = self.parity_segment.search(key)
+            if not parity_outcome.found:
+                return SearchOutcome(key=key, found=False)
+            length, parity = parity_outcome.value
+            known = [f for f in fragments if f is not None]
+            fragments[missing[0]] = xor_parity(known + [parity])
+        payload = b"".join(fragments)[:length]  # type: ignore[arg-type]
+        return SearchOutcome(key=key, found=True, value=payload)
+
+    # ------------------------------------------------------------------
+    def total_records(self) -> int:
+        return self.segments[0].total_records()
+
+    def storage_overhead(self) -> float:
+        """Parity fragment bytes / data fragment bytes ≈ 1/stripes."""
+        data = sum(
+            len(v[1])
+            for j in range(self.stripes)
+            for s in self.segments[j].data_servers()
+            for v in s.bucket.records.values()
+        )
+        parity = sum(
+            len(v[1])
+            for s in self.parity_segment.data_servers()
+            for v in s.bucket.records.values()
+        )
+        return parity / data if data else 0.0
+
+    def redundancy_bucket_count(self) -> int:
+        return self.parity_segment.bucket_count
+
+    @property
+    def bucket_count(self) -> int:
+        return sum(segment.bucket_count for segment in self.segments)
+
+    def fail_segment_bucket(self, segment: int, bucket: int) -> str:
+        node_id = f"{self.file_id}{segment}.d{bucket}"
+        self.network.fail(node_id)
+        return node_id
+
+    def recover_segment_bucket(self, segment: int, bucket: int) -> int:
+        """Rebuild one lost segment bucket, record by record.
+
+        LH*s recovery cost: scan a surviving segment for the key census
+        (which keys map to the lost bucket), then gather stripes + parity
+        per record — messages ∝ records, unlike mirroring's single copy.
+        """
+        reference = self.segments[0 if segment != 0 else 1]
+        census = reference.scan()
+        target_file = self.segments[segment]
+        state = target_file.coordinator.state
+        keys = [k for k, _ in census.records if state.address(k) == bucket]
+
+        rebuilt = []
+        for key in keys:
+            fragments = []
+            for j in range(self.stripes):
+                if j == segment:
+                    continue
+                length, fragment = self.segments[j].search(key).value
+                fragments.append(fragment)
+            if segment == self.stripes:
+                value = xor_parity(fragments)  # rebuilding parity itself
+            else:
+                length, parity = self.parity_segment.search(key).value
+                value = xor_parity(fragments + [parity])
+            rebuilt.append((key, (length, value)))
+
+        net = self.network
+        node_id = f"{self.file_id}{segment}.d{bucket}"
+        level = state.level_of(bucket)
+        net.unregister(node_id)
+        net.register(target_file.coordinator.make_server(bucket, level))
+        server = net.nodes[node_id]
+        for key, value in rebuilt:
+            server.bucket.put(key, value)
+        server.bucket.level = level
+        return len(rebuilt)

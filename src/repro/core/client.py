@@ -1,0 +1,27 @@
+"""The LH*RS client.
+
+Identical to the LH* client in failure-free operation — the paper's
+point: key searches and scans never touch parity, so the availability
+machinery is free until something fails.  When the addressed bucket is
+unavailable the client reports to the coordinator, which serves searches
+through record recovery (degraded mode) and rebuilds the bucket.
+"""
+
+from __future__ import annotations
+
+from repro.sdds.client import Client
+from repro.sim.network import NodeUnavailable
+
+
+class RSClient(Client):
+    """An application's access point to one LH*RS file."""
+
+    def on_unavailable(self, kind: str, payload: dict,
+                       failure: NodeUnavailable) -> None:
+        """Report the failure to the coordinator, which completes the
+        operation (degraded read or recover-then-deliver)."""
+        self.send(
+            f"{self.file_id}.coord",
+            "report.unavailable",
+            {"kind": kind, "op": payload, "node": failure.node_id},
+        )

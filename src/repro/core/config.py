@@ -1,0 +1,122 @@
+"""Configuration of an LH*RS file."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.availability import AvailabilityPolicy
+from repro.gf.field import GF
+
+
+@dataclass(frozen=True)
+class LHRSConfig:
+    """All tunables of an LH*RS file.
+
+    Attributes
+    ----------
+    group_size:
+        m — data buckets per bucket group.  The file starts with one
+        complete group (n0 = m), so the storage overhead is ~k/m from
+        the beginning.
+    availability:
+        k — initial parity buckets per group (the availability level).
+        ``availability=0`` degenerates to plain LH*.
+    bucket_capacity:
+        b — records per data bucket before an overflow report.
+    field_width:
+        w of GF(2^w) for the parity calculus (8 or 16 for byte payloads).
+    generator:
+        Parity matrix construction: "cauchy" (normalized: parity bucket 0
+        is XOR) or "vandermonde" (the E13 ablation arm).
+    policy:
+        Scalable-availability policy; ``AvailabilityPolicy.fixed(k)`` by
+        default.  When the policy raises the level as the file grows, new
+        groups are born with the higher k.
+    upgrade_existing_groups:
+        Whether a level raise also retrofits existing groups with the new
+        parity buckets (encoded from their data, at a measured messaging
+        cost) — the paper's eager variant.  Lazy (False) leaves old
+        groups at their birth level.
+    parity_batch_size:
+        How many Δ-records a data bucket accumulates before shipping
+        them to its parity buckets in one batch message.  1 (default)
+        is the paper's eager mode: parity is always current and a
+        mutation costs 1 + k messages.  B > 1 amortizes to ~1 + k/B
+        messages per mutation at the price of a *vulnerability window*:
+        if a data bucket crashes with unflushed Δs, those mutations
+        (at most B-1 per bucket) are lost — the bucket recovers to its
+        last-flushed state.  Recovery flushes every *surviving* group
+        member first, so the rest of the group is never affected.
+    compact_ranks:
+        The §4.3-style deletion enhancement: when a rank below the
+        bucket's maximum is freed (delete or split move-out), relocate
+        the highest-ranked record into it.  Keeps every bucket's rank
+        set dense ({1..size}), so record groups stay maximally occupied
+        and the parity storage overhead does not degrade under heavy
+        deletion — at the price of extra parity messages per freeing
+        operation (benched in E12).
+    degraded_reads:
+        Serve key searches that hit an unavailable bucket via record
+        recovery (A7-style) *before* bucket recovery completes.
+    auto_recover:
+        Recover failed buckets as soon as an operation or probe detects
+        them (the coordinator's normal reaction).  Disable to exercise
+        degraded mode in tests.
+    spare_servers:
+        Size of the hot-spare pool recoveries draw replacement servers
+        from; ``None`` (default) models an unbounded pool.  With a
+        finite pool, recovery raises :class:`RecoveryError` when no
+        spare is left — the operational signal to provision hardware.
+    """
+
+    group_size: int = 4
+    availability: int = 1
+    bucket_capacity: int = 32
+    field_width: int = 8
+    generator: str = "cauchy"
+    policy: AvailabilityPolicy | None = None
+    upgrade_existing_groups: bool = True
+    parity_batch_size: int = 1
+    compact_ranks: bool = False
+    degraded_reads: bool = True
+    auto_recover: bool = True
+    spare_servers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size (m) must be >= 1")
+        if self.availability < 0:
+            raise ValueError("availability (k) cannot be negative")
+        if self.bucket_capacity < 1:
+            raise ValueError("bucket_capacity must be >= 1")
+        if self.field_width not in (8, 16):
+            raise ValueError(
+                "field_width must be 8 or 16 for byte-payload parity"
+            )
+        if self.parity_batch_size < 1:
+            raise ValueError("parity_batch_size must be >= 1")
+        if self.spare_servers is not None and self.spare_servers < 0:
+            raise ValueError("spare_servers cannot be negative")
+        limit = (1 << self.field_width) - self.group_size
+        if self.max_availability > limit:
+            raise ValueError(
+                f"m + max k exceeds GF(2^{self.field_width}); use a wider field"
+            )
+
+    @property
+    def effective_policy(self) -> AvailabilityPolicy:
+        """The availability policy, defaulting to fixed(k)."""
+        if self.policy is not None:
+            return self.policy
+        return AvailabilityPolicy.fixed(self.availability)
+
+    @property
+    def max_availability(self) -> int:
+        """Upper bound on k this configuration can ever reach."""
+        if self.policy is None:
+            return self.availability
+        return self.policy.max_level
+
+    def make_field(self) -> GF:
+        """The GF(2^w) instance for this file."""
+        return GF(self.field_width)

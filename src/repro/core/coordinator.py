@@ -1,0 +1,343 @@
+"""The LH*RS coordinator.
+
+Extends the LH* coordinator with the high-availability duties:
+
+* every new bucket group gets k parity buckets at birth (k from the
+  availability policy at that moment);
+* the scalable-availability policy can raise k as the file grows — new
+  groups are born at the higher level, and (eagerly) existing groups are
+  retrofitted: fresh parity buckets are encoded from the group's data
+  and the group's data servers learn their new parity targets;
+* unavailability reports converge here: searches are served through
+  record recovery (degraded reads) and failed buckets are rebuilt onto
+  spares under their logical addresses.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LHRSConfig
+from repro.core.group import data_node, group_buckets, group_count, group_of, parity_node
+from repro.core.data_bucket import RSDataServer
+from repro.core.parity_bucket import ParityServer
+from repro.core.recovery import RecoveryError, RecoveryManager, parse_node_id
+from repro.rs.generator import parity_matrix
+from repro.sdds.coordinator import Coordinator, SplitPolicy
+from repro.sim.messages import Message
+from repro.sim.network import NodeUnavailable
+
+
+class RSCoordinator(Coordinator):
+    """Coordinator of one LH*RS file."""
+
+    def __init__(
+        self,
+        node_id: str,
+        file_id: str,
+        capacity: int | None = None,
+        n0: int | None = None,
+        policy: SplitPolicy | None = None,
+        config: LHRSConfig | None = None,
+    ):
+        self.config = config or LHRSConfig()
+        if capacity is not None and capacity != self.config.bucket_capacity:
+            raise ValueError("capacity is fixed by LHRSConfig.bucket_capacity")
+        if n0 is not None and n0 != self.config.group_size:
+            raise ValueError("n0 is fixed by LHRSConfig.group_size (one group)")
+        super().__init__(
+            node_id,
+            file_id,
+            capacity=self.config.bucket_capacity,
+            n0=self.config.group_size,
+            policy=policy,
+        )
+        self.field = self.config.make_field()
+        #: availability level per bucket group
+        self._group_levels: dict[int, int] = {}
+        #: hot spares left in the pool (None = unbounded)
+        self.spares_remaining = self.config.spare_servers
+        self.recovery = RecoveryManager(self)
+
+    def take_spare(self) -> None:
+        """Consume one hot spare for a recovery; raises when exhausted."""
+        if self.spares_remaining is None:
+            return
+        if self.spares_remaining <= 0:
+            raise RecoveryError(
+                "hot-spare pool exhausted: provision more servers before "
+                "further recoveries"
+            )
+        self.spares_remaining -= 1
+
+    # ------------------------------------------------------------------
+    # group/parity bookkeeping
+    # ------------------------------------------------------------------
+    def group_level(self, group: int) -> int:
+        """Current availability level k of a bucket group."""
+        try:
+            return self._group_levels[group]
+        except KeyError:
+            raise KeyError(f"bucket group {group} does not exist") from None
+
+    @property
+    def group_levels(self) -> dict[int, int]:
+        """Read-only view of every group's availability level."""
+        return dict(self._group_levels)
+
+    def parity_row(self, index: int) -> list[int]:
+        """Generator row for parity bucket ``index`` (nested rows).
+
+        With the normalized Cauchy construction, row ``index`` of the
+        (m, k) parity matrix is the same for every k > index, so the row
+        can be issued before knowing how high k will ever scale.
+        """
+        matrix = parity_matrix(
+            self.field, self.config.group_size, index + 1, self.config.generator
+        )
+        return matrix.row(index)
+
+    def make_parity_server(self, group: int, index: int) -> ParityServer:
+        return ParityServer(
+            node_id=parity_node(self.file_id, group, index),
+            file_id=self.file_id,
+            group=group,
+            index=index,
+            row=self.parity_row(index),
+            field=self.field,
+        )
+
+    def make_server(self, number: int, level: int) -> RSDataServer:
+        group = group_of(number, self.config.group_size)
+        targets = [
+            parity_node(self.file_id, group, i)
+            for i in range(self._group_levels.get(group, 0))
+        ]
+        return RSDataServer(
+            node_id=data_node(self.file_id, number),
+            file_id=self.file_id,
+            number=number,
+            level=level,
+            capacity=self.capacity,
+            n0=self.state.n0,
+            group_size=self.config.group_size,
+            parity_targets=targets,
+            compact_ranks=self.config.compact_ranks,
+            parity_batch_size=self.config.parity_batch_size,
+            field_width=self.config.field_width,
+        )
+
+    # ------------------------------------------------------------------
+    # growth hooks
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> None:
+        """Create group 0's parity buckets, then the initial data buckets."""
+        self._create_group(0)
+        super().bootstrap()
+
+    def _create_group(self, group: int) -> None:
+        level = self.config.effective_policy.level_for(
+            group_count(self.state.bucket_count, self.config.group_size) or 1
+        )
+        self._group_levels[group] = level
+        for index in range(level):
+            self._net().register(self.make_parity_server(group, index))
+
+    def on_new_bucket(self, number: int, level: int) -> None:
+        if number % self.config.group_size == 0:
+            self._create_group(group_of(number, self.config.group_size))
+        self._maybe_scale_availability()
+
+    def merge_once(self) -> tuple[int, int]:
+        """Shrink by one bucket, maintaining parity on both groups.
+
+        The dissolving bucket's records leave its record groups (batched
+        Δ-deletes) and re-enter the absorber's (fresh ranks, batched
+        Δ-inserts, via the ordinary bulk path).  When the dissolving
+        bucket was its group's only member, the whole group — parity
+        buckets included — retires with it.
+        """
+        if self.state.bucket_count <= self.state.n0:
+            raise ValueError("cannot shrink below the initial buckets")
+        m = self.config.group_size
+        target = self.state.bucket_count - 1
+        retiring = target % m == 0  # group's first and only bucket
+        with self._restructure_lock():
+            before = len(self._pending_overflows)
+            source, _, level = self.state.retreat_merge()
+            self.send(data_node(self.file_id, source), "level.set",
+                      {"level": level})
+            self.call(
+                data_node(self.file_id, target), "merge",
+                {"into": source, "retiring": retiring},
+            )
+            self._net().unregister(data_node(self.file_id, target))
+            self.on_bucket_removed(target)
+            self._sizes.pop(target, None)
+            # Drop overflow reports raised by the merge's own movement
+            # (see the base class note on merge/split ping-pong).
+            del self._pending_overflows[before:]
+        return source, target
+
+    def on_bucket_removed(self, number: int) -> None:
+        if number % self.config.group_size == 0:
+            group = group_of(number, self.config.group_size)
+            level = self._group_levels.pop(group)
+            for index in range(level):
+                self._net().unregister(parity_node(self.file_id, group, index))
+
+    def _maybe_scale_availability(self) -> None:
+        """Retrofit existing groups when the policy raised the level."""
+        if not self.config.upgrade_existing_groups:
+            return
+        groups = group_count(self.state.bucket_count + 1, self.config.group_size)
+        target = self.config.effective_policy.level_for(groups)
+        for group, current in sorted(self._group_levels.items()):
+            if current < target:
+                self.raise_group_level(group, target)
+
+    def raise_group_level(self, group: int, new_level: int) -> None:
+        """Add parity buckets to an existing group and encode them.
+
+        The new buckets' contents are computed by the recovery machinery
+        (a "loss" of the new indices against zero prior content is
+        exactly an encode), then the group's data servers are told their
+        new parity targets.
+        """
+        current = self.group_level(group)
+        if new_level <= current:
+            return
+        if self.config.generator != "cauchy":
+            raise RecoveryError(
+                "raising availability needs nested generator rows; "
+                "only the cauchy construction provides them"
+            )
+        # Read the group's data *before* committing anything: a dead
+        # member surfaces here and leaves the group untouched (recover
+        # it, then retry the raise).
+        ops = self._collect_group_ops(group)
+        for index in range(current, new_level):
+            self._net().register(self.make_parity_server(group, index))
+        self._group_levels[group] = new_level
+        for index in range(current, new_level):
+            self.send(
+                parity_node(self.file_id, group, index),
+                "parity.batch",
+                {"ops": ops},
+            )
+        targets = [
+            parity_node(self.file_id, group, i) for i in range(new_level)
+        ]
+        for bucket in group_buckets(
+            group, self.config.group_size, self.state.bucket_count
+        ):
+            self.send(
+                data_node(self.file_id, bucket),
+                "config.parity",
+                {"targets": targets},
+            )
+
+    def _collect_group_ops(self, group: int) -> list[dict]:
+        """Dump a group's data as insert Δ-ops (feeds new parity buckets)."""
+        m = self.config.group_size
+        buckets = group_buckets(group, m, self.state.bucket_count)
+        ops_by_rank: dict[int, list] = {}
+        for bucket in buckets:
+            dump = self.call(data_node(self.file_id, bucket), "bucket.dump")
+            pos = bucket % m
+            for key, rank, payload in dump["records"]:
+                ops_by_rank.setdefault(rank, []).append(
+                    {
+                        "op": "insert",
+                        "key": key,
+                        "rank": rank,
+                        "pos": pos,
+                        "delta": payload,
+                        "length": len(payload),
+                    }
+                )
+        return [op for rank in sorted(ops_by_rank) for op in ops_by_rank[rank]]
+
+    # ------------------------------------------------------------------
+    # unavailability handling
+    # ------------------------------------------------------------------
+    def handle_report_unavailable(self, message: Message) -> None:
+        """A client or server hit an unavailable bucket.
+
+        Key searches are answered immediately through record recovery
+        (degraded mode) when enabled; the failed bucket (and any other
+        casualties in its group) is then rebuilt onto a spare so later
+        operations proceed normally.
+        """
+        payload = message.payload
+        kind, op = payload.get("kind"), payload.get("op")
+
+        if kind == "search" and op and self.config.degraded_reads:
+            found, value = self.recovery.recover_record(op["key"])
+            self.send(
+                op["client"],
+                "search.result",
+                {
+                    "request": op["request"],
+                    "key": op["key"],
+                    "found": found,
+                    "value": value,
+                },
+            )
+            op = None  # already served
+
+        node_id = payload["node"]
+        if self.config.auto_recover:
+            if not self._net().is_available(node_id):
+                self.recovery.recover_nodes([node_id])
+        elif op is not None or kind is None:
+            # Mutations and parity-update failures cannot proceed in
+            # degraded mode — losing them silently is never acceptable.
+            raise RecoveryError(
+                f"{node_id} is unavailable and auto_recover is disabled"
+            )
+        if op is not None:
+            # Complete the mutation against the recovered bucket.
+            self.deliver_routed(kind, dict(op, hops=op.get("hops", 0) + 1),
+                                self.state.address(op["key"]))
+
+    def deliver_routed(self, kind: str, op: dict, target: int) -> None:
+        try:
+            self.send(data_node(self.file_id, target), kind, op)
+        except NodeUnavailable:
+            if not self.config.auto_recover:
+                raise
+            self.recovery.recover_nodes([data_node(self.file_id, target)])
+            self.send(data_node(self.file_id, target), kind, op)
+
+    def probe(self) -> dict:
+        """Actively sweep every server for unavailability and recover.
+
+        The papers let the coordinator detect failures itself (e.g.
+        while requesting a split); this models a full probe round:
+        multicast a status ping to every data and parity bucket, recover
+        whatever did not answer.  Returns the probe summary.
+        """
+        targets = [
+            data_node(self.file_id, b) for b in self.state.buckets()
+        ] + [
+            parity_node(self.file_id, g, i)
+            for g, level in sorted(self._group_levels.items())
+            for i in range(level)
+        ]
+        _, unavailable = self._net().multicast(self.node_id, targets, "status")
+        summary = {"probed": len(targets), "unavailable": list(unavailable)}
+        if unavailable and self.config.auto_recover:
+            summary["recovered"] = self.recovery.recover_nodes(unavailable)
+        return summary
+
+    def handle_rejoin(self, message: Message) -> dict:
+        """Self-detected recovery (§2.5.4-style): a restarted server asks
+        whether it still carries its bucket or was replaced meanwhile."""
+        node_id = message.payload["node"]
+        parsed = parse_node_id(self.file_id, node_id)
+        if parsed is None:
+            return {"role": "unknown"}
+        current = self._net().nodes.get(node_id)
+        sender = self._net().nodes.get(message.sender)
+        if current is not None and current is sender:
+            return {"role": "current"}
+        return {"role": "spare", "replacement": node_id}

@@ -1,0 +1,373 @@
+"""The LH*RS data bucket server.
+
+Extends the LH* data server with the paper's high-availability duties:
+
+* every accepted record gets a **rank** from the bucket's insert counter
+  (freed ranks are reused, keeping record groups dense — the §4.3-style
+  enhancement, done locally);
+* every mutation ships a **Δ-record** to each parity bucket of the
+  bucket group (1 + k messages per insert/update/delete);
+* a **split** removes the movers from this group's record groups and the
+  target re-inserts them into its own — record group membership always
+  follows the record's *current* bucket, so any two members of a record
+  group are in distinct buckets of one group by construction.  The
+  split's parity traffic is batched: one message per affected parity
+  bucket instead of one per record (the paper's bulk-transfer note).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.core.group import data_node, group_of, position_of
+from repro.lh import addressing
+from repro.sdds.server import DataServer
+from repro.sim.messages import Message
+from repro.sim.network import NodeUnavailable
+from repro.rs.encoder import delta_payload
+
+
+class RSDataServer(DataServer):
+    """One LH*RS data bucket: LH* behaviour plus parity maintenance."""
+
+    def __init__(
+        self,
+        node_id: str,
+        file_id: str,
+        number: int,
+        level: int,
+        capacity: int,
+        n0: int,
+        group_size: int,
+        parity_targets: list[str] | None = None,
+        compact_ranks: bool = False,
+        parity_batch_size: int = 1,
+        field_width: int = 8,
+    ):
+        super().__init__(node_id, file_id, number, level, capacity, n0)
+        from repro.gf.field import GF
+
+        self.group_size = group_size
+        self.compact_ranks = compact_ranks
+        self.parity_batch_size = parity_batch_size
+        self.field = GF(field_width)
+        #: Δ-records accumulated in lazy mode, FIFO
+        self._parity_queue: list[dict] = []
+        self.group = group_of(number, group_size)
+        self.position = position_of(number, group_size)
+        #: parity bucket node ids of this group, index order
+        self.parity_targets = list(parity_targets or [])
+        self._rank_counter = 0
+        self._free_ranks: list[int] = []
+        #: key -> rank for every stored record
+        self.ranks: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # rank management
+    # ------------------------------------------------------------------
+    def _take_rank(self) -> int:
+        """Smallest free rank, else a fresh one.
+
+        Taking the *lowest* free rank keeps each bucket's occupied rank
+        set dense ({1..size} under pure growth), which maximizes record
+        group occupancy across the bucket group — the storage-overhead
+        figure of experiment E1 rides on this (§4.3's counter-reuse
+        enhancement, applied locally at allocation time).
+        """
+        if self._free_ranks:
+            return heapq.heappop(self._free_ranks)
+        self._rank_counter += 1
+        return self._rank_counter
+
+    def _release_rank(self, rank: int) -> None:
+        heapq.heappush(self._free_ranks, rank)
+
+    def _compact(self) -> list[dict]:
+        """§4.3-style rank compaction; returns the parity ops it implies.
+
+        Drains the free list: freed ranks inside the dense range
+        {1..size} absorb the highest-ranked records (a delete + insert
+        pair per move, batched by the caller); freed ranks above it are
+        simply retired by shrinking the counter.  Afterwards the bucket's
+        ranks are exactly {1..size} again.
+        """
+        ops: list[dict] = []
+        if not self.compact_ranks:
+            return ops
+        target = len(self.ranks)
+        while self._free_ranks:
+            free = heapq.heappop(self._free_ranks)
+            if free > target:
+                continue  # beyond the dense range: retire silently
+            key_max, r_max = max(self.ranks.items(), key=lambda kv: kv[1])
+            payload = self.bucket.get(key_max)
+            ops.append(self._parity_op("delete", key_max, r_max, payload, 0))
+            op = self._parity_op("insert", key_max, free, payload, len(payload))
+            ops.append(op)
+            self.ranks[key_max] = free
+        self._rank_counter = target
+        return ops
+
+    # ------------------------------------------------------------------
+    # parity messaging
+    # ------------------------------------------------------------------
+    def _parity_op(
+        self, action: str, key: int, rank: int, delta: bytes, length: int
+    ) -> dict:
+        return {
+            "op": action,
+            "key": key,
+            "rank": rank,
+            "pos": self.position,
+            "delta": delta,
+            "length": length,
+        }
+
+    def _send_parity(self, op: dict) -> None:
+        if self.parity_batch_size > 1:
+            # Lazy mode: queue and flush when the batch fills.  The
+            # queue is the vulnerability window — a crash loses it.
+            self._parity_queue.append(op)
+            if len(self._parity_queue) >= self.parity_batch_size:
+                self.flush_parity()
+            return
+        for target in self.parity_targets:
+            self._send_parity_to(target, "parity.update", op)
+
+    def flush_parity(self) -> int:
+        """Ship every queued Δ-record now; returns how many flushed."""
+        if not self._parity_queue:
+            return 0
+        ops, self._parity_queue = self._parity_queue, []
+        for target in self.parity_targets:
+            self._send_parity_to(target, "parity.batch", {"ops": ops})
+        return len(ops)
+
+    def _send_parity_batch(self, ops: list[dict]) -> None:
+        # Structural batches (splits, merges, compaction) must apply
+        # after any queued per-record Δs — flush preserves FIFO order.
+        self.flush_parity()
+        if not ops:
+            return
+        for target in self.parity_targets:
+            self._send_parity_to(target, "parity.batch", {"ops": ops})
+
+    def _send_parity_to(self, target: str, kind: str, payload: Any) -> None:
+        """Send to one parity bucket, engaging recovery if it is down.
+
+        A failed parity site is reported to the coordinator, which
+        rebuilds it onto a spare under the same logical address.  The
+        rebuild encodes from the group's *current* data — every data
+        server mutates its store before shipping the Δ-record — so the
+        recovered parity already reflects this mutation and the Δ must
+        NOT be re-sent (a resend would double-apply it).
+        """
+        try:
+            self.send(target, kind, payload)
+        except NodeUnavailable as failure:
+            self.send(
+                self._coordinator(), "report.unavailable",
+                {"node": failure.node_id, "kind": None, "op": None},
+            )
+
+    # ------------------------------------------------------------------
+    # record mutation primitives (called by the accepted-op handlers)
+    # ------------------------------------------------------------------
+    def apply_insert(self, key: int, value: bytes) -> None:
+        if key in self.bucket:
+            self.apply_update(key, value)
+            return
+        rank = self._take_rank()
+        self.ranks[key] = rank
+        self.bucket.put(key, value)
+        self._send_parity(self._parity_op("insert", key, rank, value, len(value)))
+
+    def apply_update(self, key: int, value: bytes) -> None:
+        if key not in self.bucket:
+            self.apply_insert(key, value)
+            return
+        old = self.bucket.get(key)
+        self.bucket.put(key, value)
+        self._send_parity(
+            self._parity_op(
+                "update", key, self.ranks[key], delta_payload(old, value), len(value)
+            )
+        )
+
+    def apply_delete(self, key: int) -> None:
+        if key not in self.bucket:
+            return
+        payload = self.bucket.delete(key)
+        rank = self.ranks.pop(key)
+        self._send_parity(self._parity_op("delete", key, rank, payload, 0))
+        self._release_rank(rank)
+        self._send_parity_batch(self._compact())
+
+    # ------------------------------------------------------------------
+    # splits: group membership follows the record
+    # ------------------------------------------------------------------
+    def handle_split(self, message: Message) -> Any:
+        target = message.payload["target"]
+        stay, move = addressing.split_records(
+            list(self.bucket.records.items()),
+            lambda item: item[0],
+            self.number,
+            self.level,
+            self.n0,
+        )
+        # Remove the movers from this group's record groups (batched).
+        # Local state mutates *before* the parity send: a parity spare
+        # rebuilt mid-send encodes from current data, so the in-flight
+        # batch must already be reflected locally (see _send_parity_to).
+        delete_ops = []
+        for key, payload in move:
+            rank = self.ranks.pop(key)
+            delete_ops.append(self._parity_op("delete", key, rank, payload, 0))
+            self._release_rank(rank)
+        delete_ops.extend(self._compact())
+        self.bucket.records = dict(stay)
+        self.bucket.level += 1
+        self._last_reported_size = -1
+        self._send_parity_batch(delete_ops)
+        self.send(
+            data_node(self.file_id, target),
+            "records.bulk",
+            {"records": move, "source": self.number},
+        )
+        self._report_overflow_if_needed()
+        return {"moved": len(move), "kept": len(stay)}
+
+    def handle_records_bulk(self, message: Message) -> None:
+        insert_ops = []
+        for key, payload in message.payload["records"]:
+            rank = self._take_rank()
+            self.ranks[key] = rank
+            self.bucket.put(key, payload)
+            insert_ops.append(
+                self._parity_op("insert", key, rank, payload, len(payload))
+            )
+        self._send_parity_batch(insert_ops)
+        self._report_overflow_if_needed()
+
+    def handle_merge(self, message: Message) -> Any:
+        """This (last) bucket dissolves: remove every record from this
+        group's record groups (batched parity deletes), then ship the
+        records to the absorbing bucket, which re-groups them there.
+
+        If this bucket was its group's only member, the coordinator
+        retires the group's parity buckets afterwards — the batch then
+        merely zeroes records that are about to be discarded, so it is
+        skipped (the coordinator tells us via ``retiring``).
+        """
+        into = message.payload["into"]
+        records = list(self.bucket.records.items())
+        if not message.payload.get("retiring"):
+            delete_ops = [
+                self._parity_op("delete", key, self.ranks[key], payload, 0)
+                for key, payload in records
+            ]
+            self.ranks.clear()
+            self._free_ranks.clear()
+            self._rank_counter = 0
+            self.bucket.records = {}
+            self._send_parity_batch(delete_ops)
+        else:
+            self.ranks.clear()
+            self.bucket.records = {}
+        self.send(
+            data_node(self.file_id, into),
+            "records.bulk",
+            {"records": records, "source": self.number},
+        )
+        return {"moved": len(records)}
+
+    def receive_moved_record(self, key: int, value: bytes) -> None:
+        # Single-record arrival outside a bulk (not used by RS splits,
+        # but kept consistent for subclasses / tests).
+        rank = self._take_rank()
+        self.ranks[key] = rank
+        self.bucket.put(key, value)
+        self._send_parity(self._parity_op("insert", key, rank, value, len(value)))
+
+    # ------------------------------------------------------------------
+    # configuration & recovery support
+    # ------------------------------------------------------------------
+    def handle_config_parity(self, message: Message) -> None:
+        """Coordinator raised this group's availability level."""
+        self.parity_targets = list(message.payload["targets"])
+
+    def handle_parity_flush(self, message: Message) -> dict:
+        """Explicit flush command (coordinator probe / recovery prep)."""
+        return {"flushed": self.flush_parity()}
+
+    def handle_signature_dump(self, message: Message) -> dict:
+        """Algebraic signatures of every record, keyed by rank.
+
+        Constant bytes per record regardless of payload size — the
+        audit's whole advantage over shipping payloads.  Flushes lazy
+        Δs first so parity and data describe the same state.
+        """
+        from repro.gf.signatures import signature_vector
+
+        self.flush_parity()
+        count = message.payload.get("count", 2)
+        return {
+            "position": self.position,
+            "ranks": {
+                self.ranks[key]: signature_vector(self.field, payload, count)
+                for key, payload in self.bucket.records.items()
+            },
+        }
+
+    def handle_record_fetch(self, message: Message) -> dict:
+        """Direct fetch by key (record recovery addresses buckets
+        explicitly from the parity directory — no A2 involved).
+
+        Flushes first: the decode combining this payload with parity
+        records needs the parity to be current with it.
+        """
+        self.flush_parity()
+        key = message.payload["key"]
+        if key in self.bucket:
+            return {"found": True, "payload": self.bucket.get(key)}
+        return {"found": False, "payload": None}
+
+    def handle_bucket_dump(self, message: Message) -> dict:
+        """Everything recovery needs to treat this bucket as a survivor.
+
+        Flushes queued Δs first so the dump and the group's parity
+        describe the same state (lazy mode would otherwise feed the
+        decoder a survivor ahead of its parity).
+        """
+        self.flush_parity()
+        return {
+            "bucket": self.number,
+            "position": self.position,
+            "level": self.level,
+            "counter": self._rank_counter,
+            "free_ranks": list(self._free_ranks),
+            "records": [
+                (key, self.ranks[key], payload)
+                for key, payload in self.bucket.records.items()
+            ],
+        }
+
+    def handle_bucket_load(self, message: Message) -> None:
+        """Bulk-load recovered content into a fresh (spare) data bucket."""
+        payload = message.payload
+        self.bucket.records = {}
+        self.ranks = {}
+        for key, rank, value in payload["records"]:
+            self.bucket.put(key, value)
+            self.ranks[key] = rank
+        self._rank_counter = payload["counter"]
+        self._free_ranks = list(payload["free_ranks"])
+        heapq.heapify(self._free_ranks)
+        self.bucket.level = payload["level"]
+
+    def handle_status(self, message: Message) -> dict:
+        status = super().handle_status(message)
+        status.update(group=self.group, position=self.position,
+                      counter=self._rank_counter)
+        return status

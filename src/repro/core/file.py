@@ -1,0 +1,245 @@
+"""Facade assembling a complete LH*RS file.
+
+``LHRSFile`` is the public entry point of this library: it wires up the
+network, the RS coordinator (which creates data buckets and parity
+buckets), and clients, and exposes key operations, scans, failure
+injection and recovery, plus the oracle inspection the experiments use
+(storage overhead, parity consistency, availability estimates).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.availability import file_availability
+from repro.core.client import RSClient
+from repro.core.config import LHRSConfig
+from repro.core.coordinator import RSCoordinator
+from repro.core.data_bucket import RSDataServer
+from repro.core.group import group_count, parity_node
+from repro.core.parity_bucket import ParityServer
+from repro.core.recovery import reconstruct_state
+from repro.rs.codec import RSCodec
+from repro.sdds.coordinator import SplitPolicy
+from repro.sdds.file import LHStarFile
+from repro.sim.failure import FailureInjector
+
+
+class LHRSFile(LHStarFile):
+    """A running LH*RS file, its coordinator, servers and default client."""
+
+    coordinator_class = RSCoordinator
+    client_class = RSClient
+
+    def __init__(
+        self,
+        config: LHRSConfig | None = None,
+        file_id: str = "f",
+        split_policy: SplitPolicy | None = None,
+        network=None,
+    ):
+        self.config = config or LHRSConfig()
+        super().__init__(
+            file_id=file_id,
+            capacity=self.config.bucket_capacity,
+            n0=self.config.group_size,
+            policy=split_policy,
+            network=network,
+            config=self.config,
+        )
+        self.failures = FailureInjector(self.network)
+
+    # ------------------------------------------------------------------
+    # typing conveniences
+    # ------------------------------------------------------------------
+    @property
+    def rs_coordinator(self) -> RSCoordinator:
+        return self.coordinator  # type: ignore[return-value]
+
+    def data_servers(self) -> list[RSDataServer]:
+        return super().data_servers()  # type: ignore[return-value]
+
+    def parity_servers(self, group: int | None = None) -> list[ParityServer]:
+        """Parity servers of one group, or of the whole file."""
+        coordinator = self.rs_coordinator
+        groups = (
+            [group] if group is not None else sorted(coordinator.group_levels)
+        )
+        out = []
+        for g in groups:
+            for index in range(coordinator.group_level(g)):
+                out.append(self.network.nodes[parity_node(self.file_id, g, index)])
+        return out
+
+    # ------------------------------------------------------------------
+    # failure & recovery conveniences
+    # ------------------------------------------------------------------
+    def fail_data_bucket(self, bucket: int) -> str:
+        """Crash the server of data bucket ``bucket``; returns its node id."""
+        node_id = f"{self.file_id}.d{bucket}"
+        self.network.fail(node_id)
+        return node_id
+
+    def fail_parity_bucket(self, group: int, index: int) -> str:
+        """Crash parity bucket ``index`` of ``group``; returns its node id."""
+        node_id = parity_node(self.file_id, group, index)
+        self.network.fail(node_id)
+        return node_id
+
+    def recover(self, node_ids: list[str]) -> dict:
+        """Explicitly recover the given failed nodes (tests/benchmarks)."""
+        return self.rs_coordinator.recovery.recover_nodes(node_ids)
+
+    def recover_record(self, key: int) -> tuple[bool, bytes | None]:
+        """Degraded-mode read of one key (record recovery)."""
+        return self.rs_coordinator.recovery.recover_record(key)
+
+    def reconstruct_file_state(self) -> tuple[int, int]:
+        """Run the A6-style file-state reconstruction and return (n, i)."""
+        return self.rs_coordinator.recovery.recover_file_state()
+
+    def flush_all_parity(self) -> int:
+        """Lazy mode: flush every data bucket's Δ queue; total flushed."""
+        return sum(server.flush_parity() for server in self.data_servers())
+
+    # ------------------------------------------------------------------
+    # integrity auditing (algebraic signatures)
+    # ------------------------------------------------------------------
+    def audit(self, signature_count: int = 2) -> dict:
+        """Scrub the whole file for silent corruption via algebraic
+        signatures (constant bytes per record on the wire)."""
+        return self.rs_coordinator.recovery.audit_file(signature_count)
+
+    def audit_group(self, group: int, signature_count: int = 2) -> dict:
+        """Scrub one bucket group; see RecoveryManager.audit_group."""
+        return self.rs_coordinator.recovery.audit_group(group, signature_count)
+
+    def repair_corruption(self, group: int, position: int) -> dict:
+        """Rebuild the corrupted column an audit identified."""
+        return self.rs_coordinator.recovery.repair_corruption(group, position)
+
+    # ------------------------------------------------------------------
+    # oracle inspection for experiments
+    # ------------------------------------------------------------------
+    def group_levels(self) -> dict[int, int]:
+        return self.rs_coordinator.group_levels
+
+    def data_storage_bytes(self) -> int:
+        """Payload bytes held in data buckets."""
+        return sum(
+            len(payload)
+            for server in self.data_servers()
+            for payload in server.bucket.records.values()
+        )
+
+    def parity_storage_bytes(self) -> int:
+        """Parity payload bytes held in parity buckets."""
+        return int(
+            sum(
+                record.symbols.nbytes
+                for server in self.parity_servers()
+                for record in server.records.values()
+            )
+        )
+
+    def storage_overhead(self) -> float:
+        """Parity bytes / data bytes — the paper's ~k/m figure."""
+        data = self.data_storage_bytes()
+        return self.parity_storage_bytes() / data if data else 0.0
+
+    def parity_bucket_count(self) -> int:
+        return len(self.parity_servers())
+
+    def analytic_availability(self, p: float) -> float:
+        """P(all data servable) given per-bucket availability p, using
+        the per-group levels this file actually carries."""
+        coordinator = self.rs_coordinator
+        m = self.config.group_size
+        total = coordinator.state.bucket_count
+        levels = [
+            coordinator.group_level(g)
+            for g in range(group_count(total, m))
+        ]
+        return file_availability(total, m, p, k_per_group=levels)
+
+    # ------------------------------------------------------------------
+    def verify_parity_consistency(self) -> list[str]:
+        """Oracle check of DESIGN.md invariant 3.
+
+        Recomputes every group's parity from the data records and
+        compares with what the parity buckets hold.  Returns a list of
+        discrepancy descriptions (empty = consistent).
+        """
+        problems: list[str] = []
+        coordinator = self.rs_coordinator
+        m = self.config.group_size
+        field = coordinator.field
+
+        # Gather data records per (group, rank, pos).
+        stripes: dict[int, dict[int, dict[int, bytes]]] = {}
+        keys_map: dict[int, dict[int, dict[int, int]]] = {}
+        for server in self.data_servers():
+            for key, payload in server.bucket.records.items():
+                rank = server.ranks[key]
+                stripes.setdefault(server.group, {}).setdefault(rank, {})[
+                    server.position
+                ] = payload
+                keys_map.setdefault(server.group, {}).setdefault(rank, {})[
+                    server.position
+                ] = key
+
+        for group, level in coordinator.group_levels.items():
+            codec = RSCodec(m, level, field, coordinator.config.generator)
+            group_stripes = stripes.get(group, {})
+            for index in range(level):
+                server: ParityServer = self.network.nodes[
+                    parity_node(self.file_id, group, index)
+                ]
+                expected_ranks = set(group_stripes)
+                actual_ranks = set(server.records)
+                if expected_ranks != actual_ranks:
+                    problems.append(
+                        f"group {group} parity {index}: ranks {actual_ranks} "
+                        f"!= expected {expected_ranks}"
+                    )
+                    continue
+                for rank, members in group_stripes.items():
+                    record = server.records[rank]
+                    if record.keys != keys_map[group][rank]:
+                        problems.append(
+                            f"group {group} parity {index} rank {rank}: key "
+                            f"directory mismatch"
+                        )
+                    payloads: list[bytes | None] = [None] * m
+                    for pos, payload in members.items():
+                        payloads[pos] = payload
+                    expected = codec.encode(payloads)[index]
+                    actual = record.parity_bytes(field)
+                    length = max(len(expected), len(actual))
+                    if expected.ljust(length, b"\0") != actual.ljust(length, b"\0"):
+                        problems.append(
+                            f"group {group} parity {index} rank {rank}: "
+                            f"parity bytes mismatch"
+                        )
+        return problems
+
+    def census_with_ranks(self) -> dict[int, dict[int, tuple[int, bytes]]]:
+        """{bucket -> {key -> (rank, payload)}} snapshot for equality checks."""
+        return {
+            server.number: {
+                key: (server.ranks[key], payload)
+                for key, payload in server.bucket.records.items()
+            }
+            for server in self.data_servers()
+        }
+
+    def levels_census(self) -> dict[int, int]:
+        """{bucket -> level} directly from servers (oracle)."""
+        return {s.number: s.level for s in self.data_servers()}
+
+    def check_reconstructed_state(self) -> bool:
+        """A6 sanity: reconstruction from levels matches the true state."""
+        n, i = reconstruct_state(self.levels_census(), self.config.group_size)
+        return (n, i) == self.rs_coordinator.state.as_tuple()

@@ -1,0 +1,50 @@
+"""Bucket-group geometry and node naming.
+
+Data bucket a belongs to bucket group g = a // m at position a % m; the
+group's parity buckets live at dedicated nodes named ``<file>.p<g>.<i>``.
+Unlike LH*g's separate LH* parity *file*, LH*RS attaches parity buckets
+to groups directly, so a record's parity sites are computable from its
+bucket number alone — no second hash file to address.
+"""
+
+from __future__ import annotations
+
+
+def group_of(bucket: int, m: int) -> int:
+    """Bucket group number of data bucket ``bucket``."""
+    if bucket < 0:
+        raise ValueError("bucket numbers are non-negative")
+    return bucket // m
+
+
+def position_of(bucket: int, m: int) -> int:
+    """Position (generator column) of the bucket within its group."""
+    if bucket < 0:
+        raise ValueError("bucket numbers are non-negative")
+    return bucket % m
+
+
+def group_buckets(group: int, m: int, total_buckets: int | None = None) -> list[int]:
+    """Data bucket numbers of a group (clipped to the file's extent)."""
+    if group < 0:
+        raise ValueError("group numbers are non-negative")
+    first = group * m
+    last = first + m
+    if total_buckets is not None:
+        last = min(last, total_buckets)
+    return list(range(first, last))
+
+
+def group_count(total_buckets: int, m: int) -> int:
+    """Number of (possibly partial) groups in an M-bucket file."""
+    return (total_buckets + m - 1) // m if total_buckets else 0
+
+
+def parity_node(file_id: str, group: int, index: int) -> str:
+    """Node id of parity bucket ``index`` of ``group``."""
+    return f"{file_id}.p{group}.{index}"
+
+
+def data_node(file_id: str, bucket: int) -> str:
+    """Node id of data bucket ``bucket``."""
+    return f"{file_id}.d{bucket}"

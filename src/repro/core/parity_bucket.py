@@ -1,0 +1,171 @@
+"""The LH*RS parity bucket server.
+
+Parity bucket i of bucket group g holds one :class:`ParityRecord` per
+record group (rank) of g: the fold of every member's payload scaled by
+this bucket's generator-row coefficient for the member's position.
+
+The coefficients are handed in by the coordinator at creation.  With the
+normalized Cauchy generator the rows are *nested*: row i is the same for
+every availability level k > i, so raising a group's k never touches
+existing parity buckets — the property scalable availability leans on.
+Row 0 is all ones, making parity bucket 0 a pure XOR site.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import ParityRecord
+from repro.gf.field import GF
+from repro.rs.encoder import fold_delta
+from repro.sim.messages import Message
+from repro.sim.node import Node
+
+
+class ParityServer(Node):
+    """One parity bucket of one bucket group."""
+
+    def __init__(
+        self,
+        node_id: str,
+        file_id: str,
+        group: int,
+        index: int,
+        row: list[int],
+        field: GF,
+    ):
+        super().__init__(node_id)
+        self.file_id = file_id
+        self.group = group
+        self.index = index
+        self.row = list(row)
+        self.field = field
+        self.records: dict[int, ParityRecord] = {}
+        #: §4.1's in-bucket secondary index: member key -> rank.  Makes
+        #: record recovery's locate step an O(1) lookup instead of a
+        #: scan over every parity record ("shortens the bucket search
+        #: time drastically" at negligible storage, as the paper notes).
+        self._key_index: dict[int, int] = {}
+        #: GF multiply-accumulate symbol operations performed (CPU model)
+        self.symbol_ops = 0
+        #: how many of those folds were coefficient-1 (pure XOR)
+        self.xor_folds = 0
+        self.general_folds = 0
+
+    # ------------------------------------------------------------------
+    # the Δ-record protocol
+    # ------------------------------------------------------------------
+    def _apply(self, op: dict) -> None:
+        rank = op["rank"]
+        pos = op["pos"]
+        if not 0 <= pos < len(self.row):
+            raise ValueError(
+                f"group position {pos} outside 0..{len(self.row) - 1}"
+            )
+        record = self.records.get(rank)
+        if record is None:
+            record = ParityRecord(rank=rank)
+            self.records[rank] = record
+
+        coefficient = self.row[pos]
+        record.symbols = fold_delta(
+            self.field, record.symbols, coefficient, op["delta"]
+        )
+        self.symbol_ops += self.field.symbol_length_for_bytes(len(op["delta"]))
+        if coefficient == 1:
+            self.xor_folds += 1
+        else:
+            self.general_folds += 1
+
+        action = op["op"]
+        if action == "insert":
+            record.keys[pos] = op["key"]
+            record.lengths[pos] = op["length"]
+            self._key_index[op["key"]] = rank
+        elif action == "update":
+            record.lengths[pos] = op["length"]
+        elif action == "delete":
+            record.keys.pop(pos, None)
+            record.lengths.pop(pos, None)
+            self._key_index.pop(op["key"], None)
+            if not record.keys:
+                # All members gone: the accumulated deltas cancel exactly.
+                del self.records[rank]
+        else:
+            raise ValueError(f"unknown parity op {action!r}")
+
+    def handle_parity_update(self, message: Message) -> None:
+        """One Δ-record from a data bucket (insert/update/delete)."""
+        self._apply(message.payload)
+
+    def handle_parity_batch(self, message: Message) -> None:
+        """Batched Δ-records (splits and merges ship these)."""
+        for op in message.payload["ops"]:
+            self._apply(op)
+
+    # ------------------------------------------------------------------
+    # queries used by recovery
+    # ------------------------------------------------------------------
+    def handle_parity_dump(self, message: Message) -> dict:
+        """Everything this bucket knows (bucket recovery reads this)."""
+        return {
+            "group": self.group,
+            "index": self.index,
+            "records": [r.snapshot(self.field) for r in self.records.values()],
+        }
+
+    def handle_parity_locate(self, message: Message) -> dict | None:
+        """The record group containing ``key``, or None (record recovery).
+
+        A None answer from a parity bucket is authoritative: every stored
+        record of the group has an entry in every parity bucket, so the
+        searched key does not exist and the key search can terminate
+        *unsuccessfully with certainty* even while data buckets are down.
+        """
+        key = message.payload["key"]
+        rank = self._key_index.get(key)
+        if rank is None:
+            return None
+        record = self.records[rank]
+        pos = next(p for p, k in record.keys.items() if k == key)
+        snap = record.snapshot(self.field)
+        snap["pos"] = pos
+        return snap
+
+    def handle_parity_rank(self, message: Message) -> dict | None:
+        """Snapshot of one rank's parity record (or None)."""
+        record = self.records.get(message.payload["rank"])
+        return record.snapshot(self.field) if record else None
+
+    def handle_parity_load(self, message: Message) -> None:
+        """Bulk-load recovered content into a fresh (spare) parity bucket."""
+        self.records = {
+            snap["rank"]: ParityRecord.from_snapshot(snap, self.field)
+            for snap in message.payload["records"]
+        }
+        self._key_index = {
+            key: rank
+            for rank, record in self.records.items()
+            for key in record.keys.values()
+        }
+
+    def handle_signature_dump(self, message: Message) -> dict:
+        """Algebraic signatures of every parity record, keyed by rank."""
+        from repro.gf.signatures import signature_vector
+
+        count = message.payload.get("count", 2)
+        return {
+            "index": self.index,
+            "ranks": {
+                rank: signature_vector(
+                    self.field, record.parity_bytes(self.field), count
+                )
+                for rank, record in self.records.items()
+            },
+        }
+
+    def handle_status(self, message: Message) -> dict:
+        return {
+            "group": self.group,
+            "index": self.index,
+            "records": len(self.records),
+            "parity_bytes": int(sum(r.symbols.nbytes for r in self.records.values())),
+        }

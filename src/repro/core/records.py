@@ -1,0 +1,83 @@
+"""Record structures of the LH*RS file.
+
+A *data record* is the application's (key, payload) plus the rank the
+receiving bucket stamped on it.  A *parity record* is one codeword
+symbol's worth of parity for a record group — each of the group's k
+parity buckets holds its own :class:`ParityRecord` for a rank, all
+sharing the same key/length directory but with different parity symbols
+(different generator rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gf.field import GF
+
+
+@dataclass
+class DataRecord:
+    """One application record as stored in a data bucket."""
+
+    key: int
+    payload: bytes
+    rank: int
+
+    def wire_size(self) -> int:
+        """Estimated transfer size (key + rank + payload)."""
+        return 16 + len(self.payload)
+
+
+@dataclass
+class ParityRecord:
+    """Parity state for one record group at one parity bucket.
+
+    ``keys``/``lengths`` map group *positions* (bucket offset within the
+    group, 0..m-1) to the member record's key and current payload byte
+    length — the directory the recovery algorithms read.  ``symbols`` is
+    the parity accumulator for this bucket's generator row.
+    """
+
+    rank: int
+    keys: dict[int, int] = field(default_factory=dict)
+    lengths: dict[int, int] = field(default_factory=dict)
+    symbols: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint8))
+
+    @property
+    def member_count(self) -> int:
+        """How many data records currently belong to this record group."""
+        return len(self.keys)
+
+    @property
+    def max_length(self) -> int:
+        """Longest member payload (the stripe's logical byte length)."""
+        return max(self.lengths.values(), default=0)
+
+    def parity_bytes(self, gf: GF) -> bytes:
+        """The parity payload, symbol-aligned."""
+        return gf.bytes_from_symbols(self.symbols)
+
+    def wire_size(self) -> int:
+        """Estimated transfer size (directory + parity payload)."""
+        return 24 * len(self.keys) + self.symbols.nbytes
+
+    def snapshot(self, gf: GF) -> dict:
+        """Serializable view used by recovery dumps and bulk loads."""
+        return {
+            "rank": self.rank,
+            "keys": dict(self.keys),
+            "lengths": dict(self.lengths),
+            "parity": self.parity_bytes(gf),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict, gf: GF) -> "ParityRecord":
+        """Rebuild a parity record from a :meth:`snapshot` dict."""
+        return cls(
+            rank=snap["rank"],
+            keys=dict(snap["keys"]),
+            lengths=dict(snap["lengths"]),
+            symbols=gf.symbols_from_bytes(snap["parity"]),
+        )

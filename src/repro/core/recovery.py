@@ -1,0 +1,622 @@
+"""Bucket, record and file-state recovery for LH*RS.
+
+All recovery is coordinated from the coordinator's node (the paper's
+design: unavailability reports converge there, spares are allocated
+there).  Every step that would be a network interaction *is* one — dumps
+and loads travel as counted messages — so the experiments read recovery
+costs straight off the accounting windows.
+
+* **Group recovery** (`recover_group`): any ≤ k lost buckets of one
+  bucket group, data and/or parity, rebuilt in one pass: dump the
+  survivors, decode each record group (rank) with the RS codec — the
+  single-data-loss case rides the XOR fast path — and bulk-load fresh
+  servers registered under the lost buckets' logical addresses.
+* **Record recovery** (`recover_record`): the degraded-mode fast path
+  serving one key search while bucket recovery would still be running;
+  also delivers *certain* unsuccessful searches (the parity directory is
+  authoritative about which keys exist).
+* **File-state reconstruction** (`reconstruct_state`): the A6-style
+  procedure computing (n, i) from surviving buckets' levels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.group import data_node, group_buckets, group_of, parity_node, position_of
+from repro.rs.codec import RSCodec
+from repro.sim.network import NodeUnavailable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.coordinator import RSCoordinator
+
+
+class RecoveryError(RuntimeError):
+    """Recovery impossible (too many failures) or inconsistent state.
+
+    The algorithms are designed to fail loudly: multiple failures beyond
+    the availability level block the operation rather than silently
+    losing data.
+    """
+
+
+def parse_node_id(file_id: str, node_id: str):
+    """Classify a node id: ("data", bucket), ("parity", group, index),
+    or None for foreign/client/coordinator nodes."""
+    prefix = f"{file_id}."
+    if not node_id.startswith(prefix):
+        return None
+    rest = node_id[len(prefix):]
+    if rest.startswith("d") and rest[1:].isdigit():
+        return ("data", int(rest[1:]))
+    if rest.startswith("p"):
+        parts = rest[1:].split(".")
+        if len(parts) == 2 and all(p.isdigit() for p in parts):
+            return ("parity", int(parts[0]), int(parts[1]))
+    return None
+
+
+def reconstruct_state(levels: dict[int, int], n0: int) -> tuple[int, int]:
+    """A6-style file-state reconstruction from bucket levels.
+
+    ``levels`` maps surviving bucket numbers to their levels j_m.  The
+    split boundary (j_{m-1} = j_m + 1) pins (n, i) exactly; if it is not
+    visible (all equal levels, or the boundary bucket among the lost),
+    the identity M = n + 2^i N over the largest observed bucket is used.
+    """
+    if not levels:
+        raise RecoveryError("no surviving buckets to reconstruct the state from")
+    i = min(levels.values())
+    for m in sorted(levels):
+        if m - 1 in levels and levels[m - 1] == levels[m] + 1:
+            return m, levels[m]
+    if max(levels.values()) == i:
+        # All levels equal: either n = 0, or the boundary is hidden by a
+        # loss; fall back to the extent identity.
+        total = max(levels) + 1
+        n = total - (1 << i) * n0
+        return max(n, 0), i
+    # Mixed levels but no adjacent boundary visible: the pointer bucket
+    # itself is lost; the first bucket still at level i bounds it.
+    return min(m for m, j in levels.items() if j == i), i
+
+
+class RecoveryManager:
+    """Executes recovery on behalf of an :class:`RSCoordinator`."""
+
+    def __init__(self, coordinator: "RSCoordinator"):
+        self.coordinator = coordinator
+        #: counters for the experiments
+        self.groups_recovered = 0
+        self.records_reconstructed = 0
+        self.degraded_reads_served = 0
+
+    # ------------------------------------------------------------------
+    # shortcuts into the coordinator's world
+    # ------------------------------------------------------------------
+    @property
+    def _file_id(self) -> str:
+        return self.coordinator.file_id
+
+    @property
+    def _net(self):
+        return self.coordinator._net()
+
+    def _codec(self, group: int) -> RSCodec:
+        cfg = self.coordinator.config
+        return RSCodec(
+            m=cfg.group_size,
+            k=self.coordinator.group_level(group),
+            field=self.coordinator.field,
+            kind=cfg.generator,
+        )
+
+    # ------------------------------------------------------------------
+    # entry point: a set of failed nodes
+    # ------------------------------------------------------------------
+    def recover_nodes(self, node_ids: list[str]) -> dict:
+        """Recover every listed failed node, grouping work per bucket group."""
+        per_group: dict[int, dict[str, list[int]]] = {}
+        for node_id in node_ids:
+            parsed = parse_node_id(self._file_id, node_id)
+            if parsed is None:
+                raise RecoveryError(f"cannot recover foreign node {node_id!r}")
+            if parsed[0] == "data":
+                bucket = parsed[1]
+                g = group_of(bucket, self.coordinator.config.group_size)
+                per_group.setdefault(g, {"data": [], "parity": []})["data"].append(bucket)
+            else:
+                _, g, index = parsed
+                per_group.setdefault(g, {"data": [], "parity": []})["parity"].append(index)
+        summary = {"groups": 0, "data_buckets": 0, "parity_buckets": 0, "records": 0}
+        for g, lost in sorted(per_group.items()):
+            stats = self.recover_group(g, lost["data"], lost["parity"])
+            summary["groups"] += 1
+            summary["data_buckets"] += len(lost["data"])
+            summary["parity_buckets"] += len(lost["parity"])
+            summary["records"] += stats["records"]
+        return summary
+
+    # ------------------------------------------------------------------
+    # group recovery
+    # ------------------------------------------------------------------
+    def recover_group(
+        self, group: int, lost_data: list[int], lost_parity: list[int]
+    ) -> dict:
+        """Rebuild the given lost buckets of one group onto spares."""
+        coordinator = self.coordinator
+        cfg = coordinator.config
+        m = cfg.group_size
+        k = coordinator.group_level(group)
+        codec = self._codec(group)
+
+        data_buckets = group_buckets(group, m, coordinator.state.bucket_count)
+        lost_data = sorted(set(lost_data))
+        lost_parity = sorted(set(lost_parity))
+        for bucket in lost_data:
+            if bucket not in data_buckets:
+                raise RecoveryError(
+                    f"bucket {bucket} is not an existing member of group {group}"
+                )
+        for index in lost_parity:
+            if index >= k:
+                raise RecoveryError(
+                    f"parity index {index} beyond group {group}'s level {k}"
+                )
+
+        # Widen to any additional members found unavailable right now.
+        for bucket in data_buckets:
+            if bucket not in lost_data and not self._net.is_available(
+                data_node(self._file_id, bucket)
+            ):
+                lost_data.append(bucket)
+        for index in range(k):
+            if index not in lost_parity and not self._net.is_available(
+                parity_node(self._file_id, group, index)
+            ):
+                lost_parity.append(index)
+        lost_data.sort()
+        lost_parity.sort()
+
+        if len(lost_data) + len(lost_parity) > k:
+            raise RecoveryError(
+                f"group {group}: {len(lost_data)} data + {len(lost_parity)} "
+                f"parity buckets lost exceeds availability level k={k}"
+            )
+
+        survivors_data = [b for b in data_buckets if b not in lost_data]
+        survivors_parity = [i for i in range(k) if i not in lost_parity]
+
+        # ---- collect survivor state (counted messages) ----------------
+        coord_id = coordinator.node_id
+        data_dumps = {
+            b: self._net.call(
+                coord_id, data_node(self._file_id, b), "bucket.dump"
+            )
+            for b in survivors_data
+        }
+        parity_dumps = {
+            i: self._net.call(
+                coord_id, parity_node(self._file_id, group, i), "parity.dump"
+            )
+            for i in survivors_parity
+        }
+
+        # ---- rebuild lost content -------------------------------------
+        if lost_data:
+            if not survivors_parity:
+                raise RecoveryError(
+                    f"group {group}: data lost but no parity bucket survives"
+                )
+            directory = self._merge_directory(parity_dumps)
+        else:
+            directory = self._directory_from_data(data_dumps)
+
+        new_data, new_parity, decoded = self._rebuild(
+            codec, m, directory, data_dumps, parity_dumps,
+            lost_data, lost_parity, group,
+        )
+
+        # ---- install spares under the lost logical addresses ----------
+        for bucket in lost_data:
+            self._install_data_spare(bucket, new_data[bucket])
+        for index in lost_parity:
+            self._install_parity_spare(group, index, new_parity[index])
+
+        self.groups_recovered += 1
+        self.records_reconstructed += decoded
+        return {
+            "group": group,
+            "data_buckets": lost_data,
+            "parity_buckets": lost_parity,
+            "records": decoded,
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_directory(parity_dumps: dict[int, dict]) -> dict[int, dict]:
+        """rank -> {keys, lengths, parity-by-index} from parity dumps.
+
+        Every surviving parity bucket carries the same key/length
+        directory; their parity payloads differ by generator row.
+        """
+        directory: dict[int, dict] = {}
+        for index, dump in parity_dumps.items():
+            for snap in dump["records"]:
+                entry = directory.setdefault(
+                    snap["rank"],
+                    {"keys": snap["keys"], "lengths": snap["lengths"], "parity": {}},
+                )
+                if entry["keys"] != snap["keys"]:  # pragma: no cover
+                    raise RecoveryError(
+                        f"parity directories disagree for rank {snap['rank']}"
+                    )
+                entry["parity"][index] = snap["parity"]
+        return directory
+
+    def _directory_from_data(self, data_dumps: dict[int, dict]) -> dict[int, dict]:
+        """rank -> {keys, lengths, parity:{}} rebuilt from data dumps
+        (used when only parity buckets were lost)."""
+        m = self.coordinator.config.group_size
+        directory: dict[int, dict] = {}
+        for bucket, dump in data_dumps.items():
+            pos = position_of(bucket, m)
+            for key, rank, payload in dump["records"]:
+                entry = directory.setdefault(
+                    rank, {"keys": {}, "lengths": {}, "parity": {}}
+                )
+                entry["keys"][pos] = key
+                entry["lengths"][pos] = len(payload)
+        return directory
+
+    def _rebuild(
+        self,
+        codec: RSCodec,
+        m: int,
+        directory: dict[int, dict],
+        data_dumps: dict[int, dict],
+        parity_dumps: dict[int, dict],
+        lost_data: list[int],
+        lost_parity: list[int],
+        group: int,
+    ) -> tuple[dict[int, dict], dict[int, list], int]:
+        """Decode every affected record group; assemble spare contents."""
+        # Index survivor data records by rank and position.
+        by_rank: dict[int, dict[int, bytes]] = {}
+        for bucket, dump in data_dumps.items():
+            pos = position_of(bucket, m)
+            for key, rank, payload in dump["records"]:
+                by_rank.setdefault(rank, {})[pos] = payload
+
+        lost_positions_data = {position_of(b, m): b for b in lost_data}
+        new_data: dict[int, dict] = {
+            b: {"records": [], "max_rank": 0} for b in lost_data
+        }
+        new_parity: dict[int, list] = {i: [] for i in lost_parity}
+        decoded = 0
+
+        for rank, entry in sorted(directory.items()):
+            keys, lengths = entry["keys"], entry["lengths"]
+            # Which codeword positions need rebuilding for this rank?
+            lost_here = [
+                pos for pos in lost_positions_data if pos in keys
+            ]
+            want = [*lost_here, *(m + i for i in lost_parity)]
+            # Track the lost bucket's counter even when nothing decodes.
+            for pos in lost_positions_data:
+                if pos in keys:
+                    bucket = lost_positions_data[pos]
+                    new_data[bucket]["max_rank"] = max(
+                        new_data[bucket]["max_rank"], rank
+                    )
+            if not want:
+                continue
+
+            shares: dict[int, bytes] = {}
+            for pos in range(m):
+                if pos in lost_positions_data:
+                    continue
+                if pos in keys:
+                    payload = by_rank.get(rank, {}).get(pos)
+                    if payload is None:  # pragma: no cover
+                        raise RecoveryError(
+                            f"survivor bucket at position {pos} lacks rank {rank}"
+                        )
+                    shares[pos] = payload
+                else:
+                    shares[pos] = b""  # known-empty slot: zero payload
+            for index, parity in entry["parity"].items():
+                shares[m + index] = parity
+
+            lengths_map = {pos: lengths[pos] for pos in lost_here}
+            recovered = codec.recover(shares, want, payload_lengths=lengths_map)
+
+            for pos in lost_here:
+                bucket = lost_positions_data[pos]
+                new_data[bucket]["records"].append(
+                    (keys[pos], rank, recovered[pos])
+                )
+                decoded += 1
+            for index in lost_parity:
+                new_parity[index].append(
+                    {
+                        "rank": rank,
+                        "keys": dict(keys),
+                        "lengths": dict(lengths),
+                        "parity": recovered[m + index],
+                    }
+                )
+        return new_data, new_parity, decoded
+
+    # ------------------------------------------------------------------
+    def _install_data_spare(self, bucket: int, content: dict) -> None:
+        coordinator = self.coordinator
+        coordinator.take_spare()
+        node_id = data_node(self._file_id, bucket)
+        self._net.unregister(node_id)
+        level = coordinator.state.level_of(bucket)
+        server = coordinator.make_server(bucket, level)
+        self._net.register(server)
+        used = sorted(rank for _, rank, _ in content["records"])
+        counter = content["max_rank"]
+        free = sorted(set(range(1, counter + 1)) - set(used))
+        self._net.send(
+            coordinator.node_id,
+            node_id,
+            "bucket.load",
+            {
+                "records": content["records"],
+                "counter": counter,
+                "free_ranks": free,
+                "level": level,
+            },
+        )
+
+    def _install_parity_spare(self, group: int, index: int, records: list) -> None:
+        coordinator = self.coordinator
+        coordinator.take_spare()
+        node_id = parity_node(self._file_id, group, index)
+        self._net.unregister(node_id)
+        server = coordinator.make_parity_server(group, index)
+        self._net.register(server)
+        self._net.send(
+            coordinator.node_id, node_id, "parity.load", {"records": records}
+        )
+
+    # ------------------------------------------------------------------
+    # record recovery (degraded reads)
+    # ------------------------------------------------------------------
+    def recover_record(self, key: int) -> tuple[bool, bytes | None]:
+        """Serve one key whose data bucket is unavailable.
+
+        Returns ``(found, payload)``; ``(False, None)`` is *certain* —
+        the parity directory proves the key was never stored.
+        """
+        coordinator = self.coordinator
+        cfg = coordinator.config
+        m = cfg.group_size
+        bucket = coordinator.state.address(key)
+        group = group_of(bucket, m)
+        pos = position_of(bucket, m)
+        k = coordinator.group_level(group)
+        if k == 0:
+            raise RecoveryError(
+                f"bucket {bucket} is unavailable and group {group} has no parity"
+            )
+        codec = self._codec(group)
+        coord_id = coordinator.node_id
+
+        alive_parity = [
+            i for i in range(k)
+            if self._net.is_available(parity_node(self._file_id, group, i))
+        ]
+        if not alive_parity:
+            raise RecoveryError(f"group {group}: no parity bucket available")
+
+        first = alive_parity[0]
+        located = self._net.call(
+            coord_id, parity_node(self._file_id, group, first),
+            "parity.locate", {"key": key},
+        )
+        if located is None:
+            return False, None
+        rank = located["rank"]
+        keys, lengths = located["keys"], located["lengths"]
+
+        shares: dict[int, bytes] = {m + first: located["parity"]}
+        lost = {pos}
+        for p in range(m):
+            if p == pos:
+                continue
+            if p not in keys:
+                shares[p] = b""
+                continue
+            member = data_node(self._file_id, group * m + p)
+            try:
+                reply = self._net.call(
+                    coord_id, member, "record.fetch", {"key": keys[p]}
+                )
+            except NodeUnavailable:
+                lost.add(p)
+                continue
+            if not reply["found"]:  # pragma: no cover - directory is authoritative
+                raise RecoveryError(
+                    f"directory lists key {keys[p]} at bucket {group * m + p} "
+                    "but the bucket denies it"
+                )
+            shares[p] = reply["payload"]
+
+        for index in alive_parity[1:]:
+            if len(shares) >= m:
+                break
+            snap = self._net.call(
+                coord_id, parity_node(self._file_id, group, index),
+                "parity.rank", {"rank": rank},
+            )
+            if snap is not None:
+                shares[m + index] = snap["parity"]
+
+        if len(shares) < m:
+            raise RecoveryError(
+                f"record group ({group}, {rank}): only {len(shares)} shares "
+                f"survive, {m} needed"
+            )
+        recovered = codec.recover(
+            shares, sorted(lost), payload_lengths={pos: lengths[pos]}
+        )
+        self.records_reconstructed += 1
+        self.degraded_reads_served += 1
+        return True, recovered[pos]
+
+    # ------------------------------------------------------------------
+    # integrity auditing via algebraic signatures
+    # ------------------------------------------------------------------
+    def audit_group(self, group: int, signature_count: int = 2) -> dict:
+        """Scrub one bucket group for silent corruption.
+
+        Collects algebraic signatures — constant bytes per record — from
+        every member, then checks the GF-linear relation
+        ``sig(parity_i) = XOR_j λ_ij sig(data_j)`` per record group.
+        With k >= 2 parity rows the mismatch syndromes identify *which*
+        column is corrupt (the error signature e must satisfy
+        ``s_i = λ_ij · e`` for every row i); with k = 1 only the fact of
+        corruption per rank is known.
+
+        Returns ``{"clean", "mismatched_ranks", "suspects"}`` where
+        suspects maps rank -> codeword position (data pos, or m+i for
+        parity) when identified.
+        """
+        coordinator = self.coordinator
+        m = coordinator.config.group_size
+        k = coordinator.group_level(group)
+        field = coordinator.field
+        coord_id = coordinator.node_id
+        from repro.gf.signatures import combine
+
+        buckets = group_buckets(group, m, coordinator.state.bucket_count)
+        data_sigs: dict[int, dict[int, tuple]] = {}
+        for bucket in buckets:
+            dump = self._net.call(
+                coord_id, data_node(self._file_id, bucket),
+                "signature.dump", {"count": signature_count},
+            )
+            data_sigs[dump["position"]] = dump["ranks"]
+        parity_sigs: dict[int, dict[int, tuple]] = {}
+        for index in range(k):
+            dump = self._net.call(
+                coord_id, parity_node(self._file_id, group, index),
+                "signature.dump", {"count": signature_count},
+            )
+            parity_sigs[index] = dump["ranks"]
+
+        rows = {i: coordinator.parity_row(i) for i in range(k)}
+        all_ranks = set()
+        for sigs in parity_sigs.values():
+            all_ranks |= set(sigs)
+        for sigs in data_sigs.values():
+            all_ranks |= set(sigs)
+
+        mismatched: list[int] = []
+        suspects: dict[int, int | None] = {}
+        for rank in sorted(all_ranks):
+            members = {
+                pos: sigs[rank]
+                for pos, sigs in data_sigs.items() if rank in sigs
+            }
+            # Syndromes per parity row and signature symbol.
+            syndromes: dict[int, list[int]] = {}
+            for index in range(k):
+                expected = [
+                    combine(
+                        field,
+                        [rows[index][pos] for pos in members],
+                        [sig[s] for sig in members.values()],
+                    )
+                    for s in range(signature_count)
+                ]
+                actual = list(
+                    parity_sigs[index].get(rank, (0,) * signature_count)
+                )
+                syndromes[index] = [e ^ a for e, a in zip(expected, actual)]
+            if all(all(s == 0 for s in v) for v in syndromes.values()):
+                continue
+            mismatched.append(rank)
+            suspects[rank] = self._identify_corruption(
+                field, rows, syndromes, members, m, k
+            )
+        return {
+            "group": group,
+            "clean": not mismatched,
+            "mismatched_ranks": mismatched,
+            "suspects": suspects,
+        }
+
+    @staticmethod
+    def _identify_corruption(field, rows, syndromes, members, m, k):
+        """Single-column corruption localization from syndromes.
+
+        A corrupted data column j gives s_i = λ_ij · e for every parity
+        row i; a corrupted parity row i0 gives s_i = 0 for i != i0.
+        Needs k >= 2 to discriminate; returns the codeword position or
+        None when ambiguous.
+        """
+        candidates = []
+        if k >= 2:
+            # Parity-column candidates.
+            dirty_rows = [i for i, v in syndromes.items() if any(v)]
+            if len(dirty_rows) == 1:
+                candidates.append(m + dirty_rows[0])
+            else:
+                # Data-column candidates: consistent error signature.
+                for pos in members:
+                    errors = set()
+                    ok = True
+                    for i, vector in syndromes.items():
+                        coefficient = rows[i][pos]
+                        err = tuple(
+                            field.div(s, coefficient) for s in vector
+                        )
+                        errors.add(err)
+                    if len(errors) == 1 and any(next(iter(errors))):
+                        candidates.append(pos)
+        return candidates[0] if len(candidates) == 1 else None
+
+    def audit_file(self, signature_count: int = 2) -> dict:
+        """Scrub every group; returns {"clean", "reports"}."""
+        reports = [
+            self.audit_group(group, signature_count)
+            for group in sorted(self.coordinator.group_levels)
+        ]
+        return {
+            "clean": all(r["clean"] for r in reports),
+            "reports": [r for r in reports if not r["clean"]],
+        }
+
+    def repair_corruption(self, group: int, suspect_position: int) -> dict:
+        """Rebuild a corrupted column from the clean remainder.
+
+        The suspect is treated as a loss: its current (corrupt) content
+        is excluded and re-decoded from the other members — the scrub-
+        and-repair loop of the signature literature.
+        """
+        m = self.coordinator.config.group_size
+        if suspect_position < m:
+            bucket = group * m + suspect_position
+            return self.recover_group(group, [bucket], [])
+        return self.recover_group(group, [], [suspect_position - m])
+
+    # ------------------------------------------------------------------
+    # file-state recovery (A6)
+    # ------------------------------------------------------------------
+    def recover_file_state(self) -> tuple[int, int]:
+        """Reconstruct (n, i) from the surviving data buckets' levels."""
+        coordinator = self.coordinator
+        targets = [
+            data_node(self._file_id, b)
+            for b in coordinator.state.buckets()
+        ]
+        replies, _ = self._net.multicast(
+            coordinator.node_id, targets, "status"
+        )
+        levels = {r["bucket"]: r["level"] for r in replies.values()}
+        return reconstruct_state(levels, coordinator.state.n0)

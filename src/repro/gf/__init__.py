@@ -1,0 +1,24 @@
+"""Galois field arithmetic over GF(2^w).
+
+This subpackage is the lowest substrate of the LH*RS reproduction: the
+Reed-Solomon parity calculus of the paper is symbol-wise arithmetic over a
+finite field GF(2^w).  The paper's implementation uses log/antilog tables;
+we do the same, vectorized with numpy so whole record payloads are encoded
+per call.
+
+Public API
+----------
+``GF(width)``
+    A field object for ``w`` in {4, 8, 16}; exposes scalar arithmetic
+    (``add``/``mul``/``div``/``inv``/``pow``) and vectorized payload
+    arithmetic (``mul_bytes``/``add_bytes``/``scale_accumulate``).
+``GFMatrix``
+    Dense matrices over a ``GF``; multiplication, Gauss-Jordan inversion,
+    Vandermonde and Cauchy constructions, MDS checks.
+"""
+
+from repro.gf.field import GF
+from repro.gf.matrix import GFMatrix
+from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_tables
+
+__all__ = ["GF", "GFMatrix", "PRIMITIVE_POLYNOMIALS", "build_tables"]

@@ -1,0 +1,249 @@
+"""The GF(2^w) field object: scalar and vectorized payload arithmetic.
+
+Record payloads in LH*RS are byte strings.  The RS calculus views a payload
+as a vector of field symbols: one byte per symbol for GF(2^8), two bytes
+(little-endian) for GF(2^16), and two symbols per byte for GF(2^4).  All
+per-payload operations are numpy-vectorized; the per-call overhead is paid
+once per record, not once per symbol, mirroring the table-driven C codec
+of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_tables
+
+_SYMBOL_DTYPES = {4: np.uint8, 8: np.uint8, 16: np.uint16}
+
+
+class GF:
+    """Finite field GF(2^width) for width in {4, 8, 16}.
+
+    Instances are cheap, stateless beyond cached tables, and safe to share.
+    Elements are plain Python ints (or numpy integer arrays) in
+    ``[0, 2^width)``.
+    """
+
+    __slots__ = ("width", "order", "group_order", "_exp", "_log", "_mul_rows")
+
+    def __init__(self, width: int = 8):
+        if width not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(
+                f"unsupported field width {width!r}; supported: "
+                f"{sorted(PRIMITIVE_POLYNOMIALS)}"
+            )
+        self.width = width
+        self.order = 1 << width
+        self.group_order = self.order - 1
+        self._exp, self._log = build_tables(width)
+        # Per-scalar full multiplication rows (lazy); only worthwhile for
+        # small fields where a row is tiny (16 or 256 entries).
+        self._mul_rows: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # scalar arithmetic
+    # ------------------------------------------------------------------
+    def check(self, a: int) -> int:
+        """Validate that ``a`` is a field element and return it."""
+        if not 0 <= a < self.order:
+            raise ValueError(f"{a!r} is not an element of GF(2^{self.width})")
+        return a
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR); identical to subtraction."""
+        return self.check(a) ^ self.check(b)
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        self.check(a)
+        self.check(b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ``ZeroDivisionError`` on b=0."""
+        self.check(a)
+        self.check(b)
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^w)")
+        if a == 0:
+            return 0
+        return int(self._exp[self._log[a] - self._log[b] + self.group_order])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ``ZeroDivisionError`` on a=0."""
+        self.check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^w)")
+        return int(self._exp[self.group_order - self._log[a]])
+
+    def pow(self, a: int, e: int) -> int:
+        """``a`` raised to integer power ``e`` (e may be negative)."""
+        self.check(a)
+        if a == 0:
+            if e < 0:
+                raise ZeroDivisionError("0 has no negative powers in GF(2^w)")
+            return 0 if e else 1
+        return int(self._exp[(self._log[a] * e) % self.group_order])
+
+    def exp(self, e: int) -> int:
+        """``alpha^e`` for the field generator alpha."""
+        return int(self._exp[e % self.group_order])
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha; raises on a=0."""
+        self.check(a)
+        if a == 0:
+            raise ValueError("log(0) is undefined in GF(2^w)")
+        return int(self._log[a])
+
+    # ------------------------------------------------------------------
+    # vectorized symbol arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def symbol_dtype(self) -> type:
+        """numpy dtype used for symbol arrays of this field."""
+        return _SYMBOL_DTYPES[self.width]
+
+    def mul_row(self, scalar: int) -> np.ndarray:
+        """Full product row ``[scalar * x for x in field]`` (w <= 8 only).
+
+        Cached per scalar; turns scalar-vector multiplication into a single
+        fancy-indexing lookup, the fastest path for GF(2^8) payload work.
+        """
+        self.check(scalar)
+        if self.width > 8:
+            raise ValueError("mul_row is only sensible for widths <= 8")
+        row = self._mul_rows.get(scalar)
+        if row is None:
+            xs = np.arange(self.order, dtype=np.int64)
+            row = self._mul_symbols_log(xs, scalar).astype(self.symbol_dtype)
+            self._mul_rows[scalar] = row
+        return row
+
+    def _mul_symbols_log(self, symbols: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply a symbol array by a scalar via log tables (any width)."""
+        if scalar == 0:
+            return np.zeros_like(symbols)
+        # log[0] is a huge sentinel; substitute 0 to keep indexing in
+        # bounds, then mask products of zero inputs back to zero.
+        safe = np.where(symbols == 0, 0, self._log[symbols])
+        out = self._exp[safe + self._log[scalar]]
+        return np.where(symbols == 0, 0, out)
+
+    def mul_symbols(self, symbols: np.ndarray, scalar: int) -> np.ndarray:
+        """Return ``scalar * symbols`` as a new symbol-dtype array."""
+        self.check(scalar)
+        symbols = np.asarray(symbols)
+        if scalar == 0:
+            return np.zeros(symbols.shape, dtype=self.symbol_dtype)
+        if scalar == 1:
+            return symbols.astype(self.symbol_dtype, copy=True)
+        if self.width <= 8:
+            return self.mul_row(scalar)[symbols]
+        logs = self._log[symbols]
+        # Replace the zero sentinel with 0 before the add so indexing stays
+        # in-bounds, then mask products of zeros back to zero.
+        safe = np.where(symbols == 0, 0, logs)
+        out = self._exp[safe + self._log[scalar]]
+        return np.where(symbols == 0, 0, out).astype(self.symbol_dtype)
+
+    # ------------------------------------------------------------------
+    # byte payload arithmetic
+    # ------------------------------------------------------------------
+    def symbols_per_byte(self) -> float:
+        """How many field symbols one payload byte carries."""
+        return 8.0 / self.width
+
+    def symbols_from_bytes(self, data: bytes, length: int | None = None) -> np.ndarray:
+        """View ``data`` as a symbol array, zero-padded to ``length`` symbols.
+
+        GF(2^16) payloads of odd byte length are padded with a zero byte;
+        GF(2^4) bytes split into (low, high) nibble pairs.
+        """
+        raw = np.frombuffer(data, dtype=np.uint8)
+        if self.width == 8:
+            symbols = raw
+        elif self.width == 16:
+            if len(raw) % 2:
+                raw = np.concatenate([raw, np.zeros(1, dtype=np.uint8)])
+            symbols = raw.view("<u2")
+        else:  # width == 4: two symbols per byte, low nibble first
+            symbols = np.empty(2 * len(raw), dtype=np.uint8)
+            symbols[0::2] = raw & 0x0F
+            symbols[1::2] = raw >> 4
+        if length is not None:
+            if length < len(symbols):
+                raise ValueError("target length shorter than payload")
+            padded = np.zeros(length, dtype=self.symbol_dtype)
+            padded[: len(symbols)] = symbols
+            return padded
+        return symbols.astype(self.symbol_dtype, copy=True)
+
+    def bytes_from_symbols(self, symbols: np.ndarray, byte_length: int | None = None) -> bytes:
+        """Inverse of :meth:`symbols_from_bytes`, truncated to ``byte_length``."""
+        symbols = np.ascontiguousarray(symbols, dtype=self.symbol_dtype)
+        if self.width == 8:
+            raw = symbols.view(np.uint8)
+        elif self.width == 16:
+            raw = symbols.astype("<u2").view(np.uint8)
+        else:
+            if len(symbols) % 2:
+                symbols = np.concatenate(
+                    [symbols, np.zeros(1, dtype=self.symbol_dtype)]
+                )
+            raw = (symbols[0::2] | (symbols[1::2] << 4)).astype(np.uint8)
+        data = raw.tobytes()
+        if byte_length is not None:
+            data = data[:byte_length]
+        return data
+
+    def symbol_length_for_bytes(self, nbytes: int) -> int:
+        """Number of symbols needed to carry ``nbytes`` payload bytes."""
+        if self.width == 8:
+            return nbytes
+        if self.width == 16:
+            return (nbytes + 1) // 2
+        return 2 * nbytes
+
+    def add_bytes(self, a: bytes, b: bytes) -> bytes:
+        """XOR two payloads, the shorter zero-padded (paper's padding rule)."""
+        if len(a) < len(b):
+            a, b = b, a
+        out = bytearray(a)
+        for i, byte in enumerate(b):
+            out[i] ^= byte
+        return bytes(out)
+
+    def scale_accumulate(self, acc: np.ndarray, scalar: int, data: bytes) -> None:
+        """In-place ``acc ^= scalar * symbols(data)`` (the Δ-record fold).
+
+        ``acc`` must be a symbol array at least as long as the payload.
+        This is the hot inner operation of parity maintenance: one call per
+        (record, parity bucket) pair.
+        """
+        if scalar == 0 or not data:
+            return
+        symbols = self.symbols_from_bytes(data)
+        if len(symbols) > len(acc):
+            raise ValueError(
+                f"payload of {len(symbols)} symbols exceeds accumulator "
+                f"of {len(acc)}"
+            )
+        if scalar == 1:
+            acc[: len(symbols)] ^= symbols
+        else:
+            acc[: len(symbols)] ^= self.mul_symbols(symbols, scalar)
+
+    def __repr__(self) -> str:
+        return f"GF(2^{self.width})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("GF", self.width))

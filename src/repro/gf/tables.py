@@ -1,0 +1,67 @@
+"""Log/antilog table construction for GF(2^w).
+
+The multiplicative group of GF(2^w) is cyclic of order 2^w - 1, generated
+by alpha = x (the class of the polynomial x modulo the primitive
+polynomial).  We tabulate
+
+* ``exp[i] = alpha^i``   for i in [0, 2^w - 2]  (duplicated once so that
+  ``exp[log[a] + log[b]]`` needs no modulo when both logs are in range), and
+* ``log[alpha^i] = i``   with ``log[0]`` left as a sentinel.
+
+These tables make multiplication two lookups and one addition, which is
+how the paper's C implementation works and what we vectorize with numpy.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Primitive polynomials (with the x^w term included) for the supported
+#: widths.  These are the conventional choices used by most RS codecs.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    4: 0x13,      # x^4 + x + 1
+    8: 0x11D,     # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+#: Sentinel stored at ``log[0]``; any arithmetic that would consult it is a
+#: bug, so it is chosen large enough to index out of the exp table's valid
+#: doubled range and fail loudly in tests.
+LOG_ZERO_SENTINEL = 1 << 30
+
+
+@lru_cache(maxsize=None)
+def build_tables(width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(exp, log)`` tables for GF(2^width).
+
+    ``exp`` has length ``2 * (2^w - 1)`` (the cycle repeated twice) so that
+    products of two valid logs index it directly.  ``log`` has length
+    ``2^w`` with ``log[0] = LOG_ZERO_SENTINEL``.
+
+    Raises ``ValueError`` for unsupported widths.
+    """
+    if width not in PRIMITIVE_POLYNOMIALS:
+        raise ValueError(
+            f"unsupported field width {width!r}; supported: "
+            f"{sorted(PRIMITIVE_POLYNOMIALS)}"
+        )
+    poly = PRIMITIVE_POLYNOMIALS[width]
+    order = 1 << width
+    group = order - 1
+
+    exp = np.zeros(2 * group, dtype=np.int64)
+    log = np.full(order, LOG_ZERO_SENTINEL, dtype=np.int64)
+
+    value = 1
+    for i in range(group):
+        exp[i] = value
+        log[value] = i
+        value <<= 1
+        if value & order:
+            value ^= poly
+    if value != 1:  # pragma: no cover - sanity check on the polynomial
+        raise AssertionError(f"polynomial {poly:#x} is not primitive for w={width}")
+    exp[group:] = exp[:group]
+    return exp, log

@@ -1,0 +1,37 @@
+"""Linear hashing (LH / LH*) addressing mathematics.
+
+This subpackage holds the *algorithmic* heart of the LH* family, free of
+any networking: the dynamic hash family ``h_l(c) = c mod 2^l N``, the LH*
+client addressing algorithm (A1), the server address verification and
+forwarding rule (A2), the client image adjustment (A3), the file state
+(n, i) and its split sequence, and the bucket record container.
+
+The distributed layers (`repro.sdds`, `repro.core`) call into these
+functions; the unit tests here pin the published correctness properties
+(two-hop forwarding bound, image convergence, split determinism).
+"""
+
+from repro.lh.addressing import (
+    adjust_image,
+    bucket_level,
+    h,
+    lh_address,
+    server_action,
+    split_records,
+)
+from repro.lh.bucket import Bucket, BucketFullError
+from repro.lh.image import ClientImage
+from repro.lh.state import FileState
+
+__all__ = [
+    "h",
+    "lh_address",
+    "server_action",
+    "adjust_image",
+    "bucket_level",
+    "split_records",
+    "Bucket",
+    "BucketFullError",
+    "ClientImage",
+    "FileState",
+]

@@ -1,0 +1,151 @@
+"""LH* addressing algorithms A1, A2, A3 and the split partition rule.
+
+Notation follows the LH* papers: a file that started with N buckets has
+*file level* i and *split pointer* n; bucket m carries *bucket level*
+j_m.  The linear hash family is ``h_l(c) = c mod (2^l * N)``.
+
+* (A1) — client/coordinator addressing from a file state or image:
+  ``a = h_i(c); if a < n: a = h_{i+1}(c)``.
+* (A2) — server-side verification: bucket ``a`` receiving key ``c``
+  accepts iff ``h_j(c) == a``; otherwise it forwards to
+  ``a' = h_j(c)`` unless ``a'' = h_{j-1}(c)`` satisfies
+  ``a < a'' < a'``, in which case it forwards to ``a''``.  This rule
+  guarantees delivery in at most two hops regardless of how stale the
+  sender's image is.
+* (A3) — image adjustment on an IAM carrying the level ``j`` of the
+  correct server ``a``: ``if j > i': i' = j - 1; n' = a + 1; if
+  n' >= 2^{i'} N: n' = 0; i' += 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TypeVar
+
+K = TypeVar("K")
+
+
+def h(level: int, key: int, n0: int = 1) -> int:
+    """The linear-hash function ``h_level(key) = key mod (2^level * n0)``."""
+    if level < 0:
+        raise ValueError("hash level cannot be negative")
+    if n0 < 1:
+        raise ValueError("initial bucket count n0 must be >= 1")
+    return key % ((1 << level) * n0)
+
+
+def lh_address(key: int, n: int, i: int, n0: int = 1) -> int:
+    """Algorithm (A1): the address for ``key`` under file state (n, i)."""
+    a = h(i, key, n0)
+    if a < n:
+        a = h(i + 1, key, n0)
+    return a
+
+
+def server_action(key: int, m: int, j: int, n0: int = 1) -> tuple[bool, int | None]:
+    """Algorithm (A2): what bucket ``m`` at level ``j`` does with ``key``.
+
+    Returns ``(accept, forward_to)``: ``(True, None)`` when the key
+    belongs here, else ``(False, address)`` of the next hop.
+    """
+    a_prime = h(j, key, n0)
+    if a_prime == m:
+        return True, None
+    a_second = h(j - 1, key, n0) if j > 0 else a_prime
+    if m < a_second < a_prime:
+        a_prime = a_second
+    return False, a_prime
+
+
+def adjust_image(i_image: int, n_image: int, j_server: int, a_server: int,
+                 n0: int = 1) -> tuple[int, int]:
+    """Algorithm (A3): new client image ``(i', n')`` after an IAM.
+
+    ``j_server`` and ``a_server`` are the level and address of the server
+    that finally accepted the forwarded request.  The image moves to the
+    *minimal file state consistent with bucket a having level j* — i.e.
+    the split creating (or re-levelling) bucket ``a`` is the most recent
+    one the client can infer.  Two consequences the protocols rely on:
+
+    * the image never points past the real file, so a client never
+      addresses a nonexistent bucket in steady state (the coordinator
+      routing fallback still exists for servers lost to failures), and
+    * the same addressing error cannot repeat, giving expected O(log M)
+      IAMs for a fresh client under a random key workload.
+
+    The compressed rendering of A3 in the papers ("n' = a+1; if n' >=
+    2^i' then n' = 0, i' += 1") over-approximates for new-round buckets
+    (a >= 2^{i'} N), leaving images that claim buckets not yet created;
+    the minimal-state form used here infers n' = a - 2^{i'} N + 1 for
+    those, which is exactly the split pointer position their creation
+    proves.
+    """
+    if j_server <= i_image:
+        return i_image, n_image
+    i_new = j_server - 1
+    n_new = a_server + 1
+    boundary = (1 << i_new) * n0
+    if n_new > boundary:
+        # a_server is a new-round bucket, split off a_server - boundary;
+        # the pointer is only known to have passed that source bucket.
+        n_new -= boundary
+    if n_new >= boundary:
+        # The whole round is complete; the next one has begun.
+        n_new = 0
+        i_new += 1
+    # Never regress: keep whichever image describes the larger file.
+    if n_new + (1 << i_new) * n0 <= n_image + (1 << i_image) * n0:
+        return i_image, n_image
+    return i_new, n_new
+
+
+def bucket_level(m: int, n: int, i: int, n0: int = 1) -> int:
+    """Level j_m of bucket m under file state (n, i).
+
+    Buckets already split this round (m < n) and their split images
+    (m >= 2^i N) are at level i + 1; the rest are still at level i.
+    """
+    if m < 0:
+        raise ValueError("bucket numbers are non-negative")
+    boundary = (1 << i) * n0
+    if m >= boundary + n:
+        raise ValueError(f"bucket {m} does not exist under state (n={n}, i={i})")
+    if m < n or m >= boundary:
+        return i + 1
+    return i
+
+
+def split_records(
+    keys: Iterable[K],
+    key_of, m: int, j: int, n0: int = 1,
+) -> tuple[list[K], list[K]]:
+    """Partition bucket ``m``'s records for its split to level ``j + 1``.
+
+    ``key_of`` maps an item to its integer key.  Returns
+    ``(stay, move)``: items hashing to ``m`` under ``h_{j+1}`` stay,
+    the rest (which hash to ``m + 2^j N``) move to the new bucket.
+    """
+    stay: list[K] = []
+    move: list[K] = []
+    target = m + (1 << j) * n0
+    for item in keys:
+        a = h(j + 1, key_of(item), n0)
+        if a == m:
+            stay.append(item)
+        elif a == target:
+            move.append(item)
+        else:  # pragma: no cover - violated only by corrupted buckets
+            raise AssertionError(
+                f"key {key_of(item)} in bucket {m} (level {j}) rehashes to "
+                f"{a}, neither {m} nor {target}"
+            )
+    return stay, move
+
+
+def max_bucket(n: int, i: int, n0: int = 1) -> int:
+    """Largest bucket number M - 1 in a file with state (n, i).
+
+    The LH*g file-state recovery algorithm (A6) uses the identity
+    ``M = n + N * 2^i`` (equation E1 of the paper family).
+    """
+    return n + (1 << i) * n0 - 1

@@ -1,0 +1,72 @@
+"""The bucket record container shared by every scheme in this repo.
+
+A bucket stores records as an insertion-ordered ``{key: value}`` map and
+carries its LH* bucket level ``j``.  Capacity is a *soft* limit: LH*
+buckets accept the overflowing insert and report the overflow to the
+coordinator, which decides whether to split (possibly a different
+bucket), so a bucket can transiently exceed ``capacity``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+
+class BucketFullError(RuntimeError):
+    """Raised only by fixed-capacity variants that refuse overflow."""
+
+
+class Bucket:
+    """An LH* bucket: a bounded record store at one server."""
+
+    __slots__ = ("number", "level", "capacity", "records")
+
+    def __init__(self, number: int, level: int, capacity: int):
+        if capacity < 1:
+            raise ValueError("bucket capacity must be >= 1")
+        self.number = number
+        self.level = level
+        self.capacity = capacity
+        self.records: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: Any) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        fresh = key not in self.records
+        self.records[key] = value
+        return fresh
+
+    def get(self, key: int) -> Any:
+        """Value for ``key``; raises ``KeyError`` when absent."""
+        return self.records[key]
+
+    def delete(self, key: int) -> Any:
+        """Remove and return the value; raises ``KeyError`` when absent."""
+        return self.records.pop(key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    @property
+    def overflowing(self) -> bool:
+        """True when the bucket holds more than its capacity."""
+        return len(self.records) > self.capacity
+
+    @property
+    def load_factor(self) -> float:
+        """Occupancy relative to capacity."""
+        return len(self.records) / self.capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"Bucket(number={self.number}, level={self.level}, "
+            f"{len(self.records)}/{self.capacity} records)"
+        )

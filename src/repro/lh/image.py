@@ -1,0 +1,49 @@
+"""The client's private image (n', i') of the LH* file state.
+
+A new client starts with the worst image (n' = i' = 0, for the initial
+bucket count it was configured with) and converges through IAMs; the LH*
+result is that O(log M) addressing errors suffice for a fresh client, and
+in steady state key operations average one message plus the reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lh import addressing
+
+
+@dataclass
+class ClientImage:
+    """Mutable client-side view of an LH* file's state."""
+
+    n0: int = 1
+    n: int = 0
+    i: int = 0
+    adjustments: int = 0
+
+    def address(self, key: int) -> int:
+        """Where this client *believes* ``key`` lives (A1 on the image)."""
+        return addressing.lh_address(key, self.n, self.i, self.n0)
+
+    def adjust(self, j_server: int, a_server: int) -> bool:
+        """Apply an IAM (Algorithm A3); returns True if the image moved."""
+        new_i, new_n = addressing.adjust_image(
+            self.i, self.n, j_server, a_server, self.n0
+        )
+        changed = (new_i, new_n) != (self.i, self.n)
+        if changed:
+            self.i, self.n = new_i, new_n
+            self.adjustments += 1
+        return changed
+
+    @property
+    def bucket_count_estimate(self) -> int:
+        """How many buckets the client thinks exist."""
+        return self.n + (1 << self.i) * self.n0
+
+    def reset(self) -> None:
+        """Forget everything (models a restarted client)."""
+        self.n = 0
+        self.i = 0
+        self.adjustments = 0

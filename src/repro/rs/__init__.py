@@ -1,0 +1,36 @@
+"""Reed-Solomon erasure coding for LH*RS record groups.
+
+A record group with up to ``m`` data records and ``k`` parity records is
+one codeword of a systematic (m+k, m) MDS code, applied symbol-wise over
+GF(2^w) across the record payloads.  The generator's parity submatrix P
+has an all-ones first row and first column:
+
+* parity bucket 0 computes plain XOR parity (so 1-availability costs what
+  the XOR-based predecessor scheme LH*g charges), and
+* a record that is alone in its group is stored verbatim in every parity
+  record's payload slot.
+
+Public API
+----------
+``RSCodec(m, k, field)``
+    Encode a group, apply Δ-record updates, and recover any ≤ k lost
+    members.
+``parity_matrix`` / ``generator_matrix``
+    The underlying MDS constructions (normalized Cauchy by default,
+    systematic Vandermonde available for the ablation experiment).
+"""
+
+from repro.rs.codec import RSCodec
+from repro.rs.decoder import DecodeError, decode_symbols
+from repro.rs.encoder import delta_payload, encode_symbols
+from repro.rs.generator import generator_matrix, parity_matrix
+
+__all__ = [
+    "RSCodec",
+    "DecodeError",
+    "decode_symbols",
+    "encode_symbols",
+    "delta_payload",
+    "generator_matrix",
+    "parity_matrix",
+]

@@ -1,0 +1,85 @@
+"""Stripe encoding and Δ-record computation.
+
+Two styles of encoding exist in an LH*RS file and both are here:
+
+* **Full-stripe encoding** (:func:`encode_symbols`) computes all k parity
+  payloads of a record group from scratch — used when a parity bucket is
+  (re)built, and by tests as the ground truth for incremental updates.
+* **Δ-record folding** (:func:`fold_delta`) is the steady-state path: an
+  insert/update/delete at group position j ships ``Δ = old XOR new`` to
+  each parity bucket, which folds ``P[i][j] * Δ`` into its stored parity.
+  For parity bucket 0, and for position 0 at every parity bucket, the
+  coefficient is one and the fold degenerates to plain XOR.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.gf.field import GF
+from repro.gf.matrix import GFMatrix
+
+
+def delta_payload(old: bytes, new: bytes) -> bytes:
+    """The Δ-record payload ``old XOR new`` (shorter side zero-padded).
+
+    An insert uses ``old = b""``, a delete uses ``new = b""``; in both
+    cases the Δ degenerates to the record payload itself, as in the paper.
+    """
+    if len(old) < len(new):
+        old, new = new, old
+    out = bytearray(old)
+    for i, byte in enumerate(new):
+        out[i] ^= byte
+    return bytes(out)
+
+
+def encode_symbols(
+    field: GF,
+    parity: GFMatrix,
+    payloads: Sequence[bytes | None],
+    symbol_length: int,
+) -> list[np.ndarray]:
+    """Compute all parity symbol arrays for one record group.
+
+    ``payloads[j]`` is the payload of the data record at group position j,
+    or ``None`` for an empty slot.  All parity arrays have
+    ``symbol_length`` symbols (callers size it to the longest payload).
+    """
+    if len(payloads) > parity.cols:
+        raise ValueError(
+            f"{len(payloads)} payloads exceed the m={parity.cols} group slots"
+        )
+    out = [np.zeros(symbol_length, dtype=field.symbol_dtype) for _ in range(parity.rows)]
+    for j, payload in enumerate(payloads):
+        if not payload:
+            continue
+        if field.symbol_length_for_bytes(len(payload)) > symbol_length:
+            raise ValueError("payload longer than the stripe symbol length")
+        for i in range(parity.rows):
+            field.scale_accumulate(out[i], parity[i, j], payload)
+    return out
+
+
+def fold_delta(
+    field: GF,
+    acc: np.ndarray,
+    coefficient: int,
+    delta: bytes,
+) -> np.ndarray:
+    """Fold one Δ-record into a stored parity array, growing it if needed.
+
+    Returns the (possibly reallocated) accumulator; parity buckets store
+    the return value.  Growth happens when a record longer than any seen
+    so far joins the group — the paper's zero-padding rule means existing
+    parity symbols beyond the old length are implicitly zero.
+    """
+    needed = field.symbol_length_for_bytes(len(delta))
+    if needed > len(acc):
+        grown = np.zeros(needed, dtype=field.symbol_dtype)
+        grown[: len(acc)] = acc
+        acc = grown
+    field.scale_accumulate(acc, coefficient, delta)
+    return acc

@@ -1,0 +1,80 @@
+"""MDS generator construction for the LH*RS parity calculus.
+
+Two constructions are provided:
+
+``cauchy`` (default)
+    A k x m Cauchy matrix, row- and column-normalized so that the first
+    row *and* the first column are all ones.  Row/column scaling by
+    nonzero constants preserves the Cauchy property that **every square
+    submatrix is nonsingular**, which is exactly what makes any ≤ k
+    erasures per record group recoverable.  The all-ones first row makes
+    parity bucket 0 pure XOR; the all-ones first column makes the first
+    data position's contribution to every parity bucket a free XOR.
+
+``vandermonde``
+    The classic construction: column-reduce an (m+k) x m Vandermonde so
+    its top block is the identity; the bottom k x m block is MDS but has
+    no all-ones structure.  Kept as the ablation arm for experiment E13.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.gf.field import GF
+from repro.gf.matrix import GFMatrix
+
+KINDS = ("cauchy", "vandermonde")
+
+
+@lru_cache(maxsize=None)
+def _parity_matrix_cached(width: int, m: int, k: int, kind: str) -> GFMatrix:
+    field = GF(width)
+    if m < 1 or k < 0:
+        raise ValueError("need m >= 1 data positions and k >= 0 parity positions")
+    if m + k > field.order:
+        raise ValueError(
+            f"m + k = {m + k} exceeds the {field.order} elements of "
+            f"GF(2^{width}); use a wider field"
+        )
+    if kind == "cauchy":
+        ys = list(range(m))
+        xs = list(range(m, m + k))
+        p = GFMatrix.cauchy(field, xs, ys)
+        # Normalize: first scale each row so column 0 becomes all ones,
+        # then scale each column so row 0 becomes all ones.  Column 0 is
+        # scaled by inv(1) = 1, so both normalizations hold at once.
+        for i in range(k):
+            p = p.scale_row(i, field.inv(p[i, 0]))
+        for j in range(m):
+            p = p.scale_col(j, field.inv(p[0, j]))
+        return p
+    if kind == "vandermonde":
+        tall = GFMatrix.vandermonde(field, m + k, m).systematize()
+        return tall.take_rows(range(m, m + k))
+    raise ValueError(f"unknown generator kind {kind!r}; choose from {KINDS}")
+
+
+def parity_matrix(field: GF, m: int, k: int, kind: str = "cauchy") -> GFMatrix:
+    """The k x m parity coefficient matrix P.
+
+    Parity record i of a group holds, symbol-wise,
+    ``p_i = XOR_j P[i][j] * d_j`` where ``d_j`` is the payload of the data
+    record at group position j.  Results are cached per (field, m, k,
+    kind) since the matrices are reused for every record group in a file.
+    """
+    return _parity_matrix_cached(field.width, m, k, kind)
+
+
+def generator_matrix(field: GF, m: int, k: int, kind: str = "cauchy") -> GFMatrix:
+    """The stacked (m+k) x m generator G = [I_m ; P].
+
+    ``codeword = G @ data``: rows 0..m-1 are the data symbols themselves,
+    rows m..m+k-1 the parity symbols.  Decoding selects any m available
+    rows and inverts the square system.
+    """
+    identity = GFMatrix.identity(field, m).data
+    parity = parity_matrix(field, m, k, kind).data
+    return GFMatrix(field, np.vstack([identity, parity]))

@@ -1,0 +1,32 @@
+"""LH*: the Scalable Distributed Data Structure substrate.
+
+This subpackage realizes the LH* scheme on the simulator: data-bucket
+servers that verify and forward requests (A2), a coordinator owning the
+file state and the split sequence, clients with private images corrected
+by IAMs (A3), and scans with deterministic or probabilistic termination.
+
+LH*RS (`repro.core`) extends these classes; the baselines reuse them.
+
+Naming: a file with id ``F`` places its coordinator at node ``F.coord``,
+data bucket m at node ``F.d<m>``, and clients at ``F.client<n>``.  When a
+bucket is recovered onto a hot spare, the spare assumes the failed
+bucket's logical node id — physical re-addressing after recovery (which
+the paper shows costs a few extra messages, once, via coordinator
+forwarding and IAMs) is modelled as transparent.  DESIGN.md records this
+substitution.
+"""
+
+from repro.sdds.client import Client, ScanResult, SearchOutcome
+from repro.sdds.coordinator import Coordinator, SplitPolicy
+from repro.sdds.file import LHStarFile
+from repro.sdds.server import DataServer
+
+__all__ = [
+    "Client",
+    "SearchOutcome",
+    "ScanResult",
+    "Coordinator",
+    "SplitPolicy",
+    "DataServer",
+    "LHStarFile",
+]

@@ -1,0 +1,226 @@
+"""The LH* client: key operations and scans from a private image.
+
+Clients never see the true file state.  They address with their image
+(A1), servers fix misdirected requests (A2), and IAMs pull the image
+forward (A3).  Because simulator delivery is synchronous, a client method
+returns after every consequence of its request — forwards, IAM, reply —
+has been delivered, so results can be read from the client's buffers.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.lh.image import ClientImage
+from repro.sim.messages import Message
+from repro.sim.network import NodeUnavailable, UnknownNode
+from repro.sim.node import Node
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one key search."""
+
+    key: int
+    found: bool
+    value: Any = None
+
+
+@dataclass
+class ScanResult:
+    """Result of one scan (parallel non-key search)."""
+
+    records: list[tuple[int, Any]]
+    complete: bool
+    buckets_heard: int
+    expected_buckets: int | None = None
+    missing: list[int] = field(default_factory=list)
+
+
+class Client(Node):
+    """An application's access point to one LH* file."""
+
+    def __init__(self, node_id: str, file_id: str, n0: int = 1):
+        super().__init__(node_id)
+        self.file_id = file_id
+        self.image = ClientImage(n0=n0)
+        self._results: dict[int, dict] = {}
+        self._scan_replies: dict[int, list[dict]] = {}
+        self._request_counter = 0
+        self.last_error: dict | None = None
+
+    # ------------------------------------------------------------------
+    def _data_node(self, m: int) -> str:
+        return f"{self.file_id}.d{m}"
+
+    def _next_request(self) -> int:
+        self._request_counter += 1
+        return self._request_counter
+
+    def _send_op(self, kind: str, payload: dict) -> None:
+        """Address by image; fall back to the coordinator when needed.
+
+        A3 images can point slightly past the real file: the node the
+        client addresses then does not carry the bucket (in a deployment
+        it is a hot spare or repurposed server).  Per the protocol, the
+        request is resent to the coordinator, which delivers it from the
+        true file state; the accepting server sends an IAM.  The same
+        fallback serves when the addressed server is unavailable —
+        subclasses decide what else to do then (LH*RS starts recovery).
+        """
+        key = payload["key"]
+        if (
+            not isinstance(key, numbers.Integral)
+            or isinstance(key, bool)
+            or key < 0
+        ):
+            raise ValueError(
+                f"keys are non-negative integers (linear hashing domain); "
+                f"got {key!r}"
+            )
+        target = self._data_node(self.image.address(key))
+        try:
+            self.send(target, kind, payload)
+        except UnknownNode:
+            self._route_via_coordinator(kind, payload)
+        except NodeUnavailable as failure:
+            self.on_unavailable(kind, payload, failure)
+
+    def _route_via_coordinator(self, kind: str, payload: dict) -> None:
+        routed = dict(payload)
+        # Mark as forwarded so the acceptor sends a corrective IAM.
+        routed["hops"] = routed.get("hops", 0) + 1
+        self.send(f"{self.file_id}.coord", "route", {"kind": kind, "op": routed})
+
+    def on_unavailable(self, kind: str, payload: dict,
+                       failure: NodeUnavailable) -> None:
+        """Hook: the addressed bucket's server is down.  Plain LH* has no
+        recovery — surface the failure.  LH*RS overrides this."""
+        raise failure
+
+    # ------------------------------------------------------------------
+    # incoming
+    # ------------------------------------------------------------------
+    def handle_iam(self, message: Message) -> None:
+        self.image.adjust(message.payload["j"], message.payload["a"])
+
+    def handle_iam_state(self, message: Message) -> None:
+        """Authoritative image correction from the coordinator.
+
+        Sent with routed deliveries; unlike server IAMs (A3, which never
+        regress an image) this may shrink the image — the case after the
+        file has merged buckets away beneath a stale image.
+        """
+        self.image.n = message.payload["n"]
+        self.image.i = message.payload["i"]
+        self.image.adjustments += 1
+
+    def handle_search_result(self, message: Message) -> None:
+        self._results[message.payload["request"]] = message.payload
+
+    def handle_op_error(self, message: Message) -> None:
+        self.last_error = message.payload
+
+    def handle_scan_reply(self, message: Message) -> None:
+        bucket_list = self._scan_replies.get(message.payload["scan"])
+        if bucket_list is not None:
+            bucket_list.append(message.payload)
+
+    # ------------------------------------------------------------------
+    # key operations
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        """Insert a record; fire-and-forget as in the papers (1 message
+        in the typical no-forwarding case)."""
+        self._send_op("insert", {"key": key, "value": value, "client": self.node_id})
+
+    def update(self, key: int, value: Any) -> None:
+        """Update (upsert) the non-key data of a record."""
+        self._send_op("update", {"key": key, "value": value, "client": self.node_id})
+
+    def delete(self, key: int) -> None:
+        """Delete a record (idempotent)."""
+        self._send_op("delete", {"key": key, "client": self.node_id})
+
+    def search(self, key: int) -> SearchOutcome:
+        """Key search: request + record back (2 messages when the image
+        is accurate; at most 4 plus one IAM otherwise)."""
+        request = self._next_request()
+        self._send_op(
+            "search", {"key": key, "client": self.node_id, "request": request}
+        )
+        reply = self._results.pop(request, None)
+        if reply is None:
+            raise RuntimeError(
+                f"search for key {key} received no reply (lost message?)"
+            )
+        return SearchOutcome(key=key, found=reply["found"], value=reply["value"])
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        predicate: Callable[[int, Any], bool] | None = None,
+        deterministic: bool = True,
+    ) -> ScanResult:
+        """Parallel search of every bucket for records matching
+        ``predicate`` (None selects everything).
+
+        With ``deterministic=True`` every bucket replies (address and
+        level included) and the client verifies it heard the whole file —
+        the termination protocol the recovery algorithms rely on.  With
+        ``deterministic=False`` only buckets holding matches reply
+        (probabilistic termination: cheaper, no completeness proof).
+        """
+        scan_id = self._next_request()
+        self._scan_replies[scan_id] = []
+        payload = {
+            "scan": scan_id,
+            "client": self.node_id,
+            "predicate": predicate,
+            "deterministic": deterministic,
+            "image": (self.image.n, self.image.i),
+        }
+        targets = [
+            self._data_node(m) for m in range(self.image.bucket_count_estimate)
+        ]
+        _, unavailable = self._net().multicast(
+            self.node_id, targets, "scan", payload, collect_replies=False
+        )
+        replies = self._scan_replies.pop(scan_id)
+        records = [tuple(match) for r in replies for match in r["matches"]]
+
+        if not deterministic:
+            return ScanResult(
+                records=records, complete=True, buckets_heard=len(replies)
+            )
+
+        heard = {r["bucket"]: r["level"] for r in replies}
+        expected = self._expected_bucket_count(heard)
+        missing = (
+            sorted(set(range(expected)) - set(heard)) if expected else []
+        )
+        complete = bool(heard) and expected is not None and not missing
+        return ScanResult(
+            records=records,
+            complete=complete,
+            buckets_heard=len(heard),
+            expected_buckets=expected,
+            missing=missing,
+        )
+
+    def _expected_bucket_count(self, heard: dict[int, int]) -> int | None:
+        """The paper's deterministic-termination bucket count M = n + 2^i N.
+
+        i is the minimum level heard and n the smallest bucket at that
+        level (the split pointer); with any reply missing the derived M
+        exposes the gap.
+        """
+        if not heard:
+            return None
+        i = min(heard.values())
+        n = min(m for m, j in heard.items() if j == i)
+        return n + (1 << i) * self.image.n0

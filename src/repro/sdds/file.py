@@ -1,0 +1,118 @@
+"""Facade assembling a complete LH* file on a simulated network.
+
+``LHStarFile`` wires up the network, coordinator, initial buckets and a
+default client, and offers direct-call conveniences for tests, examples
+and benchmarks.  Inspection helpers (load factor, record census) read
+server state directly — they are free oracle access for measurement, not
+protocol messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sdds.client import Client, ScanResult, SearchOutcome
+from repro.sdds.coordinator import Coordinator, SplitPolicy
+from repro.sdds.server import DataServer
+from repro.sim.network import Network
+from repro.sim.stats import MessageStats
+
+
+class LHStarFile:
+    """A running LH* file plus its default client."""
+
+    coordinator_class = Coordinator
+    client_class = Client
+
+    def __init__(
+        self,
+        file_id: str = "f",
+        capacity: int = 32,
+        n0: int = 1,
+        policy: SplitPolicy | None = None,
+        network: Network | None = None,
+        **coordinator_kwargs: Any,
+    ):
+        self.file_id = file_id
+        self.network = network or Network()
+        self.coordinator = self.coordinator_class(
+            node_id=f"{file_id}.coord",
+            file_id=file_id,
+            capacity=capacity,
+            n0=n0,
+            policy=policy,
+            **coordinator_kwargs,
+        )
+        self.network.register(self.coordinator)
+        self.coordinator.bootstrap()
+        self._clients: list[Client] = []
+        self.client = self.new_client()
+
+    # ------------------------------------------------------------------
+    def new_client(self) -> Client:
+        """Attach a fresh client (worst-case image n'=i'=0)."""
+        client = self.client_class(
+            node_id=f"{self.file_id}.client{len(self._clients)}",
+            file_id=self.file_id,
+            n0=self.coordinator.state.n0,
+        )
+        self.network.register(client)
+        self._clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------
+    # operations through the default client
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        self.client.insert(key, value)
+
+    def search(self, key: int) -> SearchOutcome:
+        return self.client.search(key)
+
+    def update(self, key: int, value: Any) -> None:
+        self.client.update(key, value)
+
+    def delete(self, key: int) -> None:
+        self.client.delete(key)
+
+    def scan(self, predicate: Callable[[int, Any], bool] | None = None,
+             deterministic: bool = True) -> ScanResult:
+        return self.client.scan(predicate, deterministic)
+
+    # ------------------------------------------------------------------
+    # oracle inspection (not messages)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> MessageStats:
+        return self.network.stats
+
+    def data_servers(self) -> list[DataServer]:
+        """All data-bucket servers, in bucket order."""
+        return [
+            self.network.nodes[f"{self.file_id}.d{m}"]
+            for m in range(self.coordinator.state.bucket_count)
+        ]
+
+    @property
+    def bucket_count(self) -> int:
+        return self.coordinator.state.bucket_count
+
+    def total_records(self) -> int:
+        return sum(len(s.bucket) for s in self.data_servers())
+
+    def load_factor(self) -> float:
+        """Occupancy over allocated capacity, the papers' storage metric."""
+        servers = self.data_servers()
+        return sum(len(s.bucket) for s in servers) / (
+            sum(s.bucket.capacity for s in servers) or 1
+        )
+
+    def census(self) -> dict[int, dict[int, Any]]:
+        """Snapshot {bucket -> {key -> value}} for equality checks."""
+        return {
+            s.number: dict(s.bucket.records) for s in self.data_servers()
+        }
+
+    def find_bucket_of(self, key: int) -> int:
+        """True address of a key (oracle; uses the real file state)."""
+        return self.coordinator.state.address(key)

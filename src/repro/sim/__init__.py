@@ -1,0 +1,42 @@
+"""In-process multicomputer simulator.
+
+The paper's testbed is a network multicomputer (workstations on a 100
+Mb/s Ethernet).  This subpackage substitutes an in-process simulation
+that preserves the paper's *primary metric* — message counts, which are
+network-invariant — and adds a parameterized latency model so the
+benchmarks can also report simulated wall-clock figures.
+
+Pieces
+------
+``Network``
+    The switched fabric: node registry, synchronous RPC-style unicast
+    (``send`` fire-and-forget = 1 message, ``call`` request/reply = 2),
+    multicast, per-message accounting windows, failure injection.
+``Node``
+    Base class dispatching incoming messages to ``handle_<kind>``.
+``MessageStats`` / ``LatencyModel``
+    Counters and the message→time mapping.
+``FailureInjector``
+    Deterministic and probabilistic unavailability (crash/restore,
+    per-node availability sampling for Monte-Carlo experiments).
+"""
+
+from repro.sim.failure import FailureInjector
+from repro.sim.messages import Message
+from repro.sim.network import Network, NodeUnavailable, UnknownNode
+from repro.sim.node import Node
+from repro.sim.rng import make_rng
+from repro.sim.stats import LatencyModel, MessageStats, OperationWindow
+
+__all__ = [
+    "Network",
+    "Node",
+    "NodeUnavailable",
+    "UnknownNode",
+    "Message",
+    "MessageStats",
+    "OperationWindow",
+    "LatencyModel",
+    "FailureInjector",
+    "make_rng",
+]

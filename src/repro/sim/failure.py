@@ -1,0 +1,69 @@
+"""Failure injection: deterministic crashes and availability sampling.
+
+Two styles of unavailability drive the experiments:
+
+* **Targeted crashes** — fail exactly these nodes now (recovery tests,
+  experiments E7/E8).
+* **Probabilistic sampling** — each node independently unavailable with
+  probability ``1 - p`` (the paper's availability model, Monte-Carlo
+  cross-check of experiment E5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.network import Network
+from repro.sim.rng import make_rng
+
+
+class FailureInjector:
+    """Applies and reverts failure scenarios on a :class:`Network`."""
+
+    def __init__(self, network: Network, rng: np.random.Generator | None = None):
+        self.network = network
+        self.rng = rng or make_rng()
+        self._injected: list[str] = []
+
+    # ------------------------------------------------------------------
+    def crash(self, node_ids: Iterable[str]) -> list[str]:
+        """Fail the given nodes; returns the list actually failed."""
+        failed = []
+        for node_id in node_ids:
+            if self.network.is_available(node_id):
+                self.network.fail(node_id)
+                self._injected.append(node_id)
+                failed.append(node_id)
+        return failed
+
+    def crash_sample(self, candidates: Sequence[str], count: int) -> list[str]:
+        """Fail ``count`` distinct nodes drawn uniformly from candidates."""
+        if count > len(candidates):
+            raise ValueError("cannot fail more nodes than exist")
+        chosen = self.rng.choice(len(candidates), size=count, replace=False)
+        return self.crash(candidates[i] for i in chosen)
+
+    def sample_availability(self, candidates: Sequence[str], p: float) -> list[str]:
+        """Each candidate fails independently with probability ``1 - p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("availability p must be in [0, 1]")
+        draws = self.rng.random(len(candidates))
+        return self.crash(
+            node for node, draw in zip(candidates, draws) if draw >= p
+        )
+
+    # ------------------------------------------------------------------
+    def heal(self, node_ids: Iterable[str] | None = None) -> None:
+        """Restore the given nodes (default: everything this injector failed)."""
+        targets = list(node_ids) if node_ids is not None else list(self._injected)
+        for node_id in targets:
+            self.network.restore(node_id)
+            if node_id in self._injected:
+                self._injected.remove(node_id)
+
+    @property
+    def currently_failed(self) -> list[str]:
+        """Nodes this injector failed and has not healed."""
+        return list(self._injected)

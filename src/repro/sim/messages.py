@@ -1,0 +1,55 @@
+"""Message envelope and size accounting.
+
+The simulator charges each message a size: a fixed header plus the
+payload's estimated wire size.  Sizes only feed the latency model — the
+correctness of the protocols never depends on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fixed per-message overhead (addressing, kind tag, ...), in bytes.
+HEADER_BYTES = 32
+
+
+def estimate_size(payload: Any) -> int:
+    """Rough wire size of a message payload, in bytes.
+
+    Counts byte strings at face value, numbers as 8 bytes, strings by
+    length, and containers recursively.  Deliberately simple — it feeds a
+    latency *model*, not an implementation.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload)
+    if isinstance(payload, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(estimate_size(v) for v in payload)
+    if hasattr(payload, "wire_size"):
+        return int(payload.wire_size())
+    return 16  # opaque object
+
+
+@dataclass
+class Message:
+    """One simulated network message."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any = None
+    size: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.size:
+            self.size = HEADER_BYTES + estimate_size(self.payload)

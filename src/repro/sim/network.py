@@ -1,0 +1,138 @@
+"""The simulated switched network.
+
+Delivery is synchronous and depth-first: ``send`` invokes the recipient's
+handler inline and returns nothing (fire-and-forget, 1 message);
+``call`` returns the handler's return value and charges the reply
+message too (2 messages), matching how the papers count a key search
+(request + record back) versus an insert (request only).
+
+Unavailability is modelled at the node level: messages to a failed node
+raise :class:`NodeUnavailable` at the *sender*, standing in for the
+sender's timeout.  The timeout itself costs no message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.messages import Message
+from repro.sim.node import Node
+from repro.sim.stats import MessageStats
+
+
+class UnknownNode(KeyError):
+    """Message addressed to a node id that was never registered."""
+
+
+class NodeUnavailable(RuntimeError):
+    """The addressed node is currently failed (sender's timeout fires)."""
+
+    def __init__(self, node_id: str):
+        super().__init__(f"node {node_id!r} is unavailable")
+        self.node_id = node_id
+
+
+class Network:
+    """Node registry, message transport, accounting and failure state."""
+
+    def __init__(self, multicast_available: bool = True):
+        self.nodes: dict[str, Node] = {}
+        self.failed: set[str] = set()
+        self.stats = MessageStats()
+        self.multicast_available = multicast_available
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # registry and failure state
+    # ------------------------------------------------------------------
+    def register(self, node: Node) -> None:
+        """Attach a node; its id must be unique on this network."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"node id {node.node_id!r} already registered")
+        self.nodes[node.node_id] = node
+        node.network = self
+
+    def unregister(self, node_id: str) -> None:
+        """Detach a node entirely (decommissioned server)."""
+        self.nodes.pop(node_id, None)
+        self.failed.discard(node_id)
+
+    def fail(self, node_id: str) -> None:
+        """Make a node unavailable (crash / partition / power-off)."""
+        if node_id not in self.nodes:
+            raise UnknownNode(node_id)
+        self.failed.add(node_id)
+
+    def restore(self, node_id: str) -> None:
+        """Bring a failed node back (its state as the node object holds it)."""
+        self.failed.discard(node_id)
+
+    def is_available(self, node_id: str) -> bool:
+        """True when the node exists and is not failed."""
+        return node_id in self.nodes and node_id not in self.failed
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message) -> Any:
+        if message.recipient not in self.nodes:
+            raise UnknownNode(message.recipient)
+        if message.recipient in self.failed:
+            raise NodeUnavailable(message.recipient)
+        self._depth += 1
+        self.stats.record(message.kind, message.size, self._depth)
+        try:
+            return self.nodes[message.recipient].receive(message)
+        finally:
+            self._depth -= 1
+
+    def send(self, sender: str, recipient: str, kind: str, payload: Any = None) -> None:
+        """Fire-and-forget unicast: one message, no reply charged."""
+        self._deliver(Message(sender, recipient, kind, payload))
+
+    def call(self, sender: str, recipient: str, kind: str, payload: Any = None) -> Any:
+        """Request/reply unicast: two messages, returns the handler result."""
+        result = self._deliver(Message(sender, recipient, kind, payload))
+        reply = Message(recipient, sender, f"{kind}.reply", result)
+        self.stats.record(reply.kind, reply.size, self._depth + 1)
+        return result
+
+    def multicast(
+        self,
+        sender: str,
+        recipients: list[str],
+        kind: str,
+        payload: Any = None,
+        collect_replies: bool = True,
+    ) -> tuple[dict[str, Any], list[str]]:
+        """Deliver to many nodes; returns ``(replies, unavailable)``.
+
+        With hardware multicast available the request costs one message
+        regardless of fan-out, otherwise one per recipient (the papers
+        price scans both ways).  Replies are always unicast.  Failed
+        recipients are skipped and reported, letting deterministic
+        termination protocols detect the gap.
+        """
+        unavailable: list[str] = []
+        replies: dict[str, Any] = {}
+        charged_request = False
+        for recipient in recipients:
+            if not self.is_available(recipient):
+                unavailable.append(recipient)
+                continue
+            message = Message(sender, recipient, kind, payload)
+            if self.multicast_available and charged_request:
+                # Multicast fabric: later copies of the request are free.
+                self._depth += 1
+                try:
+                    result = self.nodes[recipient].receive(message)
+                finally:
+                    self._depth -= 1
+            else:
+                result = self._deliver(message)
+                charged_request = True
+            if collect_replies:
+                reply = Message(recipient, sender, f"{kind}.reply", result)
+                self.stats.record(reply.kind, reply.size, self._depth + 2)
+                replies[recipient] = result
+        return replies, unavailable

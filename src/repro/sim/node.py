@@ -1,0 +1,52 @@
+"""Node base class: handler dispatch and sending conveniences."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.messages import Message
+    from repro.sim.network import Network
+
+
+class Node:
+    """A network participant; subclasses implement ``handle_<kind>``.
+
+    Message kinds map to methods by replacing non-identifier characters
+    with underscores: a ``"key.search"`` message dispatches to
+    ``handle_key_search(message)``.
+    """
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.network: "Network | None" = None
+
+    # ------------------------------------------------------------------
+    def receive(self, message: "Message") -> Any:
+        handler_name = "handle_" + "".join(
+            ch if ch.isalnum() else "_" for ch in message.kind
+        )
+        handler = getattr(self, handler_name, None)
+        if handler is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} {self.node_id!r} has no handler for "
+                f"message kind {message.kind!r}"
+            )
+        return handler(message)
+
+    # ------------------------------------------------------------------
+    def _net(self) -> "Network":
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id!r} is not attached to a network")
+        return self.network
+
+    def send(self, recipient: str, kind: str, payload: Any = None) -> None:
+        """Fire-and-forget to another node (1 message)."""
+        self._net().send(self.node_id, recipient, kind, payload)
+
+    def call(self, recipient: str, kind: str, payload: Any = None) -> Any:
+        """Request/reply to another node (2 messages)."""
+        return self._net().call(self.node_id, recipient, kind, payload)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.node_id!r})"

@@ -1,0 +1,25 @@
+"""Workload and failure-trace generation for experiments.
+
+Key streams (uniform / sequential / zipf / clustered), payload shapes
+(fixed / variable / record-like), operation mixes, and failure schedules
+— everything stochastic is seeded through `repro.sim.rng` so every
+benchmark run is reproducible.
+"""
+
+from repro.workloads.generator import (
+    KeyStream,
+    OperationMix,
+    PayloadShape,
+    generate_operations,
+)
+from repro.workloads.traces import FailureEvent, FailureSchedule, run_trace
+
+__all__ = [
+    "KeyStream",
+    "PayloadShape",
+    "OperationMix",
+    "generate_operations",
+    "FailureEvent",
+    "FailureSchedule",
+    "run_trace",
+]

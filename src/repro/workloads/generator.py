@@ -1,0 +1,160 @@
+"""Key streams, payload shapes, and operation mixes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class KeyStream:
+    """A reproducible stream of integer keys.
+
+    ``kind``:
+      * ``"uniform"`` — unique uniform draws from [0, key_space) — the
+        papers' standard assumption (hash functions spread them evenly);
+      * ``"sequential"`` — 0, 1, 2, ... (adversarial for image
+        convergence, still uniform across buckets for mod hashing);
+      * ``"zipf"`` — skewed popularity (duplicates likely; pair with
+        upsert semantics);
+      * ``"clustered"`` — runs of adjacent keys from random anchors.
+    """
+
+    kind: str = "uniform"
+    key_space: int = 10**9
+    zipf_s: float = 1.3
+    cluster_span: int = 64
+    seed: int | None = None
+
+    def generate(self, count: int) -> list[int]:
+        """``count`` keys from the stream."""
+        rng = make_rng(self.seed)
+        if self.kind == "uniform":
+            return [int(k) for k in rng.choice(self.key_space, size=count,
+                                               replace=False)]
+        if self.kind == "sequential":
+            return list(range(count))
+        if self.kind == "zipf":
+            draws = rng.zipf(self.zipf_s, size=count)
+            return [int(d) % self.key_space for d in draws]
+        if self.kind == "clustered":
+            keys = []
+            while len(keys) < count:
+                anchor = int(rng.integers(0, self.key_space))
+                run = int(rng.integers(1, self.cluster_span))
+                keys.extend(range(anchor, anchor + run))
+            return keys[:count]
+        raise ValueError(f"unknown key stream kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class PayloadShape:
+    """Reproducible payload generation.
+
+    ``kind``: ``"fixed"`` (every payload ``size`` bytes), ``"variable"``
+    (uniform in [min_size, max_size]), or ``"record"`` (a structured
+    tuple of fields serialized to bytes, like the papers' tuples).
+    """
+
+    kind: str = "fixed"
+    size: int = 100
+    min_size: int = 16
+    max_size: int = 256
+    seed: int | None = None
+
+    def generate(self, keys: list[int]) -> list[bytes]:
+        """One payload per key."""
+        rng = make_rng(self.seed)
+        if self.kind == "fixed":
+            return [self._fill(key, self.size) for key in keys]
+        if self.kind == "variable":
+            sizes = rng.integers(self.min_size, self.max_size + 1,
+                                 size=len(keys))
+            return [self._fill(key, int(s)) for key, s in zip(keys, sizes)]
+        if self.kind == "record":
+            return [
+                b"|".join(
+                    [
+                        key.to_bytes(8, "big"),
+                        f"name-{key % 9973}".encode(),
+                        int(rng.integers(0, 120)).to_bytes(1, "big"),
+                        f"city-{key % 211}".encode(),
+                    ]
+                )
+                for key in keys
+            ]
+        raise ValueError(f"unknown payload shape {self.kind!r}")
+
+    @staticmethod
+    def _fill(key: int, size: int) -> bytes:
+        seed_bytes = key.to_bytes(8, "big")
+        repeats = size // 8 + 1
+        return (seed_bytes * repeats)[:size]
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Weights of an operation mix (normalized at use)."""
+
+    insert: float = 1.0
+    search: float = 0.0
+    update: float = 0.0
+    delete: float = 0.0
+
+    def weights(self) -> np.ndarray:
+        raw = np.array(
+            [self.insert, self.search, self.update, self.delete], dtype=float
+        )
+        total = raw.sum()
+        if total <= 0:
+            raise ValueError("operation mix needs at least one positive weight")
+        return raw / total
+
+
+OPS = ("insert", "search", "update", "delete")
+
+
+def generate_operations(
+    count: int,
+    mix: OperationMix,
+    keys: KeyStream | None = None,
+    payloads: PayloadShape | None = None,
+    seed: int | None = None,
+) -> Iterator[tuple[str, int, bytes | None]]:
+    """Yield ``(op, key, payload-or-None)`` tuples.
+
+    Searches/updates/deletes draw from the keys inserted so far (a fresh
+    key when none exist yet, modelling misses).
+    """
+    rng = make_rng(seed)
+    key_stream = iter((keys or KeyStream(seed=seed)).generate(count))
+    shape = payloads or PayloadShape(seed=seed)
+    live: list[int] = []
+    choices = rng.choice(len(OPS), size=count, p=mix.weights())
+    for pick in choices:
+        op = OPS[int(pick)]
+        if op == "insert" or not live:
+            try:
+                key = next(key_stream)
+            except StopIteration:
+                op, key = "search", live[int(rng.integers(0, len(live)))]
+                yield op, key, None
+                continue
+            if op == "insert":
+                live.append(key)
+                yield "insert", key, shape.generate([key])[0]
+                continue
+            yield op, key, (shape.generate([key])[0] if op == "update" else None)
+            continue
+        key = live[int(rng.integers(0, len(live)))]
+        if op == "delete":
+            live.remove(key)
+            yield "delete", key, None
+        elif op == "update":
+            yield "update", key, shape.generate([key])[0]
+        else:
+            yield "search", key, None

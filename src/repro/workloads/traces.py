@@ -1,0 +1,102 @@
+"""Failure traces: when which nodes become unavailable or return.
+
+A :class:`FailureSchedule` is a list of events pinned to operation
+indices; :func:`run_trace` drives a file through an operation stream
+while applying the schedule — the harness behind the failure-injection
+experiments (E7/E8) and the fault-tolerant-KV example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled change of a node's availability."""
+
+    at_operation: int
+    node_id: str
+    action: str = "fail"  # or "restore"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("fail", "restore"):
+            raise ValueError(f"unknown action {self.action!r}")
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered list of failure events."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def fail(self, at_operation: int, node_id: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(at_operation, node_id, "fail"))
+        return self
+
+    def restore(self, at_operation: int, node_id: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(at_operation, node_id, "restore"))
+        return self
+
+    @classmethod
+    def random_bursts(
+        cls,
+        candidates: list[str],
+        operations: int,
+        bursts: int,
+        burst_size: int = 1,
+        seed: int | None = None,
+    ) -> "FailureSchedule":
+        """``bursts`` random failure bursts over an operation stream."""
+        rng = make_rng(seed)
+        schedule = cls()
+        for _ in range(bursts):
+            at = int(rng.integers(0, max(operations, 1)))
+            picks = rng.choice(
+                len(candidates), size=min(burst_size, len(candidates)),
+                replace=False,
+            )
+            for i in picks:
+                schedule.fail(at, candidates[int(i)])
+        schedule.events.sort(key=lambda e: e.at_operation)
+        return schedule
+
+    def due(self, operation_index: int) -> list[FailureEvent]:
+        """Events scheduled at exactly this operation index."""
+        return [e for e in self.events if e.at_operation == operation_index]
+
+
+def run_trace(
+    file: Any,
+    operations: Iterable[tuple[str, int, bytes | None]],
+    schedule: FailureSchedule | None = None,
+) -> dict:
+    """Drive ``file`` through an operation stream under a failure trace.
+
+    ``file`` is any scheme facade (LHRSFile, LHMFile, ...).  Returns a
+    summary with per-operation counts and observed search misses.
+    """
+    schedule = schedule or FailureSchedule()
+    counts = {"insert": 0, "search": 0, "update": 0, "delete": 0}
+    misses = 0
+    for index, (op, key, payload) in enumerate(operations):
+        for event in schedule.due(index):
+            if event.action == "fail":
+                if file.network.is_available(event.node_id):
+                    file.network.fail(event.node_id)
+            else:
+                file.network.restore(event.node_id)
+        if op == "insert":
+            file.insert(key, payload)
+        elif op == "update":
+            file.update(key, payload)
+        elif op == "delete":
+            file.delete(key)
+        else:
+            if not file.search(key).found:
+                misses += 1
+        counts[op] += 1
+    return {"counts": counts, "search_misses": misses}

@@ -1,0 +1,121 @@
+"""Deeper tests of the LH*g machinery: images, forwarding, deletions."""
+
+import pytest
+
+from repro.baselines import LHGConfig, LHGFile
+from repro.sim.rng import make_rng
+
+
+def build(count=300, capacity=8, seed=37):
+    file = LHGFile(LHGConfig(group_size=4, bucket_capacity=capacity))
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=count, replace=False)]
+    for key in keys:
+        file.insert(key, key.to_bytes(8, "big"))
+    return file, keys
+
+
+class TestParityFileClienting:
+    def test_primary_servers_hold_f2_images(self):
+        """Primary buckets are LH* clients of F2: their images of F2's
+        state converge via gparity IAMs as F2 splits."""
+        file, _ = build(count=600)
+        f2_state = file.parity_coordinator.state
+        assert f2_state.bucket_count > 1
+        images = [s.parity_image for s in file.data_servers()]
+        # Every server that inserted recently has a useful image.
+        active = [img for img in images if img.adjustments > 0]
+        assert active, "F2 splits must have produced IAMs"
+        for image in images:
+            assert image.bucket_count_estimate <= f2_state.bucket_count
+
+    def test_f2_forwarding_happens_and_converges(self):
+        file, _ = build(count=600)
+        forwards = sum(s.forwards for s in file.parity_servers())
+        assert forwards > 0  # stale primary images forwarded via A2
+        # Once converged, a steady-state insert costs 2 (op + parity).
+        state = file.coordinator.state
+        f2_state = file.parity_coordinator.state
+        for key in range(10**6, 10**6 + 10**5):
+            bucket = state.address(key)
+            if file.client.image.address(key) != bucket:
+                continue
+            server = file.data_servers()[bucket]
+            if len(server.bucket) + 2 >= file.config.bucket_capacity:
+                continue
+            gkey_guess = None  # rank unknown a priori; just measure
+            with file.stats.measure("i") as window:
+                file.insert(key, b"x" * 8)
+            if window.by_kind.get("gparity.apply", 0) == 1 and (
+                window.messages == 2
+            ):
+                break
+        else:
+            pytest.fail("no clean 2-message insert observed")
+
+    def test_parity_records_move_with_f2_splits(self):
+        file, _ = build(count=600)
+        # Every parity record must live at its correct F2 bucket.
+        f2_state = file.parity_coordinator.state
+        for server in file.parity_servers():
+            for gkey in server.bucket.records:
+                assert f2_state.address(gkey) == server.number
+
+
+class TestDeletionSemantics:
+    def test_delete_updates_parity_directory(self):
+        file, keys = build(count=100)
+        victim = keys[0]
+        gkey = next(
+            g for s in file.data_servers()
+            for k, (g, _) in s.bucket.records.items() if k == victim
+        )
+        file.delete(victim)
+        assert file.verify_parity_consistency() == []
+        for server in file.parity_servers():
+            record = server.bucket.records.get(gkey)
+            if record is not None:
+                assert victim not in record.keys
+
+    def test_delete_last_member_removes_parity_record(self):
+        file, keys = build(count=100)
+        # Find a singleton record group.
+        singleton = next(
+            (record for s in file.parity_servers()
+             for record in s.bucket.records.values()
+             if len(record.keys) == 1),
+            None,
+        )
+        if singleton is None:
+            pytest.skip("no singleton group in this build")
+        (victim,) = singleton.keys
+        gkey = singleton.gkey
+        file.delete(victim)
+        assert all(
+            gkey not in s.bucket.records for s in file.parity_servers()
+        )
+
+    def test_updates_fold_xor_deltas(self):
+        file, keys = build(count=100)
+        file.update(keys[0], b"ABCDEFGH")
+        file.update(keys[0], b"12345678")
+        assert file.verify_parity_consistency() == []
+        assert file.search(keys[0]).value == b"12345678"
+
+
+class TestScaleBehaviour:
+    def test_recovery_cost_grows_with_file_size(self):
+        """The LH*g weakness LH*RS removes: A4 scans all of F2."""
+        costs = {}
+        for count in (200, 800):
+            file, _ = build(count=count, seed=count)
+            node = file.fail_data_bucket(1)
+            with file.stats.measure("r") as window:
+                file.recover([node])
+            costs[count] = window.messages
+        assert costs[800] > costs[200]
+
+    def test_storage_overhead_stable_under_growth(self):
+        file, _ = build(count=1000, capacity=16)
+        assert 0.15 < file.storage_overhead() < 0.5
+        assert file.verify_parity_consistency() == []

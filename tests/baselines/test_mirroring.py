@@ -1,0 +1,100 @@
+"""Tests for the LH*m mirroring baseline."""
+
+import pytest
+
+from repro.baselines import LHMFile
+from repro.sim.rng import make_rng
+
+
+def build(count=200, capacity=8, seed=4):
+    file = LHMFile(capacity=capacity)
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=count, replace=False)]
+    for key in keys:
+        file.insert(key, key.to_bytes(8, "big"))
+    return file, keys
+
+
+class TestConsistency:
+    def test_mirrors_track_primaries_through_growth(self):
+        file, _ = build()
+        assert file.verify_mirror_consistency() == []
+        assert file.bucket_count > 8
+
+    def test_mutations_mirrored(self):
+        file, keys = build()
+        file.update(keys[0], b"new")
+        file.delete(keys[1])
+        assert file.verify_mirror_consistency() == []
+
+    def test_storage_overhead_is_total(self):
+        file, _ = build()
+        assert file.storage_overhead() == pytest.approx(1.0)
+        assert file.redundancy_bucket_count() == file.bucket_count
+
+
+class TestCosts:
+    def test_insert_costs_two_messages(self):
+        file, keys = build()
+        for key in keys:
+            file.search(key)  # converge
+        state = file.coordinator.state
+        key = next(
+            k for k in range(10**6)
+            if file.client.image.address(k) == state.address(k)
+            and len(file.data_servers()[state.address(k)].bucket) + 2
+            < file.coordinator.capacity
+        )
+        with file.stats.measure("insert") as window:
+            file.insert(key, b"v")
+        assert window.messages == 2  # primary + mirror
+
+    def test_search_costs_two_messages(self):
+        file, keys = build()
+        for key in keys:
+            file.search(key)
+        with file.stats.measure("search") as window:
+            file.search(keys[0])
+        assert window.messages == 2
+
+
+class TestFailover:
+    def test_search_served_from_mirror_and_recovered(self):
+        file, keys = build()
+        target = next(k for k in keys if file.find_bucket_of(k) == 1)
+        node = file.fail_data_bucket(1)
+        outcome = file.search(target)
+        assert outcome.found and outcome.value == target.to_bytes(8, "big")
+        assert file.network.is_available(node)
+        assert file.verify_mirror_consistency() == []
+
+    def test_mirror_failure_recovered_from_primary(self):
+        file, keys = build()
+        node = file.fail_mirror(2)
+        file.recover([node])
+        assert file.network.is_available(node)
+        assert file.verify_mirror_consistency() == []
+
+    def test_mirror_failure_healed_on_mutation(self):
+        file, keys = build()
+        target = next(k for k in keys if file.find_bucket_of(k) == 0)
+        node = file.fail_mirror(0)
+        file.update(target, b"while-mirror-down")
+        assert file.network.is_available(node)
+        assert file.verify_mirror_consistency() == []
+
+    def test_mutation_during_primary_failure(self):
+        file, keys = build()
+        target = next(k for k in keys if file.find_bucket_of(k) == 3)
+        file.fail_data_bucket(3)
+        file.update(target, b"while-primary-down")
+        assert file.search(target).value == b"while-primary-down"
+        assert file.verify_mirror_consistency() == []
+
+    def test_recovery_is_single_copy(self):
+        """Mirroring's selling point: recovery = 1 dump + 1 load."""
+        file, _ = build()
+        node = file.fail_data_bucket(1)
+        with file.stats.measure("recovery") as window:
+            file.recover([node])
+        assert window.messages == 3  # dump call (2) + load (1)

@@ -1,0 +1,133 @@
+"""Tests for the LH*s striping baseline."""
+
+import pytest
+
+from repro.baselines import LHSFile
+from repro.baselines.striping import split_into_stripes, xor_parity
+from repro.sim.rng import make_rng
+
+
+def build(count=120, stripes=4, capacity=8, seed=5):
+    file = LHSFile(stripes=stripes, capacity=capacity)
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=count, replace=False)]
+    for key in keys:
+        file.insert(key, key.to_bytes(8, "big") * 4)
+    return file, keys
+
+
+class TestStripeMath:
+    def test_split_even(self):
+        assert split_into_stripes(b"abcdefgh", 4) == [b"ab", b"cd", b"ef", b"gh"]
+
+    def test_split_with_padding(self):
+        stripes = split_into_stripes(b"abcde", 4)
+        assert stripes == [b"ab", b"cd", b"e\0", b"\0\0"]
+
+    def test_split_empty(self):
+        assert split_into_stripes(b"", 3) == [b"", b"", b""]
+
+    def test_xor_parity_recovers_any_stripe(self):
+        stripes = split_into_stripes(b"abcdefgh", 4)
+        parity = xor_parity(stripes)
+        for lost in range(4):
+            others = [s for i, s in enumerate(stripes) if i != lost]
+            assert xor_parity(others + [parity]) == stripes[lost]
+
+    def test_too_few_stripes_rejected(self):
+        with pytest.raises(ValueError):
+            LHSFile(stripes=1)
+
+
+class TestOperations:
+    def test_roundtrip(self):
+        file, keys = build()
+        for key in keys[::7]:
+            outcome = file.search(key)
+            assert outcome.found
+            assert outcome.value == key.to_bytes(8, "big") * 4
+
+    def test_absent_key(self):
+        file, _ = build(count=30)
+        assert not file.search(10**9 + 5).found
+
+    def test_update_and_delete(self):
+        file, keys = build(count=40)
+        file.update(keys[0], b"A" * 32)
+        assert file.search(keys[0]).value == b"A" * 32
+        file.delete(keys[1])
+        assert not file.search(keys[1]).found
+        assert file.total_records() == 39
+
+    def test_storage_overhead_is_one_over_stripes(self):
+        file, _ = build()
+        assert file.storage_overhead() == pytest.approx(1 / 4, rel=0.05)
+
+
+class TestCosts:
+    def test_search_costs_two_messages_per_stripe(self):
+        """The published LH*s weakness: key search ≈ 2·s messages."""
+        file, keys = build()
+        for key in keys:  # converge all segment clients
+            file.search(key)
+        with file.stats.measure("search") as window:
+            file.search(keys[0])
+        assert window.messages == 2 * 4
+
+    def test_insert_costs_stripes_plus_one(self):
+        file, keys = build()
+        for key in keys:
+            file.search(key)
+        count = 10
+        with file.stats.measure("insert") as window:
+            for i in range(count):
+                file.insert(10**9 + 77 + i, b"z" * 32)
+        # s data fragments + 1 parity fragment, plus forwarding/IAM and
+        # overflow/split noise across the five segment files.
+        assert 5 <= window.messages / count <= 9
+
+
+class TestDegradedAndRecovery:
+    def test_search_survives_one_stripe_loss(self):
+        file, keys = build()
+        target = keys[0]
+        bucket = file.segments[1].find_bucket_of(target)
+        file.fail_segment_bucket(1, bucket)
+        outcome = file.search(target)
+        assert outcome.found
+        assert outcome.value == target.to_bytes(8, "big") * 4
+
+    def test_two_stripe_losses_fatal(self):
+        from repro.sim.network import NodeUnavailable
+
+        file, keys = build()
+        target = keys[0]
+        file.fail_segment_bucket(0, file.segments[0].find_bucket_of(target))
+        file.fail_segment_bucket(1, file.segments[1].find_bucket_of(target))
+        with pytest.raises(NodeUnavailable):
+            file.search(target)
+
+    def test_segment_bucket_recovery(self):
+        file, keys = build()
+        bucket = 2
+        victims = [
+            k for k in keys if file.segments[1].find_bucket_of(k) == bucket
+        ]
+        file.fail_segment_bucket(1, bucket)
+        rebuilt = file.recover_segment_bucket(1, bucket)
+        assert rebuilt == len(victims)
+        for key in victims:
+            assert file.search(key).value == key.to_bytes(8, "big") * 4
+
+    def test_parity_segment_recovery(self):
+        file, keys = build()
+        bucket = 0
+        file.fail_segment_bucket(4, bucket)  # parity segment
+        file.recover_segment_bucket(4, bucket)
+        # Parity must again reconstruct data losses.
+        target = next(
+            k for k in keys if file.parity_segment.find_bucket_of(k) == bucket
+        )
+        data_bucket = file.segments[0].find_bucket_of(target)
+        file.fail_segment_bucket(0, data_bucket)
+        assert file.search(target).value == target.to_bytes(8, "big") * 4

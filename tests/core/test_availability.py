@@ -1,0 +1,151 @@
+"""Tests for the availability calculus and the scalable policy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.availability import (
+    AvailabilityPolicy,
+    file_availability,
+    group_availability,
+    groups_of_file,
+    monte_carlo_file_availability,
+)
+
+
+class TestGroupAvailability:
+    def test_k0_is_all_up(self):
+        assert group_availability(4, 0, 0.9) == pytest.approx(0.9**4)
+
+    def test_k_equals_n_is_certainty_complement(self):
+        # k = m means even losing every data bucket is fine only if at
+        # most k of m+k fail; with m=1, k=1: survive unless both fail.
+        p = 0.9
+        assert group_availability(1, 1, p) == pytest.approx(1 - (1 - p) ** 2)
+
+    def test_monotone_in_k(self):
+        values = [group_availability(4, k, 0.95) for k in range(4)]
+        assert values == sorted(values)
+
+    def test_monotone_in_p(self):
+        assert group_availability(4, 1, 0.99) > group_availability(4, 1, 0.9)
+
+    def test_p_bounds(self):
+        with pytest.raises(ValueError):
+            group_availability(4, 1, 1.5)
+
+    def test_perfect_nodes(self):
+        assert group_availability(8, 2, 1.0) == pytest.approx(1.0)
+
+
+class TestFileAvailability:
+    def test_paper_headline_numbers(self):
+        """The motivating arithmetic: P = p^M ≈ 37% at M=100, p=0.99."""
+        p_file = file_availability(100, group_size=100, p=0.99, k=0)
+        assert p_file == pytest.approx(0.99**100)
+        assert 0.36 < p_file < 0.37
+
+    def test_k1_groups_rescue_the_file(self):
+        without = file_availability(100, 4, 0.99, k=0)
+        with_k1 = file_availability(100, 4, 0.99, k=1)
+        assert with_k1 > 0.97
+        assert without < 0.4
+
+    def test_partial_last_group(self):
+        assert groups_of_file(10, 4) == [4, 4, 2]
+        full = file_availability(12, 4, 0.99, k=1)
+        partial = file_availability(10, 4, 0.99, k=1)
+        assert partial > full  # fewer nodes at risk
+
+    def test_per_group_levels(self):
+        uniform = file_availability(8, 4, 0.95, k=2)
+        mixed = file_availability(8, 4, 0.95, k_per_group=[2, 2])
+        assert uniform == pytest.approx(mixed)
+        with pytest.raises(ValueError):
+            file_availability(8, 4, 0.95, k_per_group=[1])
+        with pytest.raises(ValueError):
+            file_availability(8, 4, 0.95)
+
+    def test_fixed_k_still_decays_scalable_does_not(self):
+        """The scalable-availability motivation (experiment E6)."""
+        policy = AvailabilityPolicy.scalable(
+            base_level=1, first_threshold=4, growth=4, max_level=5
+        )
+        fixed, scaled = [], []
+        for exp in range(2, 9):
+            m_buckets = 4 * (2**exp)
+            groups = m_buckets // 4
+            fixed.append(file_availability(m_buckets, 4, 0.99, k=1))
+            level = policy.level_for(groups)
+            scaled.append(
+                file_availability(m_buckets, 4, 0.99, k_per_group=[level] * groups)
+            )
+        assert fixed == sorted(fixed, reverse=True)
+        assert fixed[-1] < 0.8
+        assert min(scaled) > 0.97
+
+
+class TestMonteCarlo:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_matches_closed_form(self, k):
+        total, m, p = 32, 4, 0.95
+        analytic = file_availability(total, m, p, k=k)
+        estimate = monte_carlo_file_availability(
+            total, m, p, k, trials=4000, seed=11
+        )
+        sigma = math.sqrt(analytic * (1 - analytic) / 4000)
+        assert abs(estimate - analytic) < max(5 * sigma, 0.01)
+
+
+class TestPolicy:
+    def test_fixed(self):
+        policy = AvailabilityPolicy.fixed(2)
+        assert [policy.level_for(g) for g in (0, 1, 10, 10**6)] == [2, 2, 2, 2]
+
+    def test_scalable_thresholds(self):
+        policy = AvailabilityPolicy.scalable(
+            base_level=1, first_threshold=8, growth=8, max_level=4
+        )
+        assert policy.level_for(7) == 1
+        assert policy.level_for(8) == 2
+        assert policy.level_for(63) == 2
+        assert policy.level_for(64) == 3
+        assert policy.level_for(512) == 4
+        assert policy.level_for(10**9) == 4  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityPolicy(base_level=-1)
+        with pytest.raises(ValueError):
+            AvailabilityPolicy(first_threshold=0)
+        with pytest.raises(ValueError):
+            AvailabilityPolicy(growth=1)
+        with pytest.raises(ValueError):
+            AvailabilityPolicy(base_level=3, max_level=2)
+        with pytest.raises(ValueError):
+            AvailabilityPolicy.fixed(1).level_for(-1)
+
+    @given(
+        g1=st.integers(min_value=0, max_value=10**6),
+        g2=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=50)
+    def test_level_monotone_in_group_count(self, g1, g2):
+        policy = AvailabilityPolicy.scalable()
+        if g1 <= g2:
+            assert policy.level_for(g1) <= policy.level_for(g2)
+        else:
+            assert policy.level_for(g2) <= policy.level_for(g1)
+
+
+class TestGroupsOfFile:
+    def test_cases(self):
+        assert groups_of_file(0, 4) == []
+        assert groups_of_file(4, 4) == [4]
+        assert groups_of_file(5, 4) == [4, 1]
+        with pytest.raises(ValueError):
+            groups_of_file(-1, 4)
+        with pytest.raises(ValueError):
+            groups_of_file(4, 0)

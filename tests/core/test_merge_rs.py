@@ -1,0 +1,98 @@
+"""Tests for LH*RS bucket merges: parity maintained through shrink."""
+
+import pytest
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.sdds.coordinator import SplitPolicy
+from repro.sim.rng import make_rng
+
+
+def build(count=250, m=4, k=2, capacity=8, seed=9, split_policy=None, **kw):
+    file = LHRSFile(
+        LHRSConfig(group_size=m, availability=k, bucket_capacity=capacity, **kw),
+        split_policy=split_policy,
+    )
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=count, replace=False)]
+    for key in keys:
+        file.insert(key, key.to_bytes(8, "big") * 2)
+    return file, keys
+
+
+class TestRSMerge:
+    def test_single_merge_keeps_parity_consistent(self):
+        file, keys = build()
+        before = file.bucket_count
+        file.rs_coordinator.merge_once()
+        assert file.bucket_count == before - 1
+        assert file.total_records() == len(keys)
+        assert file.verify_parity_consistency() == []
+
+    def test_merge_retires_singleton_group(self):
+        file, _ = build()
+        # Merge until the last bucket is a group's first (number % m == 0).
+        while (file.bucket_count - 1) % 4 != 0:
+            file.rs_coordinator.merge_once()
+        groups_before = len(file.group_levels())
+        dying = (file.bucket_count - 1) // 4
+        file.rs_coordinator.merge_once()
+        assert len(file.group_levels()) == groups_before - 1
+        assert f"f.p{dying}.0" not in file.network.nodes
+        assert file.verify_parity_consistency() == []
+
+    def test_deep_shrink_and_regrow(self):
+        file, keys = build(count=150)
+        # Empty the file first; merging an over-full file would be
+        # fought (correctly) by the coordinator's load control.
+        for key in keys[:140]:
+            file.delete(key)
+        survivors = keys[140:]
+        while file.bucket_count > 4:
+            file.rs_coordinator.merge_once()
+        assert file.total_records() == 10
+        assert file.verify_parity_consistency() == []
+        assert list(file.group_levels()) == [0]
+        for key in survivors:
+            assert file.search(key).found
+        # Regrow: groups and their parity come back.
+        rng = make_rng(10)
+        for key in rng.choice(10**8, size=200, replace=False):
+            file.insert(int(key), b"z" * 16)
+        assert len(file.group_levels()) > 1
+        assert file.verify_parity_consistency() == []
+
+    def test_recovery_still_works_after_merges(self):
+        file, keys = build()
+        for _ in range(3):
+            file.rs_coordinator.merge_once()
+        node = file.fail_data_bucket(1)
+        file.recover([node])
+        assert file.verify_parity_consistency() == []
+        sample = [k for k in keys if file.find_bucket_of(k) == 1][:5]
+        for key in sample:
+            assert file.search(key).found
+
+    def test_merge_cost_includes_regrouping(self):
+        """LH*RS merges pay parity re-grouping (contrast: LH*g's merges
+        of never-moved records would not); one delete-batch per source
+        parity bucket and one insert-batch per absorber parity bucket."""
+        file, _ = build(k=2)
+        with file.stats.measure("merge") as window:
+            file.rs_coordinator.merge_once()
+        assert window.by_kind.get("parity.batch", 0) >= 2
+
+    def test_underflow_policy_shrinks_rs_file(self):
+        file, keys = build(
+            count=600,
+            capacity=16,
+            split_policy=SplitPolicy(threshold=0.58, merge_threshold=0.25),
+        )
+
+        grown = file.bucket_count
+        for key in keys[: int(len(keys) * 0.92)]:
+            file.delete(key)
+        assert file.bucket_count < grown
+        assert file.verify_parity_consistency() == []
+        survivors = keys[int(len(keys) * 0.92):]
+        for key in survivors[::7]:
+            assert file.search(key).found

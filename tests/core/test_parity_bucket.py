@@ -1,0 +1,197 @@
+"""Unit tests of the parity bucket server in isolation."""
+
+import pytest
+
+from repro.core.parity_bucket import ParityServer
+from repro.gf import GF
+from repro.rs.generator import parity_matrix
+from repro.sim import Network, Node
+
+
+class Probe(Node):
+    """A bare sender node for driving the parity server."""
+
+
+@pytest.fixture
+def setup():
+    net = Network()
+    field = GF(8)
+    row0 = parity_matrix(field, 4, 1).row(0)  # all ones (XOR bucket)
+    row1 = parity_matrix(field, 4, 2).row(1)
+    p0 = ParityServer("f.p0.0", "f", group=0, index=0, row=row0, field=field)
+    p1 = ParityServer("f.p0.1", "f", group=0, index=1, row=row1, field=field)
+    probe = Probe("probe")
+    for node in (p0, p1, probe):
+        net.register(node)
+    return net, p0, p1, probe
+
+
+def op(action, key, rank, pos, delta, length=None):
+    return {
+        "op": action,
+        "key": key,
+        "rank": rank,
+        "pos": pos,
+        "delta": delta,
+        "length": len(delta) if length is None else length,
+    }
+
+
+class TestApply:
+    def test_insert_creates_record(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"abcd"))
+        record = p0.records[1]
+        assert record.keys == {0: 9}
+        assert record.lengths == {0: 4}
+        assert record.parity_bytes(p0.field) == b"abcd"
+
+    def test_xor_bucket_accumulates_xor(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        probe.send("f.p0.0", "parity.update", op("insert", 8, 1, 1, b"cd"))
+        expected = bytes(x ^ y for x, y in zip(b"ab", b"cd"))
+        assert p0.records[1].parity_bytes(p0.field) == expected
+        assert p0.xor_folds == 2 and p0.general_folds == 0
+
+    def test_second_parity_uses_general_gf(self, setup):
+        _, _, p1, probe = setup
+        probe.send("f.p0.1", "parity.update", op("insert", 9, 1, 1, b"zz"))
+        assert p1.general_folds == 1  # row 1, position 1: coefficient != 1
+
+    def test_first_column_is_xor_on_any_parity(self, setup):
+        """All-ones first column: position 0 folds by XOR everywhere."""
+        _, _, p1, probe = setup
+        probe.send("f.p0.1", "parity.update", op("insert", 9, 1, 0, b"zz"))
+        assert p1.xor_folds == 1
+        assert p1.records[1].parity_bytes(p1.field) == b"zz"
+
+    def test_update_changes_parity_and_length(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"aaaa"))
+        delta = bytes(x ^ y for x, y in zip(b"aaaa", b"bb\0\0"))
+        probe.send("f.p0.0", "parity.update", op("update", 9, 1, 0, delta, 2))
+        record = p0.records[1]
+        assert record.lengths == {0: 2}
+        assert record.parity_bytes(p0.field)[:2] == b"bb"
+
+    def test_delete_last_member_removes_record(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"abcd"))
+        probe.send("f.p0.0", "parity.update", op("delete", 9, 1, 0, b"abcd", 0))
+        assert 1 not in p0.records
+
+    def test_delete_keeps_record_with_other_members(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        probe.send("f.p0.0", "parity.update", op("insert", 8, 1, 2, b"cd"))
+        probe.send("f.p0.0", "parity.update", op("delete", 9, 1, 0, b"ab", 0))
+        assert p0.records[1].keys == {2: 8}
+        assert p0.records[1].parity_bytes(p0.field) == b"cd"
+
+    def test_batch(self, setup):
+        _, p0, _, probe = setup
+        probe.send(
+            "f.p0.0", "parity.batch",
+            {"ops": [op("insert", 9, 1, 0, b"ab"), op("insert", 8, 2, 1, b"cd")]},
+        )
+        assert set(p0.records) == {1, 2}
+
+    def test_bad_position_rejected(self, setup):
+        _, _, _, probe = setup
+        with pytest.raises(ValueError):
+            probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 7, b"ab"))
+
+    def test_bad_action_rejected(self, setup):
+        _, _, _, probe = setup
+        with pytest.raises(ValueError, match="unknown parity op"):
+            probe.send("f.p0.0", "parity.update", op("frobnicate", 9, 1, 0, b"ab"))
+
+    def test_symbol_ops_counted(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"abcdef"))
+        assert p0.symbol_ops == 6
+
+
+class TestQueries:
+    def test_locate_found_and_absent(self, setup):
+        _, _, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 42, 3, 1, b"xy"))
+        hit = probe.call("f.p0.0", "parity.locate", {"key": 42})
+        assert hit["rank"] == 3 and hit["pos"] == 1
+        assert probe.call("f.p0.0", "parity.locate", {"key": 99}) is None
+
+    def test_rank_query(self, setup):
+        _, _, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 42, 3, 1, b"xy"))
+        snap = probe.call("f.p0.0", "parity.rank", {"rank": 3})
+        assert snap["keys"] == {1: 42}
+        assert probe.call("f.p0.0", "parity.rank", {"rank": 4}) is None
+
+    def test_dump_and_load_roundtrip(self, setup):
+        net, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 42, 3, 1, b"xy"))
+        probe.send("f.p0.0", "parity.update", op("insert", 41, 2, 0, b"zw"))
+        dump = probe.call("f.p0.0", "parity.dump")
+        fresh = ParityServer("f.p0.9", "f", 0, 0, p0.row, p0.field)
+        net.register(fresh)
+        probe.send("f.p0.9", "parity.load", {"records": dump["records"]})
+        assert set(fresh.records) == {2, 3}
+        assert fresh.records[3].keys == {1: 42}
+
+    def test_status(self, setup):
+        _, _, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 42, 3, 1, b"xyz"))
+        status = probe.call("f.p0.0", "status")
+        assert status["records"] == 1
+        assert status["parity_bytes"] == 3
+
+
+class TestKeyIndex:
+    """§4.1's in-bucket secondary index (key -> rank)."""
+
+    def test_index_tracks_membership(self, setup):
+        _, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        probe.send("f.p0.0", "parity.update", op("insert", 8, 2, 1, b"cd"))
+        assert p0._key_index == {9: 1, 8: 2}
+        probe.send("f.p0.0", "parity.update", op("delete", 9, 1, 0, b"ab", 0))
+        assert p0._key_index == {8: 2}
+
+    def test_index_rebuilt_on_load(self, setup):
+        net, p0, _, probe = setup
+        probe.send("f.p0.0", "parity.update", op("insert", 42, 3, 1, b"xy"))
+        dump = probe.call("f.p0.0", "parity.dump")
+        fresh = ParityServer("f.p0.7", "f", 0, 0, p0.row, p0.field)
+        net.register(fresh)
+        probe.send("f.p0.7", "parity.load", {"records": dump["records"]})
+        assert fresh._key_index == {42: 3}
+        assert probe.call("f.p0.7", "parity.locate", {"key": 42})["rank"] == 3
+
+    def test_locate_uses_index_consistently(self, setup):
+        """Index answers must match a full scan of the records."""
+        _, p0, _, probe = setup
+        for i, key in enumerate((10, 11, 12, 13)):
+            probe.send("f.p0.0", "parity.update",
+                       op("insert", key, i + 1, i % 4, b"zz"))
+        for key in (10, 11, 12, 13):
+            hit = probe.call("f.p0.0", "parity.locate", {"key": key})
+            scan_hit = next(
+                (rank for rank, rec in p0.records.items()
+                 if key in rec.keys.values()),
+                None,
+            )
+            assert hit["rank"] == scan_hit
+
+
+class TestNestedRows:
+    def test_rows_nested_across_k(self):
+        """Row i of the (m, k) Cauchy parity matrix is independent of k —
+        raising availability never re-keys existing parity buckets."""
+        field = GF(8)
+        for m in (2, 4, 8):
+            for i in range(3):
+                rows = [
+                    parity_matrix(field, m, k).row(i) for k in range(i + 1, 5)
+                ]
+                assert all(r == rows[0] for r in rows)

@@ -1,0 +1,173 @@
+"""Property-based whole-system tests (DESIGN.md invariants 2, 3, 4).
+
+Hypothesis drives random operation sequences interleaved with random
+≤ k-per-group failures and recoveries; after every burst the file must
+be parity-consistent and equal to an oracle dict.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.sim.rng import make_rng
+
+KEYS = st.integers(min_value=0, max_value=4000)
+PAYLOADS = st.binary(min_size=0, max_size=40)
+
+
+def operations():
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), KEYS, PAYLOADS),
+            st.tuples(st.just("update"), KEYS, PAYLOADS),
+            st.tuples(st.just("delete"), KEYS, st.just(b"")),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=operations(), m=st.sampled_from([2, 4]), k=st.sampled_from([1, 2]),
+       compact=st.booleans())
+def test_any_operation_sequence_keeps_parity_consistent(ops, m, k, compact):
+    cfg = LHRSConfig(
+        group_size=m, availability=k, bucket_capacity=4, compact_ranks=compact
+    )
+    file = LHRSFile(cfg)
+    oracle: dict[int, bytes] = {}
+    for action, key, payload in ops:
+        if action == "insert":
+            file.insert(key, payload)
+            oracle[key] = payload
+        elif action == "update":
+            file.update(key, payload)
+            oracle[key] = payload
+        else:
+            file.delete(key)
+            oracle.pop(key, None)
+    assert file.verify_parity_consistency() == []
+    assert file.total_records() == len(oracle)
+    for key, payload in list(oracle.items())[:20]:
+        outcome = file.search(key)
+        assert outcome.found and outcome.value == payload
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    ops=operations(),
+    k=st.sampled_from([1, 2]),
+    merges=st.integers(min_value=0, max_value=4),
+)
+def test_property_merges_interleaved_with_operations(ops, k, merges):
+    """Invariants hold through arbitrary op sequences with merges mixed
+    in (every Nth op triggers a shrink attempt when allowed)."""
+    cfg = LHRSConfig(group_size=4, availability=k, bucket_capacity=4)
+    file = LHRSFile(cfg)
+    oracle: dict[int, bytes] = {}
+    stride = max(len(ops) // (merges + 1), 1)
+    for index, (action, key, payload) in enumerate(ops):
+        if action == "insert":
+            file.insert(key, payload)
+            oracle[key] = payload
+        elif action == "update":
+            file.update(key, payload)
+            oracle[key] = payload
+        else:
+            file.delete(key)
+            oracle.pop(key, None)
+        if merges and index % stride == stride - 1:
+            if file.bucket_count > file.config.group_size:
+                file.rs_coordinator.merge_once()
+    assert file.verify_parity_consistency() == []
+    assert file.total_records() == len(oracle)
+    for key, payload in list(oracle.items())[:15]:
+        outcome = file.search(key)
+        assert outcome.found and outcome.value == payload
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=operations(), k=st.sampled_from([1, 2]))
+def test_property_snapshot_restore_identity(ops, k):
+    """Any reachable file state snapshots and restores byte-identically,
+    and the restored file passes every consistency oracle."""
+    from repro.core.snapshot import restore_file, snapshot_file
+
+    cfg = LHRSConfig(group_size=4, availability=k, bucket_capacity=4)
+    file = LHRSFile(cfg)
+    for action, key, payload in ops:
+        if action == "insert":
+            file.insert(key, payload)
+        elif action == "update":
+            file.update(key, payload)
+        else:
+            file.delete(key)
+    restored = restore_file(snapshot_file(file), file_id="r")
+    assert restored.census_with_ranks() == file.census_with_ranks()
+    assert restored.levels_census() == file.levels_census()
+    assert restored.verify_parity_consistency() == []
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    ops=operations(),
+    k=st.sampled_from([1, 2]),
+    failure_seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_random_failures_within_k_always_recover_exactly(
+    ops, k, failure_seed, data
+):
+    cfg = LHRSConfig(group_size=4, availability=k, bucket_capacity=4)
+    file = LHRSFile(cfg)
+    oracle: dict[int, bytes] = {}
+    for action, key, payload in ops:
+        if action == "insert":
+            file.insert(key, payload)
+            oracle[key] = payload
+        elif action == "update":
+            file.update(key, payload)
+            oracle[key] = payload
+        else:
+            file.delete(key)
+            oracle.pop(key, None)
+
+    # Fail up to k members (data and/or parity) in up to 3 random groups.
+    rng = make_rng(failure_seed)
+    groups = sorted(file.group_levels())
+    chosen = [g for g in groups if rng.random() < 0.5][:3] or groups[:1]
+    failed: list[str] = []
+    for g in chosen:
+        members = [
+            f"{file.file_id}.d{b}"
+            for b in range(g * 4, min((g + 1) * 4, file.bucket_count))
+        ] + [f"{file.file_id}.p{g}.{i}" for i in range(k)]
+        count = int(rng.integers(1, k + 1))
+        picks = rng.choice(len(members), size=min(count, len(members)), replace=False)
+        for i in picks:
+            file.network.fail(members[i])
+            failed.append(members[i])
+
+    before = file.census_with_ranks()
+    file.recover(failed)
+    assert file.census_with_ranks() == before
+    assert file.verify_parity_consistency() == []
+    for key, payload in list(oracle.items())[:10]:
+        outcome = file.search(key)
+        assert outcome.found and outcome.value == payload

@@ -1,0 +1,92 @@
+"""Tests for whole-file snapshot and restore."""
+
+import pytest
+
+from repro.core import AvailabilityPolicy, LHRSConfig, LHRSFile
+from repro.core.snapshot import from_json, restore_file, snapshot_file, to_json
+from repro.sim.rng import make_rng
+
+
+def build(count=250, seed=31, **kw):
+    defaults = dict(group_size=4, availability=2, bucket_capacity=8)
+    defaults.update(kw)
+    file = LHRSFile(LHRSConfig(**defaults))
+    rng = make_rng(seed)
+    keys = [int(x) for x in rng.choice(10**9, size=count, replace=False)]
+    for key in keys:
+        file.insert(key, key.to_bytes(8, "big") * 2)
+    return file, keys
+
+
+class TestRoundtrip:
+    def test_restore_is_byte_identical(self):
+        original, _ = build()
+        restored = restore_file(snapshot_file(original), file_id="r")
+        assert restored.census_with_ranks() == original.census_with_ranks()
+        assert restored.levels_census() == original.levels_census()
+        assert restored.group_levels() == original.group_levels()
+        assert restored.coordinator.state.as_tuple() == (
+            original.coordinator.state.as_tuple()
+        )
+        assert restored.verify_parity_consistency() == []
+
+    def test_restored_file_fully_operational(self):
+        original, keys = build()
+        restored = restore_file(snapshot_file(original), file_id="r")
+        assert restored.search(keys[0]).found
+        restored.insert(10**9 + 5, b"post-restore")
+        restored.update(keys[1], b"changed")
+        restored.delete(keys[2])
+        assert restored.verify_parity_consistency() == []
+        # And it can still recover from failures.
+        node = restored.fail_data_bucket(1)
+        restored.recover([node])
+        assert restored.verify_parity_consistency() == []
+
+    def test_json_roundtrip(self):
+        original, _ = build(count=120)
+        text = to_json(snapshot_file(original))
+        assert isinstance(text, str)
+        restored = restore_file(from_json(text), file_id="j")
+        assert restored.census_with_ranks() == original.census_with_ranks()
+        assert restored.verify_parity_consistency() == []
+
+    def test_snapshot_flushes_lazy_queues(self):
+        original, keys = build(parity_batch_size=16)
+        original.update(keys[0], b"queued-then-snapshotted")
+        snap = snapshot_file(original)
+        restored = restore_file(snap, file_id="r")
+        assert restored.search(keys[0]).value == b"queued-then-snapshotted"
+        assert restored.verify_parity_consistency() == []
+
+    def test_scalable_levels_survive(self):
+        policy = AvailabilityPolicy.scalable(
+            base_level=1, first_threshold=4, growth=4, max_level=3
+        )
+        original, _ = build(count=400, availability=1, policy=policy)
+        assert max(original.group_levels().values()) >= 2
+        restored = restore_file(snapshot_file(original), file_id="r")
+        assert restored.group_levels() == original.group_levels()
+        assert restored.verify_parity_consistency() == []
+
+    def test_gf16_snapshot(self):
+        original, _ = build(field_width=16, count=150)
+        restored = restore_file(snapshot_file(original), file_id="r")
+        assert restored.census_with_ranks() == original.census_with_ranks()
+        assert restored.verify_parity_consistency() == []
+
+
+class TestValidation:
+    def test_version_check(self):
+        original, _ = build(count=30)
+        snap = snapshot_file(original)
+        snap["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            restore_file(snap)
+
+    def test_state_consistency_check(self):
+        original, _ = build(count=30)
+        snap = snapshot_file(original)
+        snap["state"]["n"] += 1
+        with pytest.raises(ValueError, match="split count"):
+            restore_file(snap)

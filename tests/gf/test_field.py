@@ -1,0 +1,232 @@
+"""Unit and property tests for GF(2^w) scalar and payload arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+
+WIDTHS = [4, 8, 16]
+
+
+@pytest.fixture(params=WIDTHS, ids=[f"gf{w}" for w in WIDTHS])
+def field(request):
+    return GF(request.param)
+
+
+def elements(width, min_value=0):
+    return st.integers(min_value=min_value, max_value=(1 << width) - 1)
+
+
+# ----------------------------------------------------------------------
+# scalar axioms
+# ----------------------------------------------------------------------
+class TestScalarAxioms:
+    @given(data=st.data())
+    def test_mul_commutative(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        a = data.draw(elements(width))
+        b = data.draw(elements(width))
+        assert f.mul(a, b) == f.mul(b, a)
+
+    @given(data=st.data())
+    def test_mul_associative(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        a, b, c = (data.draw(elements(width)) for _ in range(3))
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+    @given(data=st.data())
+    def test_distributive(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        a, b, c = (data.draw(elements(width)) for _ in range(3))
+        assert f.mul(a, b ^ c) == f.mul(a, b) ^ f.mul(a, c)
+
+    @given(data=st.data())
+    def test_inverse_roundtrip(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        a = data.draw(elements(width, min_value=1))
+        assert f.mul(a, f.inv(a)) == 1
+
+    @given(data=st.data())
+    def test_div_is_mul_by_inverse(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        a = data.draw(elements(width))
+        b = data.draw(elements(width, min_value=1))
+        assert f.div(a, b) == f.mul(a, f.inv(b))
+
+    def test_identities(self, field):
+        for a in range(min(field.order, 64)):
+            assert field.mul(a, 1) == a
+            assert field.mul(a, 0) == 0
+            assert field.add(a, 0) == a
+            assert field.add(a, a) == 0  # characteristic 2
+
+    def test_exhaustive_gf4_multiplication_closed_and_invertible(self):
+        f = GF(4)
+        for a in range(16):
+            for b in range(16):
+                p = f.mul(a, b)
+                assert 0 <= p < 16
+                if a and b:
+                    assert p != 0  # no zero divisors
+
+
+# ----------------------------------------------------------------------
+# error handling
+# ----------------------------------------------------------------------
+class TestErrors:
+    def test_out_of_range_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.mul(field.order, 1)
+        with pytest.raises(ValueError):
+            field.add(-1, 0)
+
+    def test_zero_division(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            GF(7)
+
+    def test_pow_of_zero(self, field):
+        assert field.pow(0, 0) == 1
+        assert field.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            field.pow(0, -1)
+
+
+# ----------------------------------------------------------------------
+# pow / log
+# ----------------------------------------------------------------------
+class TestPowLog:
+    def test_pow_matches_repeated_mul(self, field):
+        a = 3 % field.order or 1
+        acc = 1
+        for e in range(10):
+            assert field.pow(a, e) == acc
+            acc = field.mul(acc, a)
+
+    def test_negative_pow(self, field):
+        a = 5 % field.order or 3
+        assert field.mul(field.pow(a, -1), a) == 1
+
+    def test_log_exp_roundtrip(self, field):
+        for e in range(0, field.group_order, max(1, field.group_order // 50)):
+            assert field.log(field.exp(e)) == e % field.group_order
+
+
+# ----------------------------------------------------------------------
+# vectorized symbol ops agree with scalar ops
+# ----------------------------------------------------------------------
+class TestVectorized:
+    @given(data=st.data())
+    @settings(max_examples=50)
+    def test_mul_symbols_matches_scalar(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        scalar = data.draw(elements(width))
+        values = data.draw(st.lists(elements(width), min_size=1, max_size=32))
+        arr = np.array(values, dtype=f.symbol_dtype)
+        out = f.mul_symbols(arr, scalar)
+        assert out.dtype == f.symbol_dtype
+        assert [int(v) for v in out] == [f.mul(v, scalar) for v in values]
+
+    def test_mul_row_cached_and_correct(self):
+        f = GF(8)
+        row = f.mul_row(7)
+        assert row is f.mul_row(7)
+        for x in (0, 1, 2, 100, 255):
+            assert int(row[x]) == f.mul(7, x)
+
+    def test_mul_row_rejected_for_wide_fields(self):
+        with pytest.raises(ValueError):
+            GF(16).mul_row(3)
+
+
+# ----------------------------------------------------------------------
+# byte payload conversions
+# ----------------------------------------------------------------------
+class TestPayloads:
+    @given(data=st.binary(max_size=64), width=st.sampled_from(WIDTHS))
+    def test_symbols_bytes_roundtrip(self, data, width):
+        f = GF(width)
+        symbols = f.symbols_from_bytes(data)
+        assert f.bytes_from_symbols(symbols, len(data)) == data
+
+    @given(
+        data=st.binary(max_size=64),
+        width=st.sampled_from(WIDTHS),
+        pad=st.integers(min_value=0, max_value=16),
+    )
+    def test_padded_roundtrip(self, data, width, pad):
+        f = GF(width)
+        length = f.symbol_length_for_bytes(len(data)) + pad
+        symbols = f.symbols_from_bytes(data, length)
+        assert len(symbols) == length
+        assert f.bytes_from_symbols(symbols, len(data)) == data
+
+    def test_symbols_from_bytes_rejects_short_target(self):
+        f = GF(8)
+        with pytest.raises(ValueError):
+            f.symbols_from_bytes(b"abcdef", 2)
+
+    @given(a=st.binary(max_size=32), b=st.binary(max_size=32))
+    def test_add_bytes_is_padded_xor(self, a, b):
+        f = GF(8)
+        out = f.add_bytes(a, b)
+        assert len(out) == max(len(a), len(b))
+        for i, byte in enumerate(out):
+            av = a[i] if i < len(a) else 0
+            bv = b[i] if i < len(b) else 0
+            assert byte == av ^ bv
+
+    @given(a=st.binary(max_size=32), b=st.binary(max_size=32))
+    def test_add_bytes_self_inverse(self, a, b):
+        f = GF(8)
+        twice = f.add_bytes(f.add_bytes(a, b), b)
+        assert twice[: len(a)] == a
+
+    @given(
+        width=st.sampled_from(WIDTHS),
+        scalar_seed=st.integers(min_value=0, max_value=1 << 16),
+        data=st.binary(min_size=1, max_size=48),
+    )
+    @settings(max_examples=60)
+    def test_scale_accumulate_matches_reference(self, width, scalar_seed, data):
+        f = GF(width)
+        scalar = scalar_seed % f.order
+        acc = np.zeros(f.symbol_length_for_bytes(len(data)) + 3, dtype=f.symbol_dtype)
+        f.scale_accumulate(acc, scalar, data)
+        expected = f.mul_symbols(f.symbols_from_bytes(data), scalar)
+        assert (acc[: len(expected)] == expected).all()
+        assert (acc[len(expected):] == 0).all()
+
+    def test_scale_accumulate_overflow_rejected(self):
+        f = GF(8)
+        acc = np.zeros(2, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            f.scale_accumulate(acc, 3, b"abcdef")
+
+    def test_scale_accumulate_noop_cases(self):
+        f = GF(8)
+        acc = np.arange(4, dtype=np.uint8)
+        f.scale_accumulate(acc, 0, b"abcd")
+        assert (acc == np.arange(4)).all()
+        f.scale_accumulate(acc, 5, b"")
+        assert (acc == np.arange(4)).all()
+
+
+def test_field_equality_and_hash():
+    assert GF(8) == GF(8)
+    assert GF(8) != GF(16)
+    assert hash(GF(8)) == hash(GF(8))
+    assert repr(GF(8)) == "GF(2^8)"

@@ -1,0 +1,170 @@
+"""Unit and property tests for matrices over GF(2^w)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF, GFMatrix
+
+
+@pytest.fixture
+def f8():
+    return GF(8)
+
+
+class TestConstruction:
+    def test_identity(self, f8):
+        eye = GFMatrix.identity(f8, 3)
+        assert eye.rows == eye.cols == 3
+        assert eye[0, 0] == 1 and eye[0, 1] == 0
+
+    def test_rejects_non_2d(self, f8):
+        with pytest.raises(ValueError):
+            GFMatrix(f8, [1, 2, 3])
+
+    def test_rejects_out_of_field(self, f8):
+        with pytest.raises(ValueError):
+            GFMatrix(f8, [[256]])
+        with pytest.raises(ValueError):
+            GFMatrix(f8, [[-1]])
+
+    def test_vandermonde_shape_and_values(self, f8):
+        v = GFMatrix.vandermonde(f8, 4, 3)
+        assert (v.rows, v.cols) == (4, 3)
+        for i in range(4):
+            for j in range(3):
+                assert v[i, j] == f8.pow(i, j)
+
+    def test_vandermonde_too_many_rows(self):
+        with pytest.raises(ValueError):
+            GFMatrix.vandermonde(GF(4), 17, 2)
+
+    def test_cauchy_validation(self, f8):
+        with pytest.raises(ValueError):
+            GFMatrix.cauchy(f8, [1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            GFMatrix.cauchy(f8, [1, 2], [2, 3])
+
+    def test_cauchy_values(self, f8):
+        c = GFMatrix.cauchy(f8, [4, 5], [0, 1, 2])
+        for i, x in enumerate([4, 5]):
+            for j, y in enumerate([0, 1, 2]):
+                assert c[i, j] == f8.inv(x ^ y)
+
+
+class TestArithmetic:
+    def test_matmul_identity(self, f8):
+        a = GFMatrix(f8, [[3, 7], [1, 255]])
+        eye = GFMatrix.identity(f8, 2)
+        assert a @ eye == a
+        assert eye @ a == a
+
+    def test_matmul_shape_mismatch(self, f8):
+        a = GFMatrix(f8, [[1, 2]])
+        with pytest.raises(ValueError):
+            _ = a @ a
+
+    def test_add_is_xor(self, f8):
+        a = GFMatrix(f8, [[3, 7]])
+        b = GFMatrix(f8, [[1, 1]])
+        assert (a + b).data.tolist() == [[2, 6]]
+
+    def test_field_mismatch_rejected(self):
+        a = GFMatrix(GF(8), [[1]])
+        b = GFMatrix(GF(16), [[1]])
+        with pytest.raises(ValueError):
+            _ = a @ b
+
+    def test_mul_vector_matches_matmul(self, f8):
+        a = GFMatrix(f8, [[3, 7], [9, 11]])
+        v = [5, 6]
+        column = GFMatrix(f8, [[5], [6]])
+        assert a.mul_vector(v) == [row[0] for row in (a @ column).data.tolist()]
+
+    def test_scale_row_col(self, f8):
+        a = GFMatrix(f8, [[1, 2], [3, 4]])
+        assert a.scale_row(0, 2).data.tolist()[0] == [2, 4]
+        assert a.scale_col(1, 2).col(1) == [4, 8]
+        with pytest.raises(ValueError):
+            a.scale_row(0, 0)
+        with pytest.raises(ValueError):
+            a.scale_col(0, 0)
+
+
+class TestInverse:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           n=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_nonsingular_inverse_roundtrip(self, seed, n):
+        f = GF(8)
+        rng = np.random.default_rng(seed)
+        # Rejection-sample a nonsingular matrix.
+        for _ in range(64):
+            m = GFMatrix(f, rng.integers(0, 256, size=(n, n)))
+            if m.is_nonsingular():
+                break
+        else:
+            pytest.skip("no nonsingular sample found (vanishingly unlikely)")
+        eye = GFMatrix.identity(f, n)
+        assert m @ m.inverse() == eye
+        assert m.inverse() @ m == eye
+
+    def test_singular_raises(self, f8):
+        with pytest.raises(ValueError, match="singular"):
+            GFMatrix(f8, [[1, 2], [1, 2]]).inverse()
+
+    def test_non_square_raises(self, f8):
+        with pytest.raises(ValueError):
+            GFMatrix(f8, [[1, 2]]).inverse()
+
+    def test_rank(self, f8):
+        assert GFMatrix(f8, [[1, 2], [1, 2]]).rank() == 1
+        assert GFMatrix.identity(f8, 4).rank() == 4
+        assert GFMatrix.zeros(f8, 3, 3).rank() == 0
+        assert GFMatrix(f8, [[1, 2, 3], [4, 5, 6]]).rank() == 2
+
+
+class TestSystematize:
+    def test_vandermonde_systematic_top_block(self, f8):
+        tall = GFMatrix.vandermonde(f8, 6, 4)
+        sys = tall.systematize()
+        assert sys.take_rows(range(4)) == GFMatrix.identity(f8, 4)
+
+    def test_systematize_preserves_mds_row_space(self, f8):
+        """Any 4 rows of the systematized 6x4 Vandermonde stay independent."""
+        from itertools import combinations
+
+        sys = GFMatrix.vandermonde(f8, 6, 4).systematize()
+        for rows in combinations(range(6), 4):
+            assert sys.take_rows(rows).is_nonsingular()
+
+    def test_systematize_requires_tall(self, f8):
+        with pytest.raises(ValueError):
+            GFMatrix(f8, [[1, 2, 3]]).systematize()
+
+
+class TestSubmatrixProperty:
+    def test_cauchy_all_submatrices_nonsingular(self, f8):
+        c = GFMatrix.cauchy(f8, [8, 9, 10], [0, 1, 2, 3])
+        assert c.all_square_submatrices_nonsingular()
+
+    def test_detects_singular_submatrix(self, f8):
+        m = GFMatrix(f8, [[1, 1], [1, 1]])
+        assert not m.all_square_submatrices_nonsingular()
+
+    def test_zero_entry_fails(self, f8):
+        m = GFMatrix(f8, [[1, 0], [1, 1]])
+        assert not m.all_square_submatrices_nonsingular()
+
+
+class TestSelection:
+    def test_take_rows_cols_and_stack(self, f8):
+        m = GFMatrix(f8, [[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.take_rows([2, 0]).data.tolist() == [[7, 8, 9], [1, 2, 3]]
+        assert m.take_cols([1]).data.tolist() == [[2], [5], [8]]
+        stacked = m.take_cols([0]).hstack(m.take_cols([2]))
+        assert stacked.data.tolist() == [[1, 3], [4, 6], [7, 9]]
+        assert m.transpose().data.tolist() == [[1, 4, 7], [2, 5, 8], [3, 6, 9]]
+        assert m.row(1) == [4, 5, 6]
+        assert m.copy() == m

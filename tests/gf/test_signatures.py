@@ -1,0 +1,90 @@
+"""Tests for algebraic signatures: the properties the audit relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+from repro.gf.signatures import combine, signature, signature_vector
+
+
+class TestBasics:
+    def test_empty_and_zero_payloads(self):
+        f = GF(8)
+        assert signature(f, b"") == 0
+        assert signature(f, b"\0" * 16) == 0
+
+    def test_padding_invariance(self):
+        """Zero padding never changes a signature — the property that
+        lets record-group members sign their own lengths."""
+        f = GF(8)
+        data = b"some payload"
+        assert signature(f, data) == signature(f, data + b"\0" * 40)
+        assert signature(f, data) == signature(
+            f, data, length=f.symbol_length_for_bytes(len(data)) + 7
+        )
+
+    def test_alpha_validation(self):
+        f = GF(8)
+        with pytest.raises(ValueError):
+            signature(f, b"x", alpha=0)
+        with pytest.raises(ValueError):
+            signature_vector(f, b"x", count=0)
+
+    def test_vector_components_differ(self):
+        f = GF(8)
+        sig = signature_vector(f, b"hello world", count=3)
+        assert len(sig) == 3
+        assert len(set(sig)) > 1
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_detects_any_single_byte_flip(self, width):
+        f = GF(width)
+        data = bytes(range(64))
+        base = signature(f, data)
+        for i in range(0, 64, 7):
+            corrupted = bytearray(data)
+            corrupted[i] ^= 0x5A
+            assert signature(f, bytes(corrupted)) != base
+
+
+class TestLinearity:
+    @given(a=st.binary(min_size=1, max_size=40),
+           b=st.binary(min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_additive(self, a, b):
+        f = GF(8)
+        length = max(len(a), len(b))
+        xor = bytes(
+            x ^ y for x, y in zip(a.ljust(length, b"\0"),
+                                  b.ljust(length, b"\0"))
+        )
+        assert signature(f, xor) == signature(f, a) ^ signature(f, b)
+
+    @given(data=st.binary(min_size=1, max_size=40),
+           scalar=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=40)
+    def test_scalar_commutes(self, data, scalar):
+        f = GF(8)
+        scaled = f.bytes_from_symbols(
+            f.mul_symbols(f.symbols_from_bytes(data), scalar)
+        )
+        assert signature(f, scaled) == f.mul(scalar, signature(f, data))
+
+    def test_commutes_with_rs_parity(self):
+        """sig(parity) = combine(coefficients, member sigs) — the audit
+        identity, end to end through the real codec."""
+        from repro.rs import RSCodec
+
+        f = GF(8)
+        codec = RSCodec(m=4, k=3, field=f)
+        payloads = [b"alpha" * 3, b"bravo!", b"charlie" * 2, b"d"]
+        parity = codec.encode(payloads)
+        member_sigs = [signature(f, p) for p in payloads]
+        for i in range(3):
+            row = [codec.coefficient(i, j) for j in range(4)]
+            assert signature(f, parity[i]) == combine(f, row, member_sigs)
+
+    def test_combine_validation(self):
+        with pytest.raises(ValueError):
+            combine(GF(8), [1, 2], [3])

@@ -1,0 +1,55 @@
+"""Unit tests for GF(2^w) log/antilog table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf.tables import LOG_ZERO_SENTINEL, PRIMITIVE_POLYNOMIALS, build_tables
+
+
+@pytest.mark.parametrize("width", sorted(PRIMITIVE_POLYNOMIALS))
+def test_exp_is_a_permutation_of_nonzero_elements(width):
+    exp, _ = build_tables(width)
+    group = (1 << width) - 1
+    assert sorted(exp[:group]) == list(range(1, group + 1))
+
+
+@pytest.mark.parametrize("width", sorted(PRIMITIVE_POLYNOMIALS))
+def test_exp_table_is_doubled_for_modless_indexing(width):
+    exp, _ = build_tables(width)
+    group = (1 << width) - 1
+    assert len(exp) == 2 * group
+    assert (exp[group:] == exp[:group]).all()
+
+
+@pytest.mark.parametrize("width", sorted(PRIMITIVE_POLYNOMIALS))
+def test_log_inverts_exp(width):
+    exp, log = build_tables(width)
+    group = (1 << width) - 1
+    for i in range(group):
+        assert log[exp[i]] == i
+
+
+@pytest.mark.parametrize("width", sorted(PRIMITIVE_POLYNOMIALS))
+def test_log_zero_is_sentinel(width):
+    _, log = build_tables(width)
+    assert log[0] == LOG_ZERO_SENTINEL
+
+
+def test_unsupported_width_rejected():
+    with pytest.raises(ValueError, match="unsupported field width"):
+        build_tables(12)
+
+
+def test_tables_are_cached():
+    a = build_tables(8)
+    b = build_tables(8)
+    assert a[0] is b[0] and a[1] is b[1]
+
+
+@pytest.mark.parametrize("width", sorted(PRIMITIVE_POLYNOMIALS))
+def test_generator_has_full_order(width):
+    """alpha must generate the whole multiplicative group (primitivity)."""
+    exp, _ = build_tables(width)
+    group = (1 << width) - 1
+    assert exp[0] == 1
+    assert len(np.unique(exp[:group])) == group

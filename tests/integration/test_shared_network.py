@@ -1,0 +1,64 @@
+"""Multiple files sharing one network (the papers: files share servers)."""
+
+from repro.baselines import LHMFile
+from repro.core import LHRSConfig, LHRSFile
+from repro.sdds import LHStarFile
+from repro.sim import Network
+from repro.sim.rng import make_rng
+
+
+class TestSharedNetwork:
+    def test_two_lhrs_files_coexist(self):
+        network = Network()
+        alpha = LHRSFile(
+            LHRSConfig(group_size=4, availability=1, bucket_capacity=8),
+            file_id="alpha", network=network,
+        )
+        beta = LHRSFile(
+            LHRSConfig(group_size=8, availability=2, bucket_capacity=8),
+            file_id="beta", network=network,
+        )
+        rng = make_rng(29)
+        keys = [int(x) for x in rng.choice(10**9, size=200, replace=False)]
+        for key in keys:
+            alpha.insert(key, b"A" + key.to_bytes(8, "big"))
+            beta.insert(key, b"B" + key.to_bytes(8, "big"))
+        for key in keys[::9]:
+            assert alpha.search(key).value[0:1] == b"A"
+            assert beta.search(key).value[0:1] == b"B"
+        assert alpha.verify_parity_consistency() == []
+        assert beta.verify_parity_consistency() == []
+
+    def test_failure_in_one_file_does_not_touch_the_other(self):
+        network = Network()
+        alpha = LHRSFile(
+            LHRSConfig(bucket_capacity=8), file_id="alpha", network=network
+        )
+        beta = LHRSFile(
+            LHRSConfig(bucket_capacity=8), file_id="beta", network=network
+        )
+        for key in range(150):
+            alpha.insert(key, b"a")
+            beta.insert(key, b"b")
+        stats_before = network.stats.total.messages
+        node = alpha.fail_data_bucket(1)
+        alpha.recover([node])
+        assert beta.verify_parity_consistency() == []
+        assert all(beta.search(k).found for k in range(0, 150, 17))
+        assert network.stats.total.messages > stats_before
+
+    def test_mixed_schemes_share_a_network(self):
+        network = Network()
+        lhrs = LHRSFile(
+            LHRSConfig(bucket_capacity=8), file_id="rs", network=network
+        )
+        plain = LHStarFile(file_id="plain", capacity=8, network=network)
+        mirrored = LHMFile(file_id="mir", capacity=8, network=network)
+        for key in range(120):
+            lhrs.insert(key, b"x")
+            plain.insert(key, b"y")
+            mirrored.insert(key, b"z")
+        assert lhrs.search(7).value == b"x"
+        assert plain.search(7).value == b"y"
+        assert mirrored.search(7).value == b"z"
+        assert mirrored.verify_mirror_consistency() == []

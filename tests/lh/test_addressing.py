@@ -1,0 +1,257 @@
+"""Tests for the LH* addressing algorithms A1/A2/A3.
+
+The central published guarantees are pinned here as properties:
+* A1+A2 deliver any key to its correct bucket in at most two forwarding
+  hops, from *any* stale-but-valid client image;
+* A3 makes the same addressing error impossible twice;
+* a fresh client converges after O(log M) IAMs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lh import (
+    ClientImage,
+    FileState,
+    adjust_image,
+    bucket_level,
+    h,
+    lh_address,
+    server_action,
+    split_records,
+)
+from repro.lh.addressing import max_bucket
+
+
+class TestHashFamily:
+    def test_h_basic(self):
+        assert h(0, 17) == 0
+        assert h(3, 17) == 1
+        assert h(3, 17, n0=3) == 17 % 24
+
+    def test_h_nested_refinement(self):
+        """h_{l+1} refines h_l: equal h_{l+1} implies equal h_l."""
+        for key in range(200):
+            for level in range(4):
+                a = h(level + 1, key)
+                assert a % ((1 << level)) == h(level, key)
+
+    def test_h_validation(self):
+        with pytest.raises(ValueError):
+            h(-1, 5)
+        with pytest.raises(ValueError):
+            h(0, 5, n0=0)
+
+
+def valid_states(max_level=8, n0s=(1, 2, 3, 4)):
+    """Strategy producing valid (n0, n, i) file states."""
+    return st.builds(
+        lambda n0, i, frac: (n0, int(frac * ((1 << i) * n0 - 1)) if i or n0 > 1 else 0, i),
+        st.sampled_from(n0s),
+        st.integers(min_value=0, max_value=max_level),
+        st.floats(min_value=0, max_value=1, exclude_max=True),
+    )
+
+
+class TestA1:
+    @given(state=valid_states(), key=st.integers(min_value=0, max_value=10**9))
+    def test_address_in_range(self, state, key):
+        n0, n, i = state
+        a = lh_address(key, n, i, n0)
+        assert 0 <= a < n + (1 << i) * n0
+
+    @given(state=valid_states(), key=st.integers(min_value=0, max_value=10**9))
+    def test_address_matches_bucket_level_hash(self, state, key):
+        """The correct address satisfies h_{j_a}(key) == a."""
+        n0, n, i = state
+        a = lh_address(key, n, i, n0)
+        j = bucket_level(a, n, i, n0)
+        assert h(j, key, n0) == a
+
+    def test_worked_example(self):
+        # File with N=1 at state n=1, i=1 (buckets 0,1,2): keys mod 2,
+        # except bucket 0 has split so keys hashing to 0 use mod 4.
+        assert lh_address(4, 1, 1) == 0
+        assert lh_address(2, 1, 1) == 2
+        assert lh_address(3, 1, 1) == 1
+        assert lh_address(6, 1, 1) == 2
+
+
+class TestA2TwoHopGuarantee:
+    @staticmethod
+    def route(key, start, state: FileState, max_hops=5):
+        """Follow A2 forwarding from ``start`` until accepted."""
+        hops = 0
+        m = start
+        while True:
+            j = state.level_of(m)
+            accept, forward = server_action(key, m, j, state.n0)
+            if accept:
+                return m, hops
+            m = forward
+            hops += 1
+            if hops > max_hops:  # pragma: no cover
+                raise AssertionError("forwarding did not terminate")
+
+    @given(
+        n0=st.sampled_from([1, 2, 4]),
+        total_splits=st.integers(min_value=0, max_value=40),
+        image_lag=st.integers(min_value=0, max_value=40),
+        key=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=300)
+    def test_at_most_two_hops_from_any_stale_image(
+        self, n0, total_splits, image_lag, key
+    ):
+        state = FileState(n0=n0)
+        image_splits = max(0, total_splits - image_lag)
+        image = FileState(n0=n0)
+        for _ in range(image_splits):
+            image.advance_split()
+        for _ in range(total_splits):
+            state.advance_split()
+
+        start = image.address(key)
+        final, hops = self.route(key, start, state)
+        assert final == state.address(key)
+        assert hops <= 2
+
+    def test_accept_at_correct_bucket_without_hops(self):
+        state = FileState(n0=1)
+        for _ in range(7):
+            state.advance_split()
+        for key in range(100):
+            a = state.address(key)
+            final, hops = self.route(key, a, state)
+            assert (final, hops) == (a, 0)
+
+
+class TestA3Convergence:
+    @given(
+        n0=st.sampled_from([1, 2, 4]),
+        total_splits=st.integers(min_value=0, max_value=60),
+        key=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=200)
+    def test_same_error_cannot_repeat(self, n0, total_splits, key):
+        state = FileState(n0=n0)
+        for _ in range(total_splits):
+            state.advance_split()
+        image = ClientImage(n0=n0)
+        a_guess = image.address(key)
+        a_true = state.address(key)
+        if a_guess != a_true:
+            image.adjust(state.level_of(a_true), a_true)
+            assert image.address(key) == a_true
+
+    def test_image_never_regresses(self):
+        """A3 from an already-converged image is a no-op."""
+        image = ClientImage(n0=1, n=2, i=3)
+        assert not image.adjust(2, 1)
+        assert (image.n, image.i) == (2, 3)
+
+    @pytest.mark.parametrize("total_splits", [15, 63, 255])
+    def test_fresh_client_needs_o_log_m_iams(self, total_splits):
+        """Expected O(log M) IAMs for a fresh client under a *random*
+        key workload (minimal-state A3 jumps are geometric in
+        expectation; adversarial sequential keys can force Θ(M))."""
+        import math
+
+        from repro.sim.rng import make_rng
+
+        state = FileState(n0=1)
+        for _ in range(total_splits):
+            state.advance_split()
+        image = ClientImage(n0=1)
+        iams = 0
+        rng = make_rng(42)
+        for key in rng.integers(0, 10**9, size=5000):
+            key = int(key)
+            guess = image.address(key)
+            true = state.address(key)
+            if guess != true:
+                image.adjust(state.level_of(true), true)
+                iams += 1
+        m = state.bucket_count
+        assert iams <= 3 * math.ceil(math.log2(m)) + 3
+
+
+class TestImageNeverAhead:
+    @given(
+        n0=st.sampled_from([1, 2, 4]),
+        total_splits=st.integers(min_value=0, max_value=60),
+        keys=st.lists(st.integers(min_value=0, max_value=10**9),
+                      min_size=1, max_size=30),
+    )
+    @settings(max_examples=200)
+    def test_image_never_points_past_the_file(self, n0, total_splits, keys):
+        """With minimal-state A3 the image always describes ≤ the real
+        file, so a client never addresses a nonexistent bucket."""
+        state = FileState(n0=n0)
+        for _ in range(total_splits):
+            state.advance_split()
+        image = ClientImage(n0=n0)
+        for key in keys:
+            guess = image.address(key)
+            assert guess < state.bucket_count
+            true = state.address(key)
+            if guess != true:
+                image.adjust(state.level_of(true), true)
+            assert image.bucket_count_estimate <= state.bucket_count
+
+
+class TestAdjustImageFunction:
+    def test_wraps_round(self):
+        # Server level 3 at address 7 = last bucket of the i'=2 round:
+        # image wraps to n'=0, i'=3.
+        i_new, n_new = adjust_image(0, 0, 3, 7)
+        assert (i_new, n_new) == (3, 0)
+
+    def test_no_change_when_level_not_greater(self):
+        assert adjust_image(3, 2, 3, 5) == (3, 2)
+
+
+class TestBucketLevel:
+    def test_levels_at_state(self):
+        # n0=1, n=1, i=2: buckets 0..4; 0 and 4 at level 3, 1..3 at 2.
+        assert bucket_level(0, 1, 2) == 3
+        assert bucket_level(1, 1, 2) == 2
+        assert bucket_level(3, 1, 2) == 2
+        assert bucket_level(4, 1, 2) == 3
+
+    def test_nonexistent_bucket(self):
+        with pytest.raises(ValueError):
+            bucket_level(5, 1, 2)
+        with pytest.raises(ValueError):
+            bucket_level(-1, 0, 0)
+
+    @given(state=valid_states(max_level=6))
+    def test_level_consistent_with_state_machine(self, state):
+        n0, n, i = state
+        fs = FileState(n0=n0, n=n, i=i)
+        for m in fs.buckets():
+            j = fs.level_of(m)
+            assert j in (i, i + 1)
+
+
+class TestSplitRecords:
+    def test_partition_against_hash(self):
+        keys = [k for k in range(100) if h(1, k) == 1]  # bucket 1, level 1
+        stay, move = split_records(keys, lambda k: k, m=1, j=1, n0=1)
+        assert all(h(2, k) == 1 for k in stay)
+        assert all(h(2, k) == 3 for k in move)
+        assert sorted(stay + move) == keys
+
+    def test_partition_only_sees_own_keys(self):
+        # Key 0 cannot be in bucket 1 at level 1; the helper asserts.
+        with pytest.raises(AssertionError):
+            split_records([0], lambda k: k, m=1, j=1, n0=1)
+
+
+class TestMaxBucket:
+    @given(state=valid_states(max_level=8))
+    def test_e1_identity(self, state):
+        n0, n, i = state
+        fs = FileState(n0=n0, n=n, i=i)
+        assert max_bucket(n, i, n0) == fs.bucket_count - 1

@@ -1,0 +1,118 @@
+"""Tests for FileState, ClientImage and Bucket."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lh import Bucket, ClientImage, FileState
+
+
+class TestFileState:
+    def test_initial(self):
+        fs = FileState(n0=4)
+        assert fs.bucket_count == 4
+        assert fs.as_tuple() == (0, 0)
+
+    def test_split_sequence_n0_1(self):
+        """The deterministic LH split order: 0; 0,1; 0,1,2,3; ..."""
+        fs = FileState(n0=1)
+        order = [fs.advance_split()[0] for _ in range(7)]
+        assert order == [0, 0, 1, 0, 1, 2, 3]
+
+    def test_split_targets_and_levels(self):
+        fs = FileState(n0=1)
+        src, tgt, lvl = fs.advance_split()
+        assert (src, tgt, lvl) == (0, 1, 1)
+        src, tgt, lvl = fs.advance_split()
+        assert (src, tgt, lvl) == (0, 2, 2)
+        src, tgt, lvl = fs.advance_split()
+        assert (src, tgt, lvl) == (1, 3, 2)
+
+    @given(n0=st.integers(min_value=1, max_value=8),
+           splits=st.integers(min_value=0, max_value=100))
+    def test_bucket_count_grows_by_one_per_split(self, n0, splits):
+        fs = FileState(n0=n0)
+        for expected in range(n0, n0 + splits):
+            assert fs.bucket_count == expected
+            fs.advance_split()
+        assert fs.bucket_count == n0 + splits
+
+    def test_next_split_does_not_mutate(self):
+        fs = FileState(n0=2)
+        before = fs.as_tuple()
+        fs.next_split()
+        assert fs.as_tuple() == before
+
+    def test_copy_is_independent(self):
+        fs = FileState(n0=1)
+        cp = fs.copy()
+        fs.advance_split()
+        assert cp.as_tuple() == (0, 0)
+
+    def test_invalid_n0(self):
+        with pytest.raises(ValueError):
+            FileState(n0=0)
+
+    def test_address_delegates_to_a1(self):
+        fs = FileState(n0=1, n=1, i=1)
+        assert fs.address(4) == 0
+        assert fs.address(6) == 2
+
+
+class TestClientImage:
+    def test_fresh_image(self):
+        img = ClientImage(n0=4)
+        assert img.bucket_count_estimate == 4
+        assert img.address(13) == 1
+
+    def test_adjust_counts(self):
+        img = ClientImage(n0=1)
+        assert img.adjust(3, 5)
+        assert img.adjustments == 1
+        assert not img.adjust(1, 0)
+        assert img.adjustments == 1
+
+    def test_reset(self):
+        img = ClientImage(n0=1, n=3, i=4, adjustments=7)
+        img.reset()
+        assert (img.n, img.i, img.adjustments) == (0, 0, 0)
+
+
+class TestBucket:
+    def test_put_get_delete(self):
+        b = Bucket(number=0, level=0, capacity=4)
+        assert b.put(1, "a")
+        assert not b.put(1, "b")
+        assert b.get(1) == "b"
+        assert 1 in b
+        assert b.delete(1) == "b"
+        assert 1 not in b
+        with pytest.raises(KeyError):
+            b.get(1)
+        with pytest.raises(KeyError):
+            b.delete(1)
+
+    def test_overflow_flag_is_soft(self):
+        b = Bucket(number=0, level=0, capacity=2)
+        b.put(1, "a")
+        b.put(2, "b")
+        assert not b.overflowing
+        b.put(3, "c")
+        assert b.overflowing
+        assert len(b) == 3
+
+    def test_load_factor(self):
+        b = Bucket(number=0, level=0, capacity=4)
+        b.put(1, "a")
+        b.put(2, "b")
+        assert b.load_factor == 0.5
+
+    def test_iteration_order_is_insertion(self):
+        b = Bucket(number=0, level=0, capacity=10)
+        for key in (5, 3, 9):
+            b.put(key, None)
+        assert list(b) == [5, 3, 9]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Bucket(number=0, level=0, capacity=0)

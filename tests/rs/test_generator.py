@@ -1,0 +1,70 @@
+"""Tests for the LH*RS generator construction."""
+
+import pytest
+
+from repro.gf import GF, GFMatrix
+from repro.rs.generator import generator_matrix, parity_matrix
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+@pytest.mark.parametrize("m,k", [(1, 1), (2, 1), (4, 2), (4, 3), (3, 3)])
+def test_cauchy_parity_has_all_ones_first_row_and_column(width, m, k):
+    p = parity_matrix(GF(width), m, k, "cauchy")
+    assert p.row(0) == [1] * m
+    assert p.col(0) == [1] * k
+
+
+@pytest.mark.parametrize("m,k", [(2, 2), (3, 2), (4, 3), (2, 4)])
+@pytest.mark.parametrize("kind", ["cauchy", "vandermonde"])
+def test_every_square_submatrix_nonsingular(m, k, kind):
+    """The defining MDS property: any ≤ k erasures are recoverable."""
+    p = parity_matrix(GF(8), m, k, kind)
+    assert p.all_square_submatrices_nonsingular()
+
+
+@pytest.mark.parametrize("kind", ["cauchy", "vandermonde"])
+def test_generator_rows_any_m_independent(kind):
+    from itertools import combinations
+
+    m, k = 4, 3
+    g = generator_matrix(GF(8), m, k, kind)
+    assert (g.rows, g.cols) == (m + k, m)
+    for rows in combinations(range(m + k), m):
+        assert g.take_rows(rows).is_nonsingular()
+
+
+def test_generator_top_block_is_identity():
+    g = generator_matrix(GF(8), 4, 2)
+    assert g.take_rows(range(4)) == GFMatrix.identity(GF(8), 4)
+
+
+def test_parity_matrix_cached_per_parameters():
+    f = GF(8)
+    assert parity_matrix(f, 4, 2) is parity_matrix(f, 4, 2)
+    assert parity_matrix(f, 4, 2) is not parity_matrix(f, 4, 3)
+
+
+def test_field_capacity_limit():
+    with pytest.raises(ValueError, match="wider field"):
+        parity_matrix(GF(4), 14, 3)
+    # Exactly at capacity is fine.
+    parity_matrix(GF(4), 13, 3)
+
+
+def test_invalid_parameters():
+    f = GF(8)
+    with pytest.raises(ValueError):
+        parity_matrix(f, 0, 1)
+    with pytest.raises(ValueError):
+        parity_matrix(f, 4, -1)
+    with pytest.raises(ValueError):
+        parity_matrix(f, 4, 1, "reed-muller")
+
+
+def test_vandermonde_generally_lacks_ones_structure():
+    """The ablation arm: raw systematic Vandermonde parity is MDS but its
+    rows are not normalized, so Δ-updates cannot use the XOR fast path."""
+    p = parity_matrix(GF(8), 4, 3, "vandermonde")
+    assert p.all_square_submatrices_nonsingular()
+    rows_all_ones = [p.row(i) == [1] * 4 for i in range(3)]
+    assert not all(rows_all_ones)

@@ -1,0 +1,142 @@
+"""Tests for bucket merges (file shrink) in plain LH*."""
+
+import pytest
+
+from repro.lh import FileState
+from repro.sdds import LHStarFile, SplitPolicy
+from repro.sim.rng import make_rng
+
+
+def grow(file, count, seed=7):
+    rng = make_rng(seed)
+    keys = [int(k) for k in rng.choice(10**9, size=count, replace=False)]
+    for key in keys:
+        file.insert(key, b"x" * 16)
+    return keys
+
+
+class TestRetreatMerge:
+    def test_inverse_of_advance(self):
+        state = FileState(n0=1)
+        history = []
+        for _ in range(25):
+            history.append(state.as_tuple())
+            state.advance_split()
+        for _ in range(25):
+            state.retreat_merge()
+            assert state.as_tuple() == history.pop()
+
+    def test_merge_pairs_match_split_pairs(self):
+        state = FileState(n0=4)
+        splits = [state.advance_split()[:2] for _ in range(13)]
+        merges = [state.retreat_merge()[:2] for _ in range(13)]
+        assert merges == list(reversed(splits))
+
+    def test_cannot_shrink_below_initial(self):
+        with pytest.raises(ValueError):
+            FileState(n0=1).retreat_merge()
+
+    def test_wrap_around_level(self):
+        state = FileState(n0=1, n=0, i=3)
+        source, target, level = state.retreat_merge()
+        assert (source, target, level) == (3, 7, 2)
+        assert state.as_tuple() == (3, 2)
+
+
+class TestMergeProtocol:
+    def test_merge_once_preserves_records(self):
+        file = LHStarFile(capacity=8)
+        keys = grow(file, 200)
+        before = file.bucket_count
+        source, target = file.coordinator.merge_once()
+        assert file.bucket_count == before - 1
+        assert target == before - 1
+        assert f"f.d{target}" not in file.network.nodes
+        assert file.total_records() == 200
+        for key in keys[::9]:
+            assert file.search(key).found
+
+    def test_placement_invariant_after_merges(self):
+        from repro.lh import addressing
+
+        file = LHStarFile(capacity=8)
+        grow(file, 200)
+        for _ in range(5):
+            file.coordinator.merge_once()
+        for server in file.data_servers():
+            for key in server.bucket:
+                assert addressing.h(server.level, key) == server.number
+
+    def test_shrink_to_initial_and_regrow(self):
+        """Shrink an emptied file back to one bucket, then regrow.
+
+        Records must be deleted first: merging an over-full file makes
+        the coordinator's load control split right back (by design).
+        """
+        file = LHStarFile(capacity=8)
+        keys = grow(file, 60)
+        for key in keys[:55]:
+            file.delete(key)
+        survivors = keys[55:]
+        while file.bucket_count > 1:
+            file.coordinator.merge_once()
+        assert file.total_records() == 5
+        assert not file.coordinator.state.splits_done
+        grow(file, 100, seed=8)
+        assert file.total_records() == 105
+        for key in survivors:
+            assert file.search(key).found
+
+    def test_stale_client_routed_and_corrected_after_shrink(self):
+        file = LHStarFile(capacity=8)
+        keys = grow(file, 200)
+        client = file.client
+        for key in keys:
+            client.search(key)  # converge on the grown file
+        for _ in range(8):
+            file.coordinator.merge_once()
+        # The image now points past the file; ops must still succeed
+        # (coordinator routing) and the image must be pulled back.
+        for key in keys[:40]:
+            assert client.search(key).found
+        state = file.coordinator.state
+        assert client.image.bucket_count_estimate <= state.bucket_count
+
+    def test_deterministic_scan_after_shrink(self):
+        file = LHStarFile(capacity=8)
+        keys = grow(file, 150)
+        for _ in range(4):
+            file.coordinator.merge_once()
+        result = file.new_client().scan()
+        assert result.complete
+        assert sorted(k for k, _ in result.records) == sorted(keys)
+
+
+class TestMergePolicy:
+    def test_underflow_triggers_merges(self):
+        file = LHStarFile(
+            capacity=16,
+            policy=SplitPolicy(threshold=0.58, merge_threshold=0.3),
+        )
+        keys = grow(file, 800)
+        grown = file.bucket_count
+        for key in keys[: int(len(keys) * 0.9)]:
+            file.delete(key)
+        assert file.bucket_count < grown
+        remaining = [k for k in keys[int(len(keys) * 0.9):]]
+        for key in remaining[::5]:
+            assert file.search(key).found
+
+    def test_merge_threshold_validation(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            SplitPolicy(threshold=0.5, merge_threshold=0.6)
+        with pytest.raises(ValueError, match="hysteresis"):
+            SplitPolicy(merge_threshold=-0.1)
+
+    def test_no_merges_by_default(self):
+        file = LHStarFile(capacity=16)
+        keys = grow(file, 400)
+        grown = file.bucket_count
+        for key in keys:
+            file.delete(key)
+        assert file.bucket_count == grown  # merge_threshold=0 disables

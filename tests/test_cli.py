@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--records", "200", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "parity consistent: True" in out
+        assert "healed: True" in out
+
+    def test_availability_table(self, capsys):
+        assert main(["availability", "--p", "0.95", "--max-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out and "4096" in out
+
+    def test_codec(self, capsys):
+        assert main(["codec", "--payload", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "MB/s" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
