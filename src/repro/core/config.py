@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.availability import AvailabilityPolicy
 from repro.gf.field import GF
+from repro.sim.faults import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,26 @@ class LHRSConfig:
         from; ``None`` (default) models an unbounded pool.  With a
         finite pool, recovery raises :class:`RecoveryError` when no
         spare is left — the operational signal to provision hardware.
+    parity_ack:
+        Ship Δ-records as request/reply calls instead of fire-and-forget
+        sends, retrying transient delivery faults under ``retry_policy``.
+        Costs one extra message per Δ but makes parity maintenance
+        survive *silently dropped* messages (duplicates and delays are
+        already handled by the sequence numbers alone).  Off by default
+        to preserve the paper's 1 + k messages per mutation.
+    client_acks:
+        Clients tag mutations with an ack token and the accepting server
+        confirms (one extra message per mutation); unconfirmed mutations
+        are retried under ``retry_policy`` and surface
+        :class:`~repro.sdds.client.OperationFailed` when the budget runs
+        out.  Off by default for the paper's message counts.
+    retry_attempts / retry_backoff_base / retry_backoff_factor /
+    retry_backoff_max:
+        The bounded-exponential-backoff discipline senders use against
+        transient delivery faults (see
+        :class:`~repro.sim.faults.RetryPolicy`).  Backoff waits advance
+        the simulated clock, maturing delayed messages and letting crash
+        windows pass.
     """
 
     group_size: int = 4
@@ -81,6 +102,12 @@ class LHRSConfig:
     degraded_reads: bool = True
     auto_recover: bool = True
     spare_servers: int | None = None
+    parity_ack: bool = False
+    client_acks: bool = False
+    retry_attempts: int = 4
+    retry_backoff_base: float = 1.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 16.0
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
@@ -97,11 +124,22 @@ class LHRSConfig:
             raise ValueError("parity_batch_size must be >= 1")
         if self.spare_servers is not None and self.spare_servers < 0:
             raise ValueError("spare_servers cannot be negative")
+        self.retry_policy  # validate the retry knobs (RetryPolicy raises)
         limit = (1 << self.field_width) - self.group_size
         if self.max_availability > limit:
             raise ValueError(
                 f"m + max k exceeds GF(2^{self.field_width}); use a wider field"
             )
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The sender-side retry/backoff discipline as a policy object."""
+        return RetryPolicy(
+            attempts=self.retry_attempts,
+            backoff_base=self.retry_backoff_base,
+            backoff_factor=self.retry_backoff_factor,
+            backoff_max=self.retry_backoff_max,
+        )
 
     @property
     def effective_policy(self) -> AvailabilityPolicy:

@@ -56,6 +56,9 @@ class RSCoordinator(Coordinator):
         #: hot spares left in the pool (None = unbounded)
         self.spares_remaining = self.config.spare_servers
         self.recovery = RecoveryManager(self)
+        #: per-probe-round health entries (the self-healing loop's log;
+        #: bench_e16_lifetime consumes this)
+        self.health_log: list[dict] = []
 
     def take_spare(self) -> None:
         """Consume one hot spare for a recovery; raises when exhausted."""
@@ -123,6 +126,8 @@ class RSCoordinator(Coordinator):
             compact_ranks=self.config.compact_ranks,
             parity_batch_size=self.config.parity_batch_size,
             field_width=self.config.field_width,
+            retry_policy=self.config.retry_policy,
+            parity_ack=self.config.parity_ack,
         )
 
     # ------------------------------------------------------------------
@@ -160,17 +165,40 @@ class RSCoordinator(Coordinator):
         m = self.config.group_size
         target = self.state.bucket_count - 1
         retiring = target % m == 0  # group's first and only bucket
+        # Both participants must be up before the state retreats (see
+        # _ensure_available on why recovery cannot happen mid-command).
+        # The absorber is the bucket whose split created the last one —
+        # retreat_merge's source, computed here without mutating state.
+        if self.state.n:
+            peek_source = self.state.n - 1
+        else:
+            peek_source = (1 << (self.state.i - 1)) * self.state.n0 - 1
+        self._ensure_available(
+            data_node(self.file_id, target),
+            data_node(self.file_id, peek_source),
+        )
         with self._restructure_lock():
             before = len(self._pending_overflows)
             source, _, level = self.state.retreat_merge()
             self.send(data_node(self.file_id, source), "level.set",
                       {"level": level})
-            self.call(
+            self._structural_call(
                 data_node(self.file_id, target), "merge",
                 {"into": source, "retiring": retiring},
             )
             self._net().unregister(data_node(self.file_id, target))
             self.on_bucket_removed(target)
+            if not retiring:
+                # The group lives on: close the dissolved bucket's
+                # Δ-channels so a future split re-creating it (fresh
+                # sequence counter) is not mistaken for retransmissions.
+                group = group_of(target, m)
+                for index in range(self.group_level(group)):
+                    self.send(
+                        parity_node(self.file_id, group, index),
+                        "parity.reset",
+                        {"positions": [target % m]},
+                    )
             self._sizes.pop(target, None)
             # Drop overflow reports raised by the merge's own movement
             # (see the base class note on merge/split ping-pong).
@@ -213,7 +241,7 @@ class RSCoordinator(Coordinator):
         # Read the group's data *before* committing anything: a dead
         # member surfaces here and leaves the group untouched (recover
         # it, then retry the raise).
-        ops = self._collect_group_ops(group)
+        ops, expected_seqs = self._collect_group_ops(group)
         for index in range(current, new_level):
             self._net().register(self.make_parity_server(group, index))
         self._group_levels[group] = new_level
@@ -221,7 +249,7 @@ class RSCoordinator(Coordinator):
             self.send(
                 parity_node(self.file_id, group, index),
                 "parity.batch",
-                {"ops": ops},
+                {"ops": ops, "expected_seqs": expected_seqs},
             )
         targets = [
             parity_node(self.file_id, group, i) for i in range(new_level)
@@ -235,14 +263,22 @@ class RSCoordinator(Coordinator):
                 {"targets": targets},
             )
 
-    def _collect_group_ops(self, group: int) -> list[dict]:
-        """Dump a group's data as insert Δ-ops (feeds new parity buckets)."""
+    def _collect_group_ops(self, group: int) -> tuple[list[dict], dict[int, int]]:
+        """Dump a group's data as (unsequenced) insert Δ-ops plus the
+        channel expectations a fresh parity bucket should start from.
+
+        The ops feed new parity buckets in one encode batch; the
+        expectations make any in-flight or retransmitted Δ from before
+        the dump a detectable duplicate at the new bucket.
+        """
         m = self.config.group_size
         buckets = group_buckets(group, m, self.state.bucket_count)
         ops_by_rank: dict[int, list] = {}
+        expected_seqs: dict[int, int] = {}
         for bucket in buckets:
             dump = self.call(data_node(self.file_id, bucket), "bucket.dump")
             pos = bucket % m
+            expected_seqs[pos] = dump.get("parity_seq", 0) + 1
             for key, rank, payload in dump["records"]:
                 ops_by_rank.setdefault(rank, []).append(
                     {
@@ -254,7 +290,8 @@ class RSCoordinator(Coordinator):
                         "length": len(payload),
                     }
                 )
-        return [op for rank in sorted(ops_by_rank) for op in ops_by_rank[rank]]
+        ops = [op for rank in sorted(ops_by_rank) for op in ops_by_rank[rank]]
+        return ops, expected_seqs
 
     # ------------------------------------------------------------------
     # unavailability handling
@@ -308,13 +345,49 @@ class RSCoordinator(Coordinator):
             self.recovery.recover_nodes([data_node(self.file_id, target)])
             self.send(data_node(self.file_id, target), kind, op)
 
-    def probe(self) -> dict:
+    def _ensure_available(self, *node_ids: str) -> None:
+        """Recover any of the given nodes that are currently down.
+
+        Called *before* a structural change (split/merge) touches the
+        file state: recovering then is safe because the rebuilt bucket's
+        level still matches the directory.  Recovering after the state
+        advanced would rebuild at the post-change level while the
+        content is still pre-change — which is why the restructuring
+        paths never try to recover mid-command.  (Node crashes only
+        happen between operation chains, so a participant alive here is
+        alive for the whole command.)
+        """
+        down = [n for n in node_ids if not self._net().is_available(n)]
+        if down and self.config.auto_recover:
+            self.recovery.recover_nodes(down)
+
+    def split_once(self) -> tuple[int, int]:
+        source, _, _ = self.state.next_split()
+        self._ensure_available(data_node(self.file_id, source))
+        return super().split_once()
+
+    def handle_report_stale(self, message: Message) -> None:
+        """A parity bucket detected a gap in its Δ stream (or a sender
+        exhausted its retry budget against it): its content no longer
+        reflects the group's data.  Rebuild it from the data, which is
+        always current (mutations precede their Δ sends).
+        """
+        node_id = message.payload["node"]
+        if not self.config.auto_recover:
+            raise RecoveryError(
+                f"{node_id} reported stale parity and auto_recover is disabled"
+            )
+        self.recovery.recover_nodes([node_id])
+
+    def probe(self, best_effort: bool = False) -> dict:
         """Actively sweep every server for unavailability and recover.
 
         The papers let the coordinator detect failures itself (e.g.
         while requesting a split); this models a full probe round:
         multicast a status ping to every data and parity bucket, recover
-        whatever did not answer.  Returns the probe summary.
+        whatever did not answer.  ``best_effort`` (the self-healing
+        loop) records per-group recovery failures instead of raising.
+        Returns the probe summary.
         """
         targets = [
             data_node(self.file_id, b) for b in self.state.buckets()
@@ -326,8 +399,45 @@ class RSCoordinator(Coordinator):
         _, unavailable = self._net().multicast(self.node_id, targets, "status")
         summary = {"probed": len(targets), "unavailable": list(unavailable)}
         if unavailable and self.config.auto_recover:
-            summary["recovered"] = self.recovery.recover_nodes(unavailable)
+            summary["recovered"] = self.recovery.recover_nodes(
+                unavailable, best_effort=best_effort
+            )
         return summary
+
+    def run_probe_cycle(
+        self, rounds: int = 1, advance_per_round: float = 1.0
+    ) -> list[dict]:
+        """The autonomous self-healing loop: probe, recover, log, repeat.
+
+        Each round advances the simulated clock (letting scheduled
+        crash/restore windows fire and delayed messages mature), sweeps
+        every server, recovers what it can — best-effort, so a group
+        beyond help or an exhausted spare pool is recorded rather than
+        fatal — and appends a health entry to :attr:`health_log`.
+        Returns this cycle's entries.
+        """
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        entries: list[dict] = []
+        for _ in range(rounds):
+            if advance_per_round:
+                self._net().advance(advance_per_round)
+            summary = self.probe(best_effort=True)
+            recovered = summary.get("recovered", {})
+            entry = {
+                "time": self._net().now,
+                "probed": summary["probed"],
+                "unavailable": list(summary["unavailable"]),
+                "recovered_groups": recovered.get("groups", 0),
+                "recovered_data_buckets": recovered.get("data_buckets", 0),
+                "recovered_parity_buckets": recovered.get("parity_buckets", 0),
+                "records_rebuilt": recovered.get("records", 0),
+                "errors": recovered.get("errors", []),
+                "spares_remaining": self.spares_remaining,
+            }
+            self.health_log.append(entry)
+            entries.append(entry)
+        return entries
 
     def handle_rejoin(self, message: Message) -> dict:
         """Self-detected recovery (§2.5.4-style): a restarted server asks

@@ -62,8 +62,9 @@ class CostModel:
 
     def merge(self) -> float:
         """One merge: level reset + command round-trip + bulk move +
-        re-grouping batches (source group deletes, absorber inserts)."""
-        return 1 + 2 + 1 + 2 * self.k
+        re-grouping batches (source group deletes, absorber inserts) +
+        one Δ-channel reset per parity bucket of the surviving group."""
+        return 1 + 2 + 1 + 2 * self.k + self.k
 
     # ------------------------------------------------------------------
     # recovery costs

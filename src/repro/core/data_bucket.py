@@ -23,8 +23,9 @@ from typing import Any
 from repro.core.group import data_node, group_of, position_of
 from repro.lh import addressing
 from repro.sdds.server import DataServer
+from repro.sim.faults import RetryPolicy
 from repro.sim.messages import Message
-from repro.sim.network import NodeUnavailable
+from repro.sim.network import DeliveryFault, NodeUnavailable
 from repro.rs.encoder import delta_payload
 
 
@@ -44,6 +45,8 @@ class RSDataServer(DataServer):
         compact_ranks: bool = False,
         parity_batch_size: int = 1,
         field_width: int = 8,
+        retry_policy: RetryPolicy | None = None,
+        parity_ack: bool = False,
     ):
         super().__init__(node_id, file_id, number, level, capacity, n0)
         from repro.gf.field import GF
@@ -62,6 +65,11 @@ class RSDataServer(DataServer):
         self._free_ranks: list[int] = []
         #: key -> rank for every stored record
         self.ranks: dict[int, int] = {}
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.parity_ack = parity_ack
+        #: monotonic Δ sequence number; the *same* stream goes to every
+        #: parity bucket, so one counter serves all channels from here
+        self._parity_seq = 0
 
     # ------------------------------------------------------------------
     # rank management
@@ -115,6 +123,12 @@ class RSDataServer(DataServer):
     def _parity_op(
         self, action: str, key: int, rank: int, delta: bytes, length: int
     ) -> dict:
+        # The sequence number is taken at *creation* time, after the
+        # local mutation: "everything through seq S is reflected in my
+        # store" then holds by construction, which is what lets a parity
+        # spare rebuilt from dumps treat any in-flight retransmission of
+        # seq <= S as a duplicate.
+        self._parity_seq += 1
         return {
             "op": action,
             "key": key,
@@ -122,6 +136,7 @@ class RSDataServer(DataServer):
             "pos": self.position,
             "delta": delta,
             "length": length,
+            "seq": self._parity_seq,
         }
 
     def _send_parity(self, op: dict) -> None:
@@ -132,16 +147,14 @@ class RSDataServer(DataServer):
             if len(self._parity_queue) >= self.parity_batch_size:
                 self.flush_parity()
             return
-        for target in self.parity_targets:
-            self._send_parity_to(target, "parity.update", op)
+        self._fanout("parity.update", op)
 
     def flush_parity(self) -> int:
         """Ship every queued Δ-record now; returns how many flushed."""
         if not self._parity_queue:
             return 0
         ops, self._parity_queue = self._parity_queue, []
-        for target in self.parity_targets:
-            self._send_parity_to(target, "parity.batch", {"ops": ops})
+        self._fanout("parity.batch", {"ops": ops})
         return len(ops)
 
     def _send_parity_batch(self, ops: list[dict]) -> None:
@@ -150,26 +163,76 @@ class RSDataServer(DataServer):
         self.flush_parity()
         if not ops:
             return
-        for target in self.parity_targets:
-            self._send_parity_to(target, "parity.batch", {"ops": ops})
+        self._fanout("parity.batch", {"ops": ops})
 
-    def _send_parity_to(self, target: str, kind: str, payload: Any) -> None:
-        """Send to one parity bucket, engaging recovery if it is down.
+    def _fanout(self, kind: str, payload: Any) -> None:
+        """One Δ (or batch) to every parity target, then escalations.
+
+        Escalation reports are *deferred* until every reachable target
+        received the Δ.  Reporting mid-loop would trigger a group
+        recovery that reads this bucket (already mutated, Δ counted)
+        together with a surviving parity bucket later in the loop
+        (Δ not yet delivered) — survivors misaligned by one in-flight
+        operation, which a decode would turn into resurrected or
+        vanished records.  After the loop, every live parity bucket has
+        the Δ and every reported one gets rebuilt from current data.
+        """
+        reports = []
+        for target in self.parity_targets:
+            report = self._send_parity_to(target, kind, payload)
+            if report is not None:
+                reports.append(report)
+        for report_kind, report_payload in reports:
+            self.send(self._coordinator(), report_kind, report_payload)
+
+    def _send_parity_to(
+        self, target: str, kind: str, payload: Any
+    ) -> tuple[str, dict] | None:
+        """Ship one Δ (or batch) to one parity bucket, surviving faults.
+
+        Returns ``None`` on success, or a deferred ``(kind, payload)``
+        escalation report for :meth:`_fanout` to send once the whole
+        fan-out completed (see there for why it must not go out early).
 
         A failed parity site is reported to the coordinator, which
         rebuilds it onto a spare under the same logical address.  The
         rebuild encodes from the group's *current* data — every data
         server mutates its store before shipping the Δ-record — so the
         recovered parity already reflects this mutation and the Δ must
-        NOT be re-sent (a resend would double-apply it).
+        NOT be re-sent (the sequence numbers would skip it anyway).
+
+        Transient delivery faults are retried under the retry policy;
+        the sequence numbers make a resend after a lost *reply* (where
+        the Δ did apply) a harmless duplicate.  In ``parity_ack`` mode
+        the Δ travels as a call, so even silent drops become visible
+        faults; with plain sends only ``fail`` outcomes are retryable —
+        a silent drop surfaces later as a gap at the parity bucket.
+        Exhausted retries are escalated like a crash: the coordinator
+        rebuilds the parity bucket from data, which is always safe.
         """
-        try:
-            self.send(target, kind, payload)
-        except NodeUnavailable as failure:
-            self.send(
-                self._coordinator(), "report.unavailable",
-                {"node": failure.node_id, "kind": None, "op": None},
-            )
+        policy = self.retry_policy
+        for attempt in range(policy.attempts):
+            try:
+                if self.parity_ack:
+                    self.call(target, kind, payload)
+                else:
+                    self.send(target, kind, payload)
+                return None
+            except DeliveryFault as fault:
+                if fault.stage == "reply":
+                    return None  # the Δ was applied; only the ack was lost
+                if attempt + 1 < policy.attempts:
+                    self._net().advance(policy.delay(attempt))
+            except NodeUnavailable as failure:
+                return (
+                    "report.unavailable",
+                    {"node": failure.node_id, "kind": None, "op": None},
+                )
+        # Budget exhausted against a node that still answers pings: its
+        # content can no longer be trusted to include this Δ.  Report it
+        # stale — the coordinator rebuilds it from the group's data,
+        # which (local mutation preceding the send) includes this op.
+        return ("report.stale", {"node": target})
 
     # ------------------------------------------------------------------
     # record mutation primitives (called by the accepted-op handlers)
@@ -347,6 +410,7 @@ class RSDataServer(DataServer):
             "level": self.level,
             "counter": self._rank_counter,
             "free_ranks": list(self._free_ranks),
+            "parity_seq": self._parity_seq,
             "records": [
                 (key, self.ranks[key], payload)
                 for key, payload in self.bucket.records.items()
@@ -365,6 +429,9 @@ class RSDataServer(DataServer):
         self._free_ranks = list(payload["free_ranks"])
         heapq.heapify(self._free_ranks)
         self.bucket.level = payload["level"]
+        # Resume the Δ stream where the lost bucket left it, so the
+        # surviving parity buckets' channel expectations stay aligned.
+        self._parity_seq = payload.get("parity_seq", 0)
 
     def handle_status(self, message: Message) -> dict:
         status = super().handle_status(message)

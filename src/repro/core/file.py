@@ -51,6 +51,12 @@ class LHRSFile(LHStarFile):
         )
         self.failures = FailureInjector(self.network)
 
+    def _client_kwargs(self) -> dict[str, Any]:
+        return {
+            "retry": self.config.retry_policy,
+            "ack_writes": self.config.client_acks,
+        }
+
     # ------------------------------------------------------------------
     # typing conveniences
     # ------------------------------------------------------------------

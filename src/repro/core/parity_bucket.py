@@ -9,6 +9,16 @@ normalized Cauchy generator the rows are *nested*: row i is the same for
 every availability level k > i, so raising a group's k never touches
 existing parity buckets — the property scalable availability leans on.
 Row 0 is all ones, making parity bucket 0 a pure XOR site.
+
+Idempotence: every sequenced Δ carries the sending data bucket's
+monotonic operation sequence number, and this bucket tracks the next
+expected number per group position.  A Δ below the expectation is a
+retransmission and is *skipped* — folding it again would silently
+corrupt the parity, since the fold is its own inverse in GF(2^w).  A Δ
+above it proves this bucket missed traffic (a dropped message): it
+reports itself stale to the coordinator, which rebuilds it from the
+group's data.  Unsequenced Δs (coordinator encode batches) apply
+unconditionally.
 """
 
 from __future__ import annotations
@@ -39,6 +49,11 @@ class ParityServer(Node):
         self.row = list(row)
         self.field = field
         self.records: dict[int, ParityRecord] = {}
+        #: next expected Δ sequence number per group position (default 1)
+        self._expected_seq: dict[int, int] = {}
+        #: retransmissions skipped / gaps detected (observability)
+        self.duplicates_skipped = 0
+        self.gaps_detected = 0
         #: §4.1's in-bucket secondary index: member key -> rank.  Makes
         #: record recovery's locate step an O(1) lookup instead of a
         #: scan over every parity record ("shortens the bucket search
@@ -92,14 +107,88 @@ class ParityServer(Node):
         else:
             raise ValueError(f"unknown parity op {action!r}")
 
-    def handle_parity_update(self, message: Message) -> None:
-        """One Δ-record from a data bucket (insert/update/delete)."""
-        self._apply(message.payload)
+    def _channel_check(self, op: dict) -> str:
+        """Classify one Δ against its channel: apply / duplicate / stale.
 
-    def handle_parity_batch(self, message: Message) -> None:
-        """Batched Δ-records (splits and merges ship these)."""
+        ``apply`` advances the channel.  ``duplicate`` (seq below the
+        expectation) must be skipped.  ``stale`` (seq above it) means a
+        prior Δ never arrived — this bucket's content is behind its data
+        and must be rebuilt, so the Δ is *not* applied either.
+        Unsequenced ops (``seq`` absent/None) always apply and leave the
+        channel untouched.
+        """
+        seq = op.get("seq")
+        if seq is None:
+            return "apply"
+        pos = op["pos"]
+        expected = self._expected_seq.get(pos, 1)
+        if seq < expected:
+            self.duplicates_skipped += 1
+            return "duplicate"
+        if seq > expected:
+            self.gaps_detected += 1
+            return "stale"
+        self._expected_seq[pos] = expected + 1
+        return "apply"
+
+    def _report_stale(self) -> None:
+        """Tell the coordinator this bucket missed Δ traffic (rebuild me)."""
+        self.send(
+            f"{self.file_id}.coord", "report.stale", {"node": self.node_id}
+        )
+
+    def handle_parity_update(self, message: Message) -> dict:
+        """One Δ-record from a data bucket (insert/update/delete).
+
+        The return value is the ack in ``parity_ack`` mode; plain sends
+        discard it.
+        """
+        verdict = self._channel_check(message.payload)
+        if verdict == "apply":
+            self._apply(message.payload)
+            return {"status": "applied"}
+        if verdict == "stale":
+            self._report_stale()
+        return {
+            "status": verdict,
+            "expected": self._expected_seq.get(message.payload["pos"], 1),
+        }
+
+    def handle_parity_batch(self, message: Message) -> dict:
+        """Batched Δ-records (splits, merges and encodes ship these).
+
+        Ops in one batch share a channel and are contiguous, so the
+        first stale op means every later one is too — stop and report
+        once.  A trailing ``expected_seqs`` map (coordinator encode
+        paths) re-bases the channels afterwards.
+        """
+        applied = 0
         for op in message.payload["ops"]:
-            self._apply(op)
+            verdict = self._channel_check(op)
+            if verdict == "apply":
+                self._apply(op)
+                applied += 1
+            elif verdict == "stale":
+                self._report_stale()
+                return {"status": "stale", "applied": applied}
+        expected = message.payload.get("expected_seqs")
+        if expected:
+            self._expected_seq.update(
+                {int(pos): seq for pos, seq in expected.items()}
+            )
+        return {"status": "applied", "applied": applied}
+
+    def handle_parity_reset(self, message: Message) -> None:
+        """Close the Δ-channels of retired group positions.
+
+        Sent by the coordinator when a data bucket dissolves in a merge
+        while its group lives on.  A later split may re-create the
+        bucket as a *fresh* server whose sequence counter restarts at
+        zero; without the reset its Δs would arrive below the old
+        channel expectation and be skipped as retransmissions.
+        """
+        for pos in message.payload["positions"]:
+            self._expected_seq.pop(pos, None)
 
     # ------------------------------------------------------------------
     # queries used by recovery
@@ -110,6 +199,7 @@ class ParityServer(Node):
             "group": self.group,
             "index": self.index,
             "records": [r.snapshot(self.field) for r in self.records.values()],
+            "expected_seqs": dict(self._expected_seq),
         }
 
     def handle_parity_locate(self, message: Message) -> dict | None:
@@ -145,6 +235,13 @@ class ParityServer(Node):
             key: rank
             for rank, record in self.records.items()
             for key in record.keys.values()
+        }
+        # A rebuilt spare is encoded from the group's *current* data, so
+        # every Δ the senders have issued is already reflected; adopting
+        # their counters makes any in-flight retransmission a duplicate.
+        self._expected_seq = {
+            int(pos): seq
+            for pos, seq in message.payload.get("expected_seqs", {}).items()
         }
 
     def handle_signature_dump(self, message: Message) -> dict:

@@ -90,6 +90,11 @@ class RecoveryManager:
         self.groups_recovered = 0
         self.records_reconstructed = 0
         self.degraded_reads_served = 0
+        #: groups with a recovery in progress (reentrancy guard: dumping
+        #: a survivor can flush Δs to a dead parity bucket, whose
+        #: unavailability report must not start a nested recovery of the
+        #: very group being rebuilt)
+        self._recovering_groups: set[int] = set()
 
     # ------------------------------------------------------------------
     # shortcuts into the coordinator's world
@@ -114,8 +119,15 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # entry point: a set of failed nodes
     # ------------------------------------------------------------------
-    def recover_nodes(self, node_ids: list[str]) -> dict:
-        """Recover every listed failed node, grouping work per bucket group."""
+    def recover_nodes(self, node_ids: list[str], best_effort: bool = False) -> dict:
+        """Recover every listed failed node, grouping work per bucket group.
+
+        With ``best_effort=True`` (the self-healing probe loop) a group
+        whose recovery fails — more than k members down, or the spare
+        pool exhausted — is *recorded* under ``errors`` instead of
+        aborting the sweep, so one doomed group never blocks the repair
+        of the others.
+        """
         per_group: dict[int, dict[str, list[int]]] = {}
         for node_id in node_ids:
             parsed = parse_node_id(self._file_id, node_id)
@@ -129,12 +141,23 @@ class RecoveryManager:
                 _, g, index = parsed
                 per_group.setdefault(g, {"data": [], "parity": []})["parity"].append(index)
         summary = {"groups": 0, "data_buckets": 0, "parity_buckets": 0, "records": 0}
+        errors: list[dict] = []
         for g, lost in sorted(per_group.items()):
-            stats = self.recover_group(g, lost["data"], lost["parity"])
+            if g in self._recovering_groups:
+                continue  # already being rebuilt higher up the stack
+            try:
+                stats = self.recover_group(g, lost["data"], lost["parity"])
+            except RecoveryError as err:
+                if not best_effort:
+                    raise
+                errors.append({"group": g, "error": str(err)})
+                continue
             summary["groups"] += 1
             summary["data_buckets"] += len(lost["data"])
             summary["parity_buckets"] += len(lost["parity"])
             summary["records"] += stats["records"]
+        if best_effort:
+            summary["errors"] = errors
         return summary
 
     # ------------------------------------------------------------------
@@ -144,6 +167,23 @@ class RecoveryManager:
         self, group: int, lost_data: list[int], lost_parity: list[int]
     ) -> dict:
         """Rebuild the given lost buckets of one group onto spares."""
+        if group in self._recovering_groups:
+            return {
+                "group": group,
+                "data_buckets": [],
+                "parity_buckets": [],
+                "records": 0,
+                "skipped": True,
+            }
+        self._recovering_groups.add(group)
+        try:
+            return self._recover_group_locked(group, lost_data, lost_parity)
+        finally:
+            self._recovering_groups.discard(group)
+
+    def _recover_group_locked(
+        self, group: int, lost_data: list[int], lost_parity: list[int]
+    ) -> dict:
         coordinator = self.coordinator
         cfg = coordinator.config
         m = cfg.group_size
@@ -178,29 +218,80 @@ class RecoveryManager:
         lost_data.sort()
         lost_parity.sort()
 
-        if len(lost_data) + len(lost_parity) > k:
-            raise RecoveryError(
-                f"group {group}: {len(lost_data)} data + {len(lost_parity)} "
-                f"parity buckets lost exceeds availability level k={k}"
-            )
-
-        survivors_data = [b for b in data_buckets if b not in lost_data]
-        survivors_parity = [i for i in range(k) if i not in lost_parity]
-
         # ---- collect survivor state (counted messages) ----------------
+        # Every dump is a top-level call, so the clock ticks between
+        # them and a scheduled failure can take a survivor down *mid-
+        # recovery*.  Fold the casualty into the lost set and restart
+        # the collection rather than decoding from a torn survivor set.
         coord_id = coordinator.node_id
-        data_dumps = {
-            b: self._net.call(
-                coord_id, data_node(self._file_id, b), "bucket.dump"
-            )
-            for b in survivors_data
+        while True:
+            if len(lost_data) + len(lost_parity) > k:
+                raise RecoveryError(
+                    f"group {group}: {len(lost_data)} data + "
+                    f"{len(lost_parity)} parity buckets lost exceeds "
+                    f"availability level k={k}"
+                )
+            survivors_data = [b for b in data_buckets if b not in lost_data]
+            survivors_parity = [i for i in range(k) if i not in lost_parity]
+            try:
+                data_dumps = {
+                    b: self._net.call(
+                        coord_id, data_node(self._file_id, b), "bucket.dump"
+                    )
+                    for b in survivors_data
+                }
+                parity_dumps = {
+                    i: self._net.call(
+                        coord_id,
+                        parity_node(self._file_id, group, i),
+                        "parity.dump",
+                    )
+                    for i in survivors_parity
+                }
+            except NodeUnavailable as failure:
+                parsed = parse_node_id(self._file_id, failure.node_id)
+                if parsed is None:  # pragma: no cover - own group members only
+                    raise
+                if parsed[0] == "data":
+                    lost_data = sorted({*lost_data, parsed[1]})
+                else:
+                    lost_parity = sorted({*lost_parity, parsed[2]})
+                continue
+            break
+
+        # ---- stale-survivor promotion ---------------------------------
+        # A surviving parity bucket whose Δ channel lags a surviving data
+        # bucket's sequence counter missed traffic (fire-and-forget mode,
+        # or a crash report racing the Δ fan-out).  Folding a decode
+        # through its payloads would resurrect deleted records, so it is
+        # promoted into the lost set and re-encoded from current data.
+        survivor_seqs = {
+            position_of(b, m): dump.get("parity_seq", 0)
+            for b, dump in data_dumps.items()
         }
-        parity_dumps = {
-            i: self._net.call(
-                coord_id, parity_node(self._file_id, group, i), "parity.dump"
+        stale = sorted(
+            index for index, dump in parity_dumps.items()
+            if any(
+                dump.get("expected_seqs", {}).get(pos, 1) < seq + 1
+                for pos, seq in survivor_seqs.items()
             )
-            for i in survivors_parity
-        }
+        )
+        if stale:
+            if len(lost_data) + len(lost_parity) + len(stale) > k:
+                raise RecoveryError(
+                    f"group {group}: surviving parity {stale} lag the data "
+                    f"buckets; rebuilding them too exceeds availability "
+                    f"level k={k}"
+                )
+            for index in stale:
+                del parity_dumps[index]
+            lost_parity = sorted({*lost_parity, *stale})
+            survivors_parity = [i for i in range(k) if i not in lost_parity]
+
+        # Claim every needed spare before the rebuild: pool exhaustion
+        # must abort before any server is torn down, never mid-install.
+        for _ in range(len(lost_data) + len(lost_parity)):
+            coordinator.take_spare()
 
         # ---- rebuild lost content -------------------------------------
         if lost_data:
@@ -217,11 +308,36 @@ class RecoveryManager:
             lost_data, lost_parity, group,
         )
 
+        # ---- Δ-channel bookkeeping ------------------------------------
+        # A rebuilt data bucket resumes its sequence counter from the
+        # most advanced surviving parity channel (that channel saw every
+        # Δ the lost bucket issued); a rebuilt parity bucket expects the
+        # next Δ after each data counter, so in-flight retransmissions
+        # arrive as duplicates, never as double-applied folds.
+        data_seqs = {
+            position_of(b, m): dump.get("parity_seq", 0)
+            for b, dump in data_dumps.items()
+        }
+        for bucket in lost_data:
+            pos = position_of(bucket, m)
+            data_seqs[pos] = max(
+                (
+                    dump.get("expected_seqs", {}).get(pos, 1) - 1
+                    for dump in parity_dumps.values()
+                ),
+                default=0,
+            )
+
         # ---- install spares under the lost logical addresses ----------
         for bucket in lost_data:
-            self._install_data_spare(bucket, new_data[bucket])
+            self._install_data_spare(
+                bucket, new_data[bucket], data_seqs[position_of(bucket, m)]
+            )
+        expected_seqs = {pos: seq + 1 for pos, seq in data_seqs.items()}
         for index in lost_parity:
-            self._install_parity_spare(group, index, new_parity[index])
+            self._install_parity_spare(
+                group, index, new_parity[index], expected_seqs
+            )
 
         self.groups_recovered += 1
         self.records_reconstructed += decoded
@@ -349,9 +465,10 @@ class RecoveryManager:
         return new_data, new_parity, decoded
 
     # ------------------------------------------------------------------
-    def _install_data_spare(self, bucket: int, content: dict) -> None:
+    def _install_data_spare(
+        self, bucket: int, content: dict, parity_seq: int = 0
+    ) -> None:
         coordinator = self.coordinator
-        coordinator.take_spare()
         node_id = data_node(self._file_id, bucket)
         self._net.unregister(node_id)
         level = coordinator.state.level_of(bucket)
@@ -360,28 +477,47 @@ class RecoveryManager:
         used = sorted(rank for _, rank, _ in content["records"])
         counter = content["max_rank"]
         free = sorted(set(range(1, counter + 1)) - set(used))
-        self._net.send(
-            coordinator.node_id,
-            node_id,
-            "bucket.load",
-            {
-                "records": content["records"],
-                "counter": counter,
-                "free_ranks": free,
-                "level": level,
-            },
-        )
+        try:
+            self._net.send(
+                coordinator.node_id,
+                node_id,
+                "bucket.load",
+                {
+                    "records": content["records"],
+                    "counter": counter,
+                    "free_ranks": free,
+                    "level": level,
+                    "parity_seq": parity_seq,
+                },
+            )
+        except NodeUnavailable:
+            # A scheduled failure hit the spare on this very tick: it is
+            # now just another unavailable bucket for the next sweep.
+            pass
 
-    def _install_parity_spare(self, group: int, index: int, records: list) -> None:
+    def _install_parity_spare(
+        self,
+        group: int,
+        index: int,
+        records: list,
+        expected_seqs: dict[int, int] | None = None,
+    ) -> None:
         coordinator = self.coordinator
-        coordinator.take_spare()
         node_id = parity_node(self._file_id, group, index)
         self._net.unregister(node_id)
         server = coordinator.make_parity_server(group, index)
         self._net.register(server)
-        self._net.send(
-            coordinator.node_id, node_id, "parity.load", {"records": records}
-        )
+        try:
+            self._net.send(
+                coordinator.node_id,
+                node_id,
+                "parity.load",
+                {"records": records, "expected_seqs": expected_seqs or {}},
+            )
+        except NodeUnavailable:
+            # The spare crashed the instant it was installed; the next
+            # probe round rebuilds it like any other loss.
+            pass
 
     # ------------------------------------------------------------------
     # record recovery (degraded reads)

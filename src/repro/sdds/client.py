@@ -14,9 +14,29 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.lh.image import ClientImage
+from repro.sim.faults import RetryPolicy
 from repro.sim.messages import Message
-from repro.sim.network import NodeUnavailable, UnknownNode
+from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.sim.node import Node
+
+
+class OperationFailed(RuntimeError):
+    """A client operation exhausted its retry budget without confirmation.
+
+    Raised only after the full escalation ladder ran dry: every attempt
+    either hit a transient delivery fault or (with write acks) went
+    unacknowledged past the backoff window.  The operation may or may
+    not have taken effect — exactly the at-least-once uncertainty a real
+    client faces on timeout.
+    """
+
+    def __init__(self, kind: str, key: int, attempts: int):
+        super().__init__(
+            f"{kind} of key {key} unconfirmed after {attempts} attempts"
+        )
+        self.kind = kind
+        self.key = key
+        self.attempts = attempts
 
 
 @dataclass
@@ -42,7 +62,14 @@ class ScanResult:
 class Client(Node):
     """An application's access point to one LH* file."""
 
-    def __init__(self, node_id: str, file_id: str, n0: int = 1):
+    def __init__(
+        self,
+        node_id: str,
+        file_id: str,
+        n0: int = 1,
+        retry: RetryPolicy | None = None,
+        ack_writes: bool = False,
+    ):
         super().__init__(node_id)
         self.file_id = file_id
         self.image = ClientImage(n0=n0)
@@ -50,6 +77,12 @@ class Client(Node):
         self._scan_replies: dict[int, list[dict]] = {}
         self._request_counter = 0
         self.last_error: dict | None = None
+        #: retry/backoff discipline against transient faults (None = one
+        #: attempt, the papers' fault-free behaviour)
+        self.retry = retry
+        #: tag mutations for server acknowledgement and retry unacked ones
+        self.ack_writes = ack_writes
+        self._acks: set[int] = set()
 
     # ------------------------------------------------------------------
     def _data_node(self, m: int) -> str:
@@ -123,6 +156,9 @@ class Client(Node):
     def handle_op_error(self, message: Message) -> None:
         self.last_error = message.payload
 
+    def handle_op_ack(self, message: Message) -> None:
+        self._acks.add(message.payload["token"])
+
     def handle_scan_reply(self, message: Message) -> None:
         bucket_list = self._scan_replies.get(message.payload["scan"])
         if bucket_list is not None:
@@ -131,32 +167,87 @@ class Client(Node):
     # ------------------------------------------------------------------
     # key operations
     # ------------------------------------------------------------------
+    def _wait(self, attempt: int) -> None:
+        """Back off after a failed attempt (advances the simulated clock,
+        which matures delayed messages and lets crash windows pass)."""
+        delay = self.retry.delay(attempt) if self.retry else 1.0
+        self._net().advance(delay)
+
+    def _mutate(self, kind: str, payload: dict) -> None:
+        """One mutation under the retry/ack discipline.
+
+        Without acks a clean send is trusted (a silently dropped message
+        is invisible to any sender); transient faults are retried.  With
+        acks the accepting server confirms, so drops anywhere along the
+        path are caught too, and the operation only returns once the ack
+        arrived — or raises :class:`OperationFailed` after the budget.
+        Retries are safe: re-applying a mutation with the same value is
+        value-idempotent at the bucket, and its Δ-records are deduped by
+        sequence number at the parity sites.
+        """
+        token = None
+        if self.ack_writes:
+            token = self._next_request()
+            payload = dict(payload, ack=token)
+        attempts = self.retry.attempts if self.retry else 1
+        for attempt in range(attempts):
+            delivered = True
+            try:
+                self._send_op(kind, dict(payload))
+            except DeliveryFault:
+                delivered = False
+            if token is None:
+                if delivered:
+                    return
+            elif token in self._acks:
+                self._acks.discard(token)
+                return
+            if attempt + 1 < attempts:
+                self._wait(attempt)
+                if token is not None and token in self._acks:
+                    self._acks.discard(token)
+                    return
+        raise OperationFailed(kind, payload["key"], attempts)
+
     def insert(self, key: int, value: Any) -> None:
         """Insert a record; fire-and-forget as in the papers (1 message
         in the typical no-forwarding case)."""
-        self._send_op("insert", {"key": key, "value": value, "client": self.node_id})
+        self._mutate("insert", {"key": key, "value": value, "client": self.node_id})
 
     def update(self, key: int, value: Any) -> None:
         """Update (upsert) the non-key data of a record."""
-        self._send_op("update", {"key": key, "value": value, "client": self.node_id})
+        self._mutate("update", {"key": key, "value": value, "client": self.node_id})
 
     def delete(self, key: int) -> None:
         """Delete a record (idempotent)."""
-        self._send_op("delete", {"key": key, "client": self.node_id})
+        self._mutate("delete", {"key": key, "client": self.node_id})
 
     def search(self, key: int) -> SearchOutcome:
         """Key search: request + record back (2 messages when the image
-        is accurate; at most 4 plus one IAM otherwise)."""
+        is accurate; at most 4 plus one IAM otherwise).
+
+        Under a retry policy an unanswered search — its request or reply
+        lost — is retried after a backoff; one request id spans the
+        attempts, so a late reply maturing during the backoff satisfies
+        the search.
+        """
         request = self._next_request()
-        self._send_op(
-            "search", {"key": key, "client": self.node_id, "request": request}
-        )
-        reply = self._results.pop(request, None)
-        if reply is None:
-            raise RuntimeError(
-                f"search for key {key} received no reply (lost message?)"
-            )
-        return SearchOutcome(key=key, found=reply["found"], value=reply["value"])
+        payload = {"key": key, "client": self.node_id, "request": request}
+        attempts = self.retry.attempts if self.retry else 1
+        for attempt in range(attempts):
+            try:
+                self._send_op("search", dict(payload))
+            except DeliveryFault:
+                pass
+            reply = self._results.pop(request, None)
+            if reply is None and attempt + 1 < attempts:
+                self._wait(attempt)
+                reply = self._results.pop(request, None)
+            if reply is not None:
+                return SearchOutcome(
+                    key=key, found=reply["found"], value=reply["value"]
+                )
+        raise OperationFailed("search", key, attempts)
 
     # ------------------------------------------------------------------
     # scans

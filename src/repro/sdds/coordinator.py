@@ -115,14 +115,25 @@ class Coordinator(Node):
         self.on_new_bucket(target, new_level)
         self._net().register(self.make_server(target, new_level))
         self.state.advance_split()
-        result = self.call(self._data_node(source), "split",
-                           {"target": target, "new_level": new_level})
+        result = self._structural_call(self._data_node(source), "split",
+                                       {"target": target, "new_level": new_level})
         self._sizes[source] = result["kept"]
         self._sizes[target] = result["moved"]
         return source, target
 
     def on_new_bucket(self, number: int, level: int) -> None:
         """Hook for subclasses (LH*RS grows the parity file here)."""
+
+    def _structural_call(self, node_id: str, kind: str, payload: dict):
+        """A call the file's structure depends on (split/merge commands).
+
+        The file state advances *before* these commands run, so an
+        unanswered command would leave the directory and the buckets
+        disagreeing.  Subclass hook: LH*RS recovers an unavailable
+        addressee and retries; plain LH* has no recovery and lets the
+        failure propagate.
+        """
+        return self.call(node_id, kind, payload)
 
     def merge_once(self) -> tuple[int, int]:
         """Perform one bucket merge (inverse split); returns
@@ -138,7 +149,8 @@ class Coordinator(Node):
             before = len(self._pending_overflows)
             source, target, level = self.state.retreat_merge()
             self.send(self._data_node(source), "level.set", {"level": level})
-            self.call(self._data_node(target), "merge", {"into": source})
+            self._structural_call(self._data_node(target), "merge",
+                                  {"into": source})
             self._net().unregister(self._data_node(target))
             self.on_bucket_removed(target)
             self._sizes.pop(target, None)

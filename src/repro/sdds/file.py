@@ -49,12 +49,18 @@ class LHStarFile:
         self.client = self.new_client()
 
     # ------------------------------------------------------------------
+    def _client_kwargs(self) -> dict[str, Any]:
+        """Extra keyword arguments for new clients (subclass hook —
+        LH*RS passes its retry policy and ack mode)."""
+        return {}
+
     def new_client(self) -> Client:
         """Attach a fresh client (worst-case image n'=i'=0)."""
         client = self.client_class(
             node_id=f"{self.file_id}.client{len(self._clients)}",
             file_id=self.file_id,
             n0=self.coordinator.state.n0,
+            **self._client_kwargs(),
         )
         self.network.register(client)
         self._clients.append(client)

@@ -87,9 +87,14 @@ class DataServer(Node):
     UNDERFLOW_FRACTION = 0.25
 
     def _after_accept(self, payload: dict) -> None:
-        """Common post-accept duties: IAM on forwarded ops, load reports."""
+        """Common post-accept duties: IAM on forwarded ops, load reports,
+        and (when the client tagged the op) an acknowledgement so the
+        client's retry loop knows the mutation landed."""
         if payload.get("hops", 0) and payload.get("client"):
             self._send_iam(payload["client"])
+        if payload.get("ack") and payload.get("client"):
+            self.send(payload["client"], "op.ack",
+                      {"token": payload["ack"], "bucket": self.number})
         self._report_overflow_if_needed()
 
     def _report_overflow_if_needed(self) -> None:

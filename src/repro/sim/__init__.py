@@ -11,19 +11,35 @@ Pieces
 ``Network``
     The switched fabric: node registry, synchronous RPC-style unicast
     (``send`` fire-and-forget = 1 message, ``call`` request/reply = 2),
-    multicast, per-message accounting windows, failure injection.
+    multicast, per-message accounting windows, failure injection, a
+    logical clock, and an optional message-level fault plane.
 ``Node``
     Base class dispatching incoming messages to ``handle_<kind>``.
 ``MessageStats`` / ``LatencyModel``
     Counters and the message→time mapping.
 ``FailureInjector``
     Deterministic and probabilistic unavailability (crash/restore,
-    per-node availability sampling for Monte-Carlo experiments).
+    per-node availability sampling, crash windows, flaky-node MTBF/MTTR
+    schedules driven by the logical clock).
+``FaultPlane`` / ``FaultRule`` / ``RetryPolicy``
+    Message-level fault injection (drop/duplicate/delay/transient-fail)
+    and the senders' bounded-backoff retry discipline.
 """
 
 from repro.sim.failure import FailureInjector
+from repro.sim.faults import (
+    DEFAULT_PROTECTED_KINDS,
+    FaultPlane,
+    FaultRule,
+    RetryPolicy,
+)
 from repro.sim.messages import Message
-from repro.sim.network import Network, NodeUnavailable, UnknownNode
+from repro.sim.network import (
+    DeliveryFault,
+    Network,
+    NodeUnavailable,
+    UnknownNode,
+)
 from repro.sim.node import Node
 from repro.sim.rng import make_rng
 from repro.sim.stats import LatencyModel, MessageStats, OperationWindow
@@ -33,10 +49,15 @@ __all__ = [
     "Node",
     "NodeUnavailable",
     "UnknownNode",
+    "DeliveryFault",
     "Message",
     "MessageStats",
     "OperationWindow",
     "LatencyModel",
     "FailureInjector",
+    "FaultPlane",
+    "FaultRule",
+    "RetryPolicy",
+    "DEFAULT_PROTECTED_KINDS",
     "make_rng",
 ]

@@ -1,0 +1,253 @@
+"""Message-level fault injection: the network's fault plane.
+
+The crash model (`Network.fail`) covers hard node loss; real deployments
+also face a hostile *message* plane: requests vanish, retransmissions
+duplicate them, switch queues delay them, and links flap without any
+node being down.  :class:`FaultPlane` injects exactly those faults into
+the simulated network, deterministically (every draw comes from one
+seeded generator) and selectively (rules match on sender, recipient and
+message kind, so an experiment can batter the Δ-parity channel while
+leaving, say, scans alone).
+
+Semantics in a synchronous simulator:
+
+* **drop** — a fire-and-forget ``send`` is silently lost (the sender has
+  no way to know: the UDP case).  A ``call``'s request or reply loss
+  surfaces as :class:`~repro.sim.network.DeliveryFault` at the sender —
+  its timeout fires.  A lost *reply* means the handler DID run: the
+  at-least-once hazard the Δ sequence numbers exist for.
+* **duplicate** — delivered twice (a retransmission after a lost ack).
+* **delay** — held and re-delivered after a bounded number of later
+  network operations.  Delivery order is FIFO *per (sender, recipient)
+  channel* (the TCP guarantee); messages on other channels overtake
+  freely.
+* **fail** — a transient, sender-visible delivery failure
+  (:class:`DeliveryFault`), distinct from ``drop`` in that the sender
+  learns about it immediately and can back off and retry.
+
+Structural control messages (splits, merges, bulk transfers, recovery
+dumps/loads) ride a protected channel by default — modelling the
+coordinator's TCP-with-retries control connections — because replaying
+half a split is not a fault any protocol is expected to survive.  Tests
+may override ``protected_kinds`` to explore exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.messages import Message
+
+#: Kinds exempt from fault injection unless explicitly overridden:
+#: file-structure and recovery control traffic (the reliable channel).
+DEFAULT_PROTECTED_KINDS = frozenset(
+    {
+        "split",
+        "merge",
+        "records.bulk",
+        "level.set",
+        "config.parity",
+        "bucket.dump",
+        "bucket.load",
+        "parity.dump",
+        "parity.load",
+        "parity.reset",
+        "route",
+        "report.unavailable",
+        "report.stale",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (simulated time).
+
+    ``delay(attempt)`` is the wait after the attempt of that index:
+    ``backoff_base * backoff_factor**attempt`` capped at ``backoff_max``.
+    Waiting advances the network's logical clock, which matures delayed
+    messages and lets scheduled crash windows pass — backing off is how
+    a sender *outlives* a transient fault.
+    """
+
+    attempts: int = 4
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("retry attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1 (non-shrinking)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th failure (0-based)."""
+        return min(
+            self.backoff_base * self.backoff_factor**attempt, self.backoff_max
+        )
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault-injection rule; the first matching rule decides.
+
+    ``kinds`` is an exact set (None = every kind); ``sender`` and
+    ``recipient`` are glob patterns (None = anyone).  The probabilities
+    are cumulative-exclusive: a single uniform draw picks drop, else
+    fail, else duplicate, else delay, else clean delivery.
+    """
+
+    kinds: frozenset[str] | None = None
+    sender: str | None = None
+    recipient: str | None = None
+    drop: float = 0.0
+    fail: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    #: a delayed message matures within (0, delay_window] clock units
+    delay_window: float = 4.0
+    #: rule expires at this simulation time (None = never)
+    until: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "fail", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        if self.drop + self.fail + self.duplicate + self.delay > 1.0:
+            raise ValueError("fault probabilities must sum to <= 1")
+        if self.delay_window <= 0:
+            raise ValueError("delay_window must be positive")
+
+    def matches(self, message: "Message", now: float) -> bool:
+        if self.until is not None and now >= self.until:
+            return False
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if self.sender is not None and not fnmatchcase(
+            message.sender, self.sender
+        ):
+            return False
+        if self.recipient is not None and not fnmatchcase(
+            message.recipient, self.recipient
+        ):
+            return False
+        return True
+
+
+class FaultPlane:
+    """Per-message fault decisions plus the delayed-message hold queues."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        protected_kinds: Iterable[str] = DEFAULT_PROTECTED_KINDS,
+    ):
+        self.rng = rng or make_rng()
+        self.rules: list[FaultRule] = []
+        self.protected_kinds = frozenset(protected_kinds)
+        #: (sender, recipient) -> FIFO of (release_at, Message)
+        self._held: dict[tuple[str, str], deque] = {}
+        self.counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def add_rule(self, **kwargs) -> FaultRule:
+        """Append a :class:`FaultRule` (keyword arguments as its fields)."""
+        kinds = kwargs.get("kinds")
+        if kinds is not None:
+            kwargs["kinds"] = frozenset(kinds)
+        rule = FaultRule(**kwargs)
+        self.rules.append(rule)
+        return rule
+
+    def clear_rules(self) -> None:
+        """Drop every rule; held messages stay queued until released."""
+        self.rules.clear()
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def outcome_for(
+        self, message: "Message", now: float, can_delay: bool = True
+    ) -> tuple[str, float]:
+        """Fate of one message: ``(outcome, release_at)``.
+
+        Outcomes: ``deliver``, ``drop``, ``fail``, ``duplicate``,
+        ``delay`` (with its maturity time).  A message on a channel with
+        held traffic is forced to ``delay`` behind it — per-channel FIFO,
+        so a delayed mutation can never be overtaken by a later one from
+        the same sender.  ``can_delay=False`` (request/reply legs of a
+        ``call``, multicast) converts ``delay`` into clean delivery.
+        """
+        if message.kind in self.protected_kinds:
+            return "deliver", now
+        channel = (message.sender, message.recipient)
+        queue = self._held.get(channel)
+        if can_delay and queue:
+            release_at = max(queue[-1][0], now)
+            return "delay", release_at
+        for rule in self.rules:
+            if not rule.matches(message, now):
+                continue
+            draw = float(self.rng.random())
+            if draw < rule.drop:
+                return "drop", now
+            draw -= rule.drop
+            if draw < rule.fail:
+                return "fail", now
+            draw -= rule.fail
+            if draw < rule.duplicate:
+                return "duplicate", now
+            draw -= rule.duplicate
+            if draw < rule.delay and can_delay:
+                jitter = float(self.rng.random()) * rule.delay_window
+                return "delay", now + max(jitter, 1e-9)
+            return "deliver", now
+        return "deliver", now
+
+    # ------------------------------------------------------------------
+    # hold queues (delayed messages)
+    # ------------------------------------------------------------------
+    def hold(self, message: "Message", release_at: float) -> None:
+        """Queue a delayed message for later release."""
+        channel = (message.sender, message.recipient)
+        queue = self._held.setdefault(channel, deque())
+        if queue:
+            release_at = max(release_at, queue[-1][0])  # keep FIFO maturity
+        queue.append((release_at, message))
+        self.counters["delayed"] += 1
+
+    def release_due(self, now: float) -> list["Message"]:
+        """Matured messages, globally ordered by maturity, FIFO per channel."""
+        released: list["Message"] = []
+        while True:
+            best_channel, best_at = None, None
+            for channel, queue in self._held.items():
+                if queue and queue[0][0] <= now:
+                    if best_at is None or queue[0][0] < best_at:
+                        best_channel, best_at = channel, queue[0][0]
+            if best_channel is None:
+                return released
+            _, message = self._held[best_channel].popleft()
+            if not self._held[best_channel]:
+                del self._held[best_channel]
+            self.counters["released"] += 1
+            released.append(message)
+
+    @property
+    def pending(self) -> int:
+        """Messages currently held in delay queues."""
+        return sum(len(q) for q in self._held.values())

@@ -9,11 +9,19 @@ message too (2 messages), matching how the papers count a key search
 Unavailability is modelled at the node level: messages to a failed node
 raise :class:`NodeUnavailable` at the *sender*, standing in for the
 sender's timeout.  The timeout itself costs no message.
+
+A :class:`~repro.sim.faults.FaultPlane` (optional) adds message-level
+faults on top: drops, duplicates, bounded delays and transient failures
+(:class:`DeliveryFault`).  The network also keeps a **logical clock**:
+``now`` advances by one unit per top-level operation and by ``advance``
+(a sender backing off).  Clock listeners (failure schedules) and the
+release of matured delayed messages run only at depth 0 — between
+operation chains, never in the middle of one.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.sim.messages import Message
 from repro.sim.node import Node
@@ -32,6 +40,25 @@ class NodeUnavailable(RuntimeError):
         self.node_id = node_id
 
 
+class DeliveryFault(RuntimeError):
+    """Transient message-level failure, visible to the sender.
+
+    Raised when the fault plane drops or fails a ``call``'s request or
+    reply, or transiently fails a ``send``.  Unlike
+    :class:`NodeUnavailable` the addressed node is (as far as the sender
+    knows) alive — retrying after a backoff is the right reaction.
+    ``stage`` is ``"request"`` (handler did NOT run) or ``"reply"``
+    (handler DID run; the result was lost — the at-least-once case).
+    """
+
+    def __init__(self, node_id: str, stage: str = "request"):
+        super().__init__(
+            f"delivery to {node_id!r} failed transiently ({stage} lost)"
+        )
+        self.node_id = node_id
+        self.stage = stage
+
+
 class Network:
     """Node registry, message transport, accounting and failure state."""
 
@@ -41,6 +68,10 @@ class Network:
         self.stats = MessageStats()
         self.multicast_available = multicast_available
         self._depth = 0
+        #: logical clock: 1 unit per top-level operation, plus advance()
+        self.now = 0.0
+        self.fault_plane = None
+        self._clock_listeners: list[Callable[[float], None]] = []
 
     # ------------------------------------------------------------------
     # registry and failure state
@@ -53,8 +84,15 @@ class Network:
         node.network = self
 
     def unregister(self, node_id: str) -> None:
-        """Detach a node entirely (decommissioned server)."""
-        self.nodes.pop(node_id, None)
+        """Detach a node entirely (decommissioned server).
+
+        Strict: unregistering an unknown id raises :class:`UnknownNode`
+        — a typo in a decommissioning schedule should fail loudly, not
+        silently do nothing.
+        """
+        if node_id not in self.nodes:
+            raise UnknownNode(node_id)
+        del self.nodes[node_id]
         self.failed.discard(node_id)
 
     def fail(self, node_id: str) -> None:
@@ -64,12 +102,77 @@ class Network:
         self.failed.add(node_id)
 
     def restore(self, node_id: str) -> None:
-        """Bring a failed node back (its state as the node object holds it)."""
+        """Bring a failed node back (its state as the node object holds it).
+
+        Strict: restoring an id that was never registered raises
+        :class:`UnknownNode`, mirroring :meth:`fail` — a misspelled
+        failure schedule must not silently "succeed".  Restoring a
+        registered, not-failed node is a no-op (the node may have been
+        rebuilt onto a spare while its crash window was still open).
+        """
+        if node_id not in self.nodes:
+            raise UnknownNode(node_id)
         self.failed.discard(node_id)
 
     def is_available(self, node_id: str) -> bool:
         """True when the node exists and is not failed."""
         return node_id in self.nodes and node_id not in self.failed
+
+    # ------------------------------------------------------------------
+    # fault plane and logical clock
+    # ------------------------------------------------------------------
+    def install_fault_plane(self, plane) -> None:
+        """Attach a :class:`~repro.sim.faults.FaultPlane` (None removes)."""
+        self.fault_plane = plane
+
+    def add_clock_listener(self, listener: Callable[[float], None]) -> None:
+        """Register a callback invoked with ``now`` at each clock step.
+
+        Listeners run only between operation chains (depth 0); failure
+        schedules use this to apply crash/restore windows.
+        """
+        self._clock_listeners.append(listener)
+
+    def advance(self, dt: float = 1.0) -> float:
+        """Advance the logical clock (a sender waiting / backing off).
+
+        At depth 0 this also runs clock listeners and delivers matured
+        delayed messages; mid-chain it only moves the clock (the
+        catch-up happens when the chain unwinds).
+        """
+        if dt < 0:
+            raise ValueError("time cannot go backwards")
+        self.now += dt
+        if self._depth == 0:
+            self._run_listeners()
+            self._pump()
+        return self.now
+
+    def _tick(self) -> None:
+        """One clock unit per top-level operation."""
+        self.now += 1.0
+        self._run_listeners()
+        self._pump()
+
+    def _run_listeners(self) -> None:
+        for listener in self._clock_listeners:
+            listener(self.now)
+
+    def _pump(self) -> None:
+        """Deliver matured delayed messages (depth 0 only).
+
+        A message whose recipient died or was decommissioned while it
+        was in flight is counted as lost, not raised — nobody is waiting
+        on a fire-and-forget send from the past.
+        """
+        plane = self.fault_plane
+        if plane is None:
+            return
+        for message in plane.release_due(self.now):
+            try:
+                self._deliver(message)
+            except (UnknownNode, NodeUnavailable):
+                plane.counters["lost_in_flight"] += 1
 
     # ------------------------------------------------------------------
     # transport
@@ -88,11 +191,67 @@ class Network:
 
     def send(self, sender: str, recipient: str, kind: str, payload: Any = None) -> None:
         """Fire-and-forget unicast: one message, no reply charged."""
-        self._deliver(Message(sender, recipient, kind, payload))
+        if self._depth == 0:
+            self._tick()
+        message = Message(sender, recipient, kind, payload)
+        plane = self.fault_plane
+        if plane is not None:
+            outcome, release_at = plane.outcome_for(message, self.now)
+            if outcome == "drop":
+                # Silently lost: the message left the sender (charged)
+                # but never arrives — the UDP case.
+                plane.counters["dropped"] += 1
+                self.stats.record(message.kind, message.size, self._depth + 1)
+                return
+            if outcome == "fail":
+                plane.counters["failed"] += 1
+                raise DeliveryFault(recipient, "request")
+            if outcome == "delay":
+                plane.hold(message, release_at)
+                return
+            if outcome == "duplicate":
+                plane.counters["duplicated"] += 1
+                self._deliver(message)
+                self._deliver(Message(sender, recipient, kind, payload))
+                return
+        self._deliver(message)
 
     def call(self, sender: str, recipient: str, kind: str, payload: Any = None) -> Any:
-        """Request/reply unicast: two messages, returns the handler result."""
-        result = self._deliver(Message(sender, recipient, kind, payload))
+        """Request/reply unicast: two messages, returns the handler result.
+
+        Under a fault plane the request and the reply can each be lost
+        (raising :class:`DeliveryFault` at the sender — its timeout) or
+        the request duplicated (the handler runs twice; the second
+        result is returned, as after a retransmission).  Calls are never
+        delayed: they model a blocking RPC.
+        """
+        if self._depth == 0:
+            self._tick()
+        message = Message(sender, recipient, kind, payload)
+        plane = self.fault_plane
+        if plane is not None:
+            outcome, _ = plane.outcome_for(message, self.now, can_delay=False)
+            if outcome in ("drop", "fail"):
+                plane.counters["dropped" if outcome == "drop" else "failed"] += 1
+                if outcome == "drop":
+                    self.stats.record(message.kind, message.size, self._depth + 1)
+                raise DeliveryFault(recipient, "request")
+            if outcome == "duplicate":
+                plane.counters["duplicated"] += 1
+                self._deliver(message)
+                result = self._deliver(Message(sender, recipient, kind, payload))
+            else:
+                result = self._deliver(message)
+            reply = Message(recipient, sender, f"{kind}.reply", result)
+            outcome, _ = plane.outcome_for(reply, self.now, can_delay=False)
+            if outcome in ("drop", "fail"):
+                plane.counters["dropped" if outcome == "drop" else "failed"] += 1
+                if outcome == "drop":
+                    self.stats.record(reply.kind, reply.size, self._depth + 1)
+                raise DeliveryFault(recipient, "reply")
+            self.stats.record(reply.kind, reply.size, self._depth + 1)
+            return result
+        result = self._deliver(message)
         reply = Message(recipient, sender, f"{kind}.reply", result)
         self.stats.record(reply.kind, reply.size, self._depth + 1)
         return result
@@ -111,16 +270,28 @@ class Network:
         regardless of fan-out, otherwise one per recipient (the papers
         price scans both ways).  Replies are always unicast.  Failed
         recipients are skipped and reported, letting deterministic
-        termination protocols detect the gap.
+        termination protocols detect the gap.  Under a fault plane a
+        recipient whose copy is dropped or transiently failed also lands
+        in ``unavailable`` — from the sender's seat a lost reply and a
+        dead node look identical (only the timeout fires).
         """
         unavailable: list[str] = []
         replies: dict[str, Any] = {}
         charged_request = False
+        plane = self.fault_plane
         for recipient in recipients:
             if not self.is_available(recipient):
                 unavailable.append(recipient)
                 continue
             message = Message(sender, recipient, kind, payload)
+            if plane is not None:
+                outcome, _ = plane.outcome_for(message, self.now, can_delay=False)
+                if outcome in ("drop", "fail"):
+                    plane.counters[
+                        "dropped" if outcome == "drop" else "failed"
+                    ] += 1
+                    unavailable.append(recipient)
+                    continue
             if self.multicast_available and charged_request:
                 # Multicast fabric: later copies of the request are free.
                 self._depth += 1

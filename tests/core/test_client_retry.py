@@ -1,0 +1,124 @@
+"""Client-side retry/backoff and write acknowledgements.
+
+The escalation ladder: retry under backoff → report to the coordinator
+(degraded read / recover-then-deliver) → typed ``OperationFailed`` only
+when the budget truly runs out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.sdds.client import OperationFailed
+from repro.sim import FaultPlane
+
+
+def acked_file(**overrides) -> LHRSFile:
+    defaults = dict(
+        group_size=2, availability=1, bucket_capacity=32,
+        client_acks=True, retry_attempts=5, retry_backoff_base=1.0,
+    )
+    defaults.update(overrides)
+    return LHRSFile(LHRSConfig(**defaults))
+
+
+def plane_for(file, **rule) -> FaultPlane:
+    plane = FaultPlane(rng=np.random.default_rng(9))
+    plane.add_rule(**rule)
+    file.network.install_fault_plane(plane)
+    return plane
+
+
+class TestWriteAcks:
+    def test_backoff_outlives_transient_drop_window(self):
+        file = acked_file()
+        # Every insert to d1 is dropped for the next 3 clock units; the
+        # client's exponential backoff (1+2+4+...) waits the fault out.
+        until = file.network.now + 3.0
+        plane_for(file, kinds={"insert"}, recipient="f.d1", drop=1.0,
+                  until=until)
+        file.insert(5, b"survivor")  # 5 -> bucket 1
+        assert file.search(5).value == b"survivor"
+        assert file.verify_parity_consistency() == []
+
+    def test_unacked_write_raises_typed_error(self):
+        file = acked_file(retry_attempts=3)
+        plane_for(file, kinds={"insert"}, drop=1.0)
+        with pytest.raises(OperationFailed) as err:
+            file.insert(5, b"doomed")
+        assert err.value.kind == "insert"
+        assert err.value.key == 5
+        assert err.value.attempts == 3
+
+    def test_silent_drop_invisible_without_acks(self):
+        # Documents the contract: fire-and-forget mode cannot see drops.
+        file = acked_file(client_acks=False)
+        plane_for(file, kinds={"insert"}, drop=1.0)
+        file.insert(5, b"ghost")  # no error -- and no record
+        plane = file.network.fault_plane
+        plane.clear_rules()
+        assert not file.search(5).found
+
+    def test_retry_is_value_idempotent(self):
+        file = acked_file()
+        # Acks are dropped for a while: the server applies every retry,
+        # but re-applying the same value leaves data and parity intact.
+        until = file.network.now + 2.0
+        plane_for(file, kinds={"op.ack"}, drop=1.0, until=until)
+        file.insert(5, b"once")
+        file.update(5, b"twice")
+        assert file.search(5).value == b"twice"
+        assert file.verify_parity_consistency() == []
+
+    def test_crashed_bucket_served_via_coordinator(self):
+        # NodeUnavailable escalates past retries straight to the
+        # coordinator, which recovers the bucket and delivers the op.
+        file = acked_file()
+        for key in range(20):
+            file.insert(key, bytes([key]) * 4)
+        file.fail_data_bucket(1)
+        file.insert(101, b"through-recovery")  # 101 -> bucket 1
+        assert file.network.is_available("f.d1")
+        assert file.search(101).value == b"through-recovery"
+        assert file.verify_parity_consistency() == []
+
+
+class TestSearchRetry:
+    def test_lost_reply_is_retried(self):
+        file = acked_file()
+        file.insert(5, b"needle")
+        until = file.network.now + 2.0
+        plane_for(file, kinds={"search.result"}, drop=1.0, until=until)
+        outcome = file.search(5)
+        assert outcome.found and outcome.value == b"needle"
+
+    def test_delayed_reply_satisfies_the_waiting_search(self):
+        file = acked_file()
+        file.insert(5, b"needle")
+        plane_for(file, kinds={"search.result"}, delay=1.0, delay_window=2.0)
+        # The reply matures while the client backs off; the single
+        # request id spans attempts, so the late reply still matches.
+        outcome = file.search(5)
+        assert outcome.found and outcome.value == b"needle"
+
+    def test_search_budget_exhaustion_is_typed(self):
+        file = acked_file(retry_attempts=2)
+        file.insert(5, b"needle")
+        plane_for(file, kinds={"search"}, drop=1.0)
+        with pytest.raises(OperationFailed) as err:
+            file.search(5)
+        assert err.value.kind == "search"
+        assert err.value.attempts == 2
+
+    def test_degraded_read_when_bucket_down(self):
+        file = acked_file()
+        for key in range(20):
+            file.insert(key, bytes([key]) * 4)
+        served_before = file.rs_coordinator.recovery.degraded_reads_served
+        file.fail_data_bucket(0)
+        outcome = file.search(4)  # 4 -> bucket 0
+        assert outcome.found and outcome.value == bytes([4]) * 4
+        assert (
+            file.rs_coordinator.recovery.degraded_reads_served
+            == served_before + 1
+        )

@@ -1,0 +1,87 @@
+"""Property tests for A6-style file-state reconstruction.
+
+``reconstruct_state`` must recover (n, i) from any survivor census a
+legal LH* file can produce: the boundary pair pins the split pointer
+exactly; losses degrade gracefully to the extent identity M = n + 2^i N.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.recovery import RecoveryError, reconstruct_state
+
+
+@st.composite
+def file_states(draw):
+    """A legal (n0, n, i) reachable by splitting from n0 buckets."""
+    n0 = draw(st.sampled_from([1, 2, 4]))
+    i = draw(st.integers(min_value=0, max_value=5))
+    n = draw(st.integers(min_value=0, max_value=(1 << i) * n0 - 1))
+    return n0, n, i
+
+
+def full_census(n0: int, n: int, i: int) -> dict[int, int]:
+    """Every bucket's level for state (n, i): [0, n) and the split
+    targets [2^i n0, 2^i n0 + n) are at i+1, the rest at i."""
+    boundary = (1 << i) * n0
+    levels = {m: (i + 1 if m < n else i) for m in range(boundary)}
+    levels.update({boundary + m: i + 1 for m in range(n)})
+    return levels
+
+
+@given(file_states())
+def test_full_census_reconstructs_exactly(state):
+    n0, n, i = state
+    assert reconstruct_state(full_census(n0, n, i), n0) == (n, i)
+
+
+@given(file_states())
+def test_hidden_boundary_bucket_still_reconstructs(state):
+    """Losing the bucket just below the split pointer hides the level
+    boundary pair; the pointer is still pinned by the first bucket left
+    at level i (or by the extent identity when levels are all equal)."""
+    n0, n, i = state
+    levels = full_census(n0, n, i)
+    if n >= 1:
+        del levels[n - 1]
+    if not levels:
+        return  # n0=1, i=0, n=0 with the only bucket lost: no survivors
+    assert reconstruct_state(levels, n0) == (n, i)
+
+
+@given(file_states(), st.data())
+def test_loss_of_any_already_split_bucket_reconstructs(state, data):
+    """Losing any bucket strictly below the boundary pair leaves the
+    pair (n-1, n) visible, so reconstruction stays exact."""
+    n0, n, i = state
+    levels = full_census(n0, n, i)
+    if n < 2:
+        return  # no bucket strictly below the pair to lose
+    lost = data.draw(st.integers(min_value=0, max_value=n - 2))
+    del levels[lost]
+    assert reconstruct_state(levels, n0) == (n, i)
+
+
+@given(file_states())
+def test_all_equal_levels_uses_extent_identity(state):
+    """With n = 0 every bucket sits at one level; the extent identity
+    M = 2^i n0 alone must pin the state."""
+    n0, _, i = state
+    levels = {m: i for m in range((1 << i) * n0)}
+    assert reconstruct_state(levels, n0) == (0, i)
+
+
+@given(st.sampled_from([1, 2, 4]), st.integers(min_value=0, max_value=200),
+       st.integers(min_value=0, max_value=6))
+def test_single_survivor_falls_back_to_extent_identity(n0, m, j):
+    """One survivor at level j: reconstruction uses M = n + 2^j n0 over
+    the largest observed bucket — the best possible estimate."""
+    n, i = reconstruct_state({m: j}, n0)
+    assert i == j
+    assert n == max(m + 1 - (1 << j) * n0, 0)
+
+
+def test_empty_census_raises():
+    with pytest.raises(RecoveryError):
+        reconstruct_state({}, 4)

@@ -1,0 +1,103 @@
+"""The autonomous probe→recover self-healing loop.
+
+``run_probe_cycle`` advances the clock (firing scheduled crash windows),
+sweeps every server, recovers best-effort, and logs per-round health
+entries that the lifetime benchmark consumes.
+"""
+
+import pytest
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.core.group import parity_node
+
+
+def populated_file(**overrides) -> LHRSFile:
+    defaults = dict(group_size=2, availability=2, bucket_capacity=32)
+    defaults.update(overrides)
+    file = LHRSFile(LHRSConfig(**defaults))
+    for key in range(40):
+        file.insert(key, bytes([key % 251]) * 8)
+    return file
+
+
+HEALTH_KEYS = {
+    "time", "probed", "unavailable", "recovered_groups",
+    "recovered_data_buckets", "recovered_parity_buckets",
+    "records_rebuilt", "errors", "spares_remaining",
+}
+
+
+class TestProbeCycle:
+    def test_detects_and_rebuilds_crashed_buckets(self):
+        file = populated_file()
+        before = file.census_with_ranks()
+        file.failures.crash(["f.d0", parity_node("f", 0, 1)])
+
+        entries = file.rs_coordinator.run_probe_cycle(rounds=2)
+        assert len(entries) == 2
+        assert set(entries[0]) == HEALTH_KEYS
+        assert sorted(entries[0]["unavailable"]) == [
+            "f.d0", parity_node("f", 0, 1)
+        ]
+        assert entries[0]["recovered_groups"] == 1
+        assert entries[0]["recovered_data_buckets"] == 1
+        assert entries[0]["recovered_parity_buckets"] == 1
+        # Second round: nothing left to heal.
+        assert entries[1]["unavailable"] == []
+        assert entries[1]["recovered_groups"] == 0
+        assert file.census_with_ranks() == before
+        assert file.verify_parity_consistency() == []
+
+    def test_health_log_accumulates(self):
+        file = populated_file()
+        file.rs_coordinator.run_probe_cycle(rounds=3)
+        file.rs_coordinator.run_probe_cycle(rounds=2)
+        assert len(file.rs_coordinator.health_log) == 5
+        times = [e["time"] for e in file.rs_coordinator.health_log]
+        assert times == sorted(times)  # the clock advanced monotonically
+
+    def test_rounds_validation(self):
+        file = populated_file()
+        with pytest.raises(ValueError):
+            file.rs_coordinator.run_probe_cycle(rounds=0)
+
+    def test_scheduled_window_fires_during_cycle(self):
+        file = populated_file()
+        now = file.network.now
+        file.failures.schedule_crash("f.d1", at=now + 2.0)
+        entries = file.rs_coordinator.run_probe_cycle(
+            rounds=4, advance_per_round=1.0
+        )
+        # The crash fired mid-cycle and the very same round healed it.
+        hit = [e for e in entries if "f.d1" in e["unavailable"]]
+        assert len(hit) == 1
+        assert hit[0]["recovered_data_buckets"] == 1
+        assert file.network.is_available("f.d1")
+        assert file.verify_parity_consistency() == []
+
+    def test_spare_exhaustion_is_recorded_not_fatal(self):
+        file = populated_file(spare_servers=0)
+        file.failures.crash(["f.d0"])
+        entries = file.rs_coordinator.run_probe_cycle(rounds=1)
+        assert entries[0]["errors"]
+        assert "spare" in entries[0]["errors"][0]["error"]
+        assert entries[0]["recovered_groups"] == 0
+        assert entries[0]["spares_remaining"] == 0
+        # The bucket stays down; the loop itself keeps running.
+        assert not file.network.is_available("f.d0")
+        file.rs_coordinator.run_probe_cycle(rounds=1)
+
+    def test_doomed_group_does_not_block_others(self):
+        # Group 0 loses more than k members (beyond help); group 1's
+        # single loss must still be repaired in the same sweep.
+        file = populated_file(group_size=2, availability=1,
+                              bucket_capacity=8)
+        for key in range(40, 80):
+            file.insert(key, bytes([key % 251]) * 8)
+        assert file.bucket_count >= 4  # at least two groups exist
+        file.failures.crash(["f.d0", "f.d1", "f.d2"])
+        entries = file.rs_coordinator.run_probe_cycle(rounds=1)
+        assert any("exceeds availability" in e["error"]
+                   for e in entries[0]["errors"])
+        assert file.network.is_available("f.d2")
+        assert not file.network.is_available("f.d0")

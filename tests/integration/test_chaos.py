@@ -1,0 +1,149 @@
+"""Chaos soak: thousands of mixed operations under a hostile message
+plane *and* concurrent crash/restore windows.
+
+The fault rules follow the protocol's safety envelope:
+
+* mutations (and their Δs) are dropped, transiently failed and
+  duplicated — but never *delayed*: a held mutation re-delivered later
+  could reorder with a subsequent write to the same key across a
+  different A2 forwarding path, which no last-writer oracle can track.
+  Sequence numbers and write acks are exactly the machinery that makes
+  drop/dup/fail survivable, so that is what we batter.
+* read replies, acks and IAMs also get delayed (bounded, per-channel
+  FIFO) — late replies must satisfy waiting retries, late acks must
+  match retried tokens.
+
+Crash windows take at most k members of a group down at a time; the
+self-healing probe loop and the report-driven recovery paths race the
+windows.  At the end: every acked write readable, every acked delete
+gone, parity recomputed == stored, every crashed node rebuilt.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.core.group import parity_node
+from repro.sdds.client import OperationFailed
+from repro.sim import FaultPlane
+
+MUTATION_KINDS = {"insert", "update", "delete", "search", "parity.update"}
+REPLY_KINDS = {"search.result", "op.ack", "iam"}
+
+
+def run_chaos(operations: int, seed: int) -> None:
+    config = LHRSConfig(
+        group_size=4,
+        availability=2,
+        bucket_capacity=16,
+        parity_ack=True,
+        client_acks=True,
+        retry_attempts=6,
+        retry_backoff_base=0.5,
+    )
+    file = LHRSFile(config)
+    net = file.network
+
+    plane = FaultPlane(rng=np.random.default_rng(seed))
+    plane.add_rule(kinds=MUTATION_KINDS, drop=0.03, fail=0.04, duplicate=0.03)
+    plane.add_rule(kinds=REPLY_KINDS, drop=0.03, fail=0.03, duplicate=0.03,
+                   delay=0.05, delay_window=3.0)
+    net.install_fault_plane(plane)
+
+    # Staggered crash windows: ≤ k members of one group at a time,
+    # cycling over the first six groups, overlapping across groups.
+    injector = file.failures
+    pairs = [
+        lambda g: (f"f.d{4 * g}", f"f.d{4 * g + 1}"),
+        lambda g: (f"f.d{4 * g + 2}", parity_node("f", g, 0)),
+        lambda g: (parity_node("f", g, 0), parity_node("f", g, 1)),
+    ]
+    horizon = operations + 100
+    for w, at in enumerate(range(120, horizon, 60)):
+        group = w % 6
+        for node in pairs[w % 3](group):
+            injector.schedule_crash(node, at=float(at), duration=80.0)
+
+    rng = np.random.default_rng(seed + 1)
+    oracle: dict[int, bytes] = {}
+    written: set[int] = set()
+    ambiguous: set[int] = set()
+    acked = failed = 0
+
+    for t in range(operations):
+        key = int(rng.integers(0, 600))
+        roll = float(rng.random())
+        try:
+            if roll < 0.45:
+                value = b"v%d-%d" % (t, key)
+                file.insert(key, value)
+                oracle[key] = value
+                written.add(key)
+                ambiguous.discard(key)
+                acked += 1
+            elif roll < 0.65:
+                value = b"u%d-%d" % (t, key)
+                file.update(key, value)  # upsert semantics
+                oracle[key] = value
+                written.add(key)
+                ambiguous.discard(key)
+                acked += 1
+            elif roll < 0.80:
+                file.delete(key)
+                oracle.pop(key, None)
+                ambiguous.discard(key)
+                acked += 1
+            else:
+                outcome = file.search(key)
+                if key not in ambiguous:
+                    if key in oracle:
+                        assert outcome.found and outcome.value == oracle[key]
+                    else:
+                        assert not outcome.found
+        except OperationFailed:
+            failed += 1
+            if roll < 0.80:
+                ambiguous.add(key)
+
+    assert acked + failed >= int(operations * 0.70)  # mostly mutations ran
+    assert acked > failed * 10  # the retry ladder confirms the vast majority
+
+    # ---- quiesce: no more faults, windows all closed ------------------
+    plane.clear_rules()
+    while injector.pending_events:
+        net.advance(60.0)
+    net.advance(60.0)
+    assert plane.pending == 0  # every delayed message matured
+
+    # ---- the self-healing loop sweeps up whatever is still down -------
+    entries = file.rs_coordinator.run_probe_cycle(rounds=3)
+    assert entries[-1]["unavailable"] == []
+    assert entries[-1]["errors"] == []
+
+    # ---- acceptance: the file survived ---------------------------------
+    assert file.verify_parity_consistency() == []
+    for key, value in oracle.items():
+        if key in ambiguous:
+            continue
+        outcome = file.search(key)
+        assert outcome.found and outcome.value == value, key
+    for key in written - set(oracle) - ambiguous:
+        assert not file.search(key).found, key
+
+    crashed = {node for _, action, node in injector.event_log
+               if action == "crash"}
+    assert crashed  # the windows really fired
+    assert all(net.is_available(node) for node in crashed)
+    assert file.rs_coordinator.recovery.groups_recovered >= 1
+    # The plane really exercised every fault class.
+    for counter in ("dropped", "failed", "duplicated", "delayed", "released"):
+        assert plane.counters[counter] > 0, counter
+
+
+def test_chaos_soak_5000_ops():
+    run_chaos(operations=5000, seed=20260806)
+
+
+def test_chaos_smoke():
+    """Fixed-seed quick variant (CI's 30-second chaos gate)."""
+    run_chaos(operations=700, seed=1234)

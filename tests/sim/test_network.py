@@ -107,6 +107,55 @@ class TestMulticast:
         assert replies == {}
         assert net.stats.total.messages == 1
 
+    def test_replies_ride_at_request_depth_plus_one(self, net):
+        # Each reply is one hop deeper than its request: serial depth of
+        # a scan round-trip is request + reply = 2 (replies themselves
+        # are parallel, so more recipients do not deepen the chain).
+        net.multicast("a", ["b", "c"], "ping")
+        assert net.stats.total.serial_depth == 2
+
+    def test_partial_failure_reply_accounting(self, net):
+        # One dead recipient: its request AND its reply disappear from
+        # the bill, and the unavailable list is the complete gap report
+        # the deterministic-termination protocols need.
+        net.fail("b")
+        replies, missing = net.multicast("a", ["b", "c"], "ping")
+        assert missing == ["b"]
+        assert set(replies) == {"c"}
+        assert net.stats.total.messages == 2  # 1 fabric request + 1 reply
+
+    def test_partial_failure_without_fabric(self):
+        network = Network(multicast_available=False)
+        for name in ("a", "b", "c", "d"):
+            network.register(Echo(name))
+        network.fail("c")
+        replies, missing = network.multicast("a", ["b", "c", "d"], "ping")
+        assert missing == ["c"]
+        assert set(replies) == {"b", "d"}
+        assert network.stats.total.messages == 4  # 2 requests + 2 replies
+
+    def test_all_recipients_failed(self, net):
+        net.fail("b")
+        net.fail("c")
+        replies, missing = net.multicast("a", ["b", "c"], "ping")
+        assert replies == {}
+        assert missing == ["b", "c"]
+        assert net.stats.total.messages == 0
+
+    def test_fault_plane_losses_land_in_unavailable(self, net):
+        # A dropped multicast copy is indistinguishable from a dead
+        # node at the sender: only the timeout fires.
+        import numpy as np
+
+        from repro.sim import FaultPlane
+
+        plane = FaultPlane(rng=np.random.default_rng(0))
+        plane.add_rule(kinds={"ping"}, recipient="b", drop=1.0)
+        net.install_fault_plane(plane)
+        replies, missing = net.multicast("a", ["b", "c"], "ping")
+        assert missing == ["b"]
+        assert set(replies) == {"c"}
+
 
 class TestFailureState:
     def test_send_to_failed_raises(self, net):
@@ -131,6 +180,25 @@ class TestFailureState:
         assert not net.is_available("b")
         with pytest.raises(UnknownNode):
             net.send("a", "b", "ping")
+
+    def test_unregister_unknown_node_raises(self, net):
+        with pytest.raises(UnknownNode):
+            net.unregister("zz")
+
+    def test_restore_unknown_node_raises(self, net):
+        # A misspelled failure schedule must fail loudly, not silently
+        # "recover" nothing.
+        with pytest.raises(UnknownNode):
+            net.restore("zz")
+
+    def test_restore_unregistered_node_raises(self, net):
+        net.unregister("b")
+        with pytest.raises(UnknownNode):
+            net.restore("b")
+
+    def test_restore_not_failed_is_noop(self, net):
+        net.restore("b")  # registered, never failed: tolerated
+        assert net.is_available("b")
 
 
 class TestAccountingWindows:
