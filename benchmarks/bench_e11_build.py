@@ -9,6 +9,8 @@ for k = 0..2, splitting the parity-maintenance share out; LH*g's
 split-silence is the contrast.
 """
 
+import time
+
 import pytest
 
 from harness import fmt, save_table, scaled
@@ -34,8 +36,11 @@ def run_series():
         file = LHRSFile(LHRSConfig(group_size=4, availability=k,
                                    bucket_capacity=16))
         inserted = 0
+        wall_s = 0.0
         for checkpoint in CHECKPOINTS:
+            start = time.perf_counter()
             inserted = grow(file, checkpoint, inserted, keys)
+            wall_s += time.perf_counter() - start
             total = file.stats.total
             parity_msgs = sum(total.by_kind.get(kind, 0)
                               for kind in PARITY_KINDS)
@@ -47,13 +52,17 @@ def run_series():
                     "splits": file.coordinator.state.splits_done,
                     "msgs_per_record": total.messages / inserted,
                     "parity_share": parity_msgs / total.messages,
+                    "build_s": wall_s,
                 }
             )
     # LH*g contrast: splits ship no parity messages at all.
     lhg = LHGFile(LHGConfig(group_size=4, bucket_capacity=16))
     inserted = 0
+    wall_s = 0.0
     for checkpoint in CHECKPOINTS:
+        start = time.perf_counter()
         inserted = grow(lhg, checkpoint, inserted, keys)
+        wall_s += time.perf_counter() - start
         total = lhg.stats.total
         parity_msgs = total.by_kind.get("gparity.apply", 0)
         rows.append(
@@ -64,6 +73,7 @@ def run_series():
                 "splits": lhg.coordinator.state.splits_done,
                 "msgs_per_record": total.messages / inserted,
                 "parity_share": parity_msgs / total.messages,
+                "build_s": wall_s,
             }
         )
     return rows
@@ -73,13 +83,13 @@ def test_e11_build_cost(benchmark):
     rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
     lines = [
         f"{'scheme':<12} {'records':>8} {'buckets':>8} {'splits':>7} "
-        f"{'msgs/record':>12} {'parity share':>13}"
+        f"{'msgs/record':>12} {'parity share':>13} {'build s':>8}"
     ]
     for r in rows:
         lines.append(
             f"{r['scheme']:<12} {r['records']:>8} {r['buckets']:>8} "
             f"{r['splits']:>7} {fmt(r['msgs_per_record'], 12)} "
-            f"{fmt(r['parity_share'], 13)}"
+            f"{fmt(r['parity_share'], 13)} {fmt(r['build_s'], 8, 3)}"
         )
     save_table(
         "e11_build",

@@ -5,6 +5,10 @@ row (parity bucket 0) is markedly faster than general GF rows, GF(2^8)
 and GF(2^16) trade table size against symbol count, and decode adds only
 a small matrix-inversion term over encode.  These are genuine
 pytest-benchmark timings on the host CPU.
+
+The ``*_batch`` tests time the stacked 2D stripe kernels this codec's
+bulk paths run on (see ``benchmarks/codec_bench.py`` for the tracked
+scalar-vs-batched regression grid in ``BENCH_codec.json``).
 """
 
 import pytest
@@ -14,6 +18,11 @@ from repro.rs import RSCodec
 
 PAYLOAD = 4096
 M = 4
+
+# The acceptance configuration of the batched kernels: many 1 KB-record
+# groups encoded/decoded per kernel dispatch instead of per record.
+BATCH_PAYLOAD = 1024
+BATCH_GROUPS = 64
 
 
 def make_group(codec, seed=1):
@@ -50,6 +59,63 @@ def test_e9_decode_throughput(benchmark, width, lost):
     for pos in lost:
         assert result[pos] == payloads[pos]
     benchmark.extra_info["config"] = f"GF(2^{width}) f={k}"
+
+
+def make_batch(codec, ngroups=BATCH_GROUPS, payload=BATCH_PAYLOAD, seed=3):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.integers(0, 256, payload, dtype=np.uint8).tobytes()
+         for _ in range(codec.m)]
+        for _ in range(ngroups)
+    ]
+
+
+@pytest.mark.parametrize("width", [8, 16])
+def test_e9_encode_batch_throughput(benchmark, width):
+    """One stacked kernel pass over many groups (the bulk-build path)."""
+    codec = RSCodec(m=M, k=2, field=GF(width))
+    groups = make_batch(codec)
+    result = benchmark(codec.encode_batch, groups)
+    assert result[0] == codec.encode(groups[0])
+    benchmark.extra_info["MB_encoded"] = (
+        BATCH_GROUPS * M * BATCH_PAYLOAD / 1e6
+    )
+    benchmark.extra_info["config"] = (
+        f"GF(2^{width}) m={M} k=2 x{BATCH_GROUPS} groups"
+    )
+
+
+@pytest.mark.parametrize("width", [8, 16])
+def test_e9_decode_batch_throughput(benchmark, width):
+    """Rebuild two lost data positions of many groups in one kernel."""
+    field = GF(width)
+    codec = RSCodec(m=M, k=2, field=field)
+    groups = make_batch(codec)
+    full = [list(g) + codec.encode(g) for g in groups]
+    lost = [0, 1]
+    survivors = [p for p in range(M + 2) if p not in lost]
+    length = field.symbol_length_for_bytes(BATCH_PAYLOAD)
+
+    def batched():
+        stacked = {
+            p: field.stack_payloads([cw[p] for cw in full], length)
+            for p in survivors
+        }
+        return codec.recover_stripes(stacked, lost)
+
+    result = benchmark(batched)
+    assert (
+        field.bytes_from_symbols(result[0][0], BATCH_PAYLOAD)
+        == groups[0][0]
+    )
+    benchmark.extra_info["MB_decoded"] = (
+        BATCH_GROUPS * len(lost) * BATCH_PAYLOAD / 1e6
+    )
+    benchmark.extra_info["config"] = (
+        f"GF(2^{width}) m={M} f=2 x{BATCH_GROUPS} groups"
+    )
 
 
 def test_e9_xor_fast_path_vs_general_row(benchmark):

@@ -106,6 +106,7 @@ class RSCoordinator(Coordinator):
             index=index,
             row=self.parity_row(index),
             field=self.field,
+            stripe_store=self.config.parity_stripe_store,
         )
 
     def make_server(self, number: int, level: int) -> RSDataServer:

@@ -19,11 +19,22 @@ above it proves this bucket missed traffic (a dropped message): it
 reports itself stale to the coordinator, which rebuilds it from the
 group's data.  Unsequenced Δs (coordinator encode batches) apply
 unconditionally.
+
+Storage comes in two layouts.  The classic one keeps one numpy array per
+parity record.  With ``stripe_store=True`` (the file default) all
+records pack into one contiguous :class:`~repro.core.stripe_store.
+StripeStore` matrix with a rank→row map; ``record.symbols`` are then row
+*views*, dumps render the whole bucket in one bytes pass, signature
+scans run as one 2D kernel, and bulk encode batches land as one
+``gf_matmul`` over the stacked Δ matrix.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.records import ParityRecord
+from repro.core.stripe_store import StripeStore
 from repro.gf.field import GF
 from repro.rs.encoder import fold_delta
 from repro.sim.messages import Message
@@ -41,6 +52,7 @@ class ParityServer(Node):
         index: int,
         row: list[int],
         field: GF,
+        stripe_store: bool = False,
     ):
         super().__init__(node_id)
         self.file_id = file_id
@@ -49,21 +61,63 @@ class ParityServer(Node):
         self.row = list(row)
         self.field = field
         self.records: dict[int, ParityRecord] = {}
+        #: contiguous stripe layout (None = one array per record)
+        self._store: StripeStore | None = (
+            StripeStore(field) if stripe_store else None
+        )
         #: next expected Δ sequence number per group position (default 1)
         self._expected_seq: dict[int, int] = {}
         #: retransmissions skipped / gaps detected (observability)
         self.duplicates_skipped = 0
         self.gaps_detected = 0
-        #: §4.1's in-bucket secondary index: member key -> rank.  Makes
-        #: record recovery's locate step an O(1) lookup instead of a
-        #: scan over every parity record ("shortens the bucket search
-        #: time drastically" at negligible storage, as the paper notes).
-        self._key_index: dict[int, int] = {}
+        #: §4.1's in-bucket secondary index: member key -> (rank, pos).
+        #: Makes record recovery's locate step an O(1) lookup instead of
+        #: a scan over every parity record ("shortens the bucket search
+        #: time drastically" at negligible storage, as the paper notes);
+        #: carrying the position too removes the per-locate scan over
+        #: the record's key directory.
+        self._key_index: dict[int, tuple[int, int]] = {}
         #: GF multiply-accumulate symbol operations performed (CPU model)
         self.symbol_ops = 0
         #: how many of those folds were coefficient-1 (pure XOR)
         self.xor_folds = 0
         self.general_folds = 0
+
+    # ------------------------------------------------------------------
+    # storage layout helpers
+    # ------------------------------------------------------------------
+    def _fold_into(self, record: ParityRecord, coefficient: int, delta: bytes) -> None:
+        """Fold one Δ into a record under the active storage layout."""
+        if self._store is None:
+            record.symbols = fold_delta(
+                self.field, record.symbols, coefficient, delta
+            )
+            return
+        needed = self.field.symbol_length_for_bytes(len(delta))
+        length = max(needed, len(record.symbols))
+        if self._store.ensure(record.rank, length):
+            self._refresh_views()
+        view = self._store.view(record.rank)
+        self.field.scale_accumulate(view, coefficient, delta)
+        record.symbols = view
+
+    def _refresh_views(self) -> None:
+        """Re-bind every record's symbols view after a store reallocation."""
+        assert self._store is not None
+        for rank, record in self.records.items():
+            record.symbols = self._store.view(rank)
+
+    def _drop_record(self, rank: int) -> None:
+        del self.records[rank]
+        if self._store is not None and rank in self._store:
+            self._store.release(rank)
+
+    def _count_fold(self, coefficient: int, delta_len: int) -> None:
+        self.symbol_ops += self.field.symbol_length_for_bytes(delta_len)
+        if coefficient == 1:
+            self.xor_folds += 1
+        else:
+            self.general_folds += 1
 
     # ------------------------------------------------------------------
     # the Δ-record protocol
@@ -81,20 +135,14 @@ class ParityServer(Node):
             self.records[rank] = record
 
         coefficient = self.row[pos]
-        record.symbols = fold_delta(
-            self.field, record.symbols, coefficient, op["delta"]
-        )
-        self.symbol_ops += self.field.symbol_length_for_bytes(len(op["delta"]))
-        if coefficient == 1:
-            self.xor_folds += 1
-        else:
-            self.general_folds += 1
+        self._fold_into(record, coefficient, op["delta"])
+        self._count_fold(coefficient, len(op["delta"]))
 
         action = op["op"]
         if action == "insert":
             record.keys[pos] = op["key"]
             record.lengths[pos] = op["length"]
-            self._key_index[op["key"]] = rank
+            self._key_index[op["key"]] = (rank, pos)
         elif action == "update":
             record.lengths[pos] = op["length"]
         elif action == "delete":
@@ -103,7 +151,7 @@ class ParityServer(Node):
             self._key_index.pop(op["key"], None)
             if not record.keys:
                 # All members gone: the accumulated deltas cancel exactly.
-                del self.records[rank]
+                self._drop_record(rank)
         else:
             raise ValueError(f"unknown parity op {action!r}")
 
@@ -154,23 +202,103 @@ class ParityServer(Node):
             "expected": self._expected_seq.get(message.payload["pos"], 1),
         }
 
+    # ------------------------------------------------------------------
+    # batch application
+    # ------------------------------------------------------------------
+    def _bulk_encodable(self, ops: list[dict]) -> bool:
+        """Whole-group encode batches can skip the per-op fold loop.
+
+        Eligible when this bucket is empty and every op is an
+        unsequenced insert hitting a distinct (rank, pos) slot — exactly
+        what the coordinator's parity (re)build paths ship.
+        """
+        if self.records or not ops:
+            return False
+        seen: set[tuple[int, int]] = set()
+        for op in ops:
+            if op.get("seq") is not None or op["op"] != "insert":
+                return False
+            if not 0 <= op["pos"] < len(self.row):
+                return False  # per-op path raises the proper ValueError
+            slot = (op["rank"], op["pos"])
+            if slot in seen:
+                return False
+            seen.add(slot)
+        return True
+
+    def _bulk_encode(self, ops: list[dict]) -> int:
+        """Encode a whole-group insert batch as one 2D kernel call.
+
+        Packs the Δ payloads into an (m x nranks x L) tensor and applies
+        this bucket's generator row with a single ``gf_matmul`` — one
+        table gather + XOR per coefficient instead of one fold dispatch
+        per record.  Bit-exact with the per-op path (verified by the
+        stripe property tests); the symbol-op accounting still charges
+        the per-record work actually done.
+        """
+        field = self.field
+        m = len(self.row)
+        by_rank: dict[int, list[dict]] = {}
+        for op in ops:
+            by_rank.setdefault(op["rank"], []).append(op)
+        ranks = sorted(by_rank)
+        length = max(
+            field.symbol_length_for_bytes(len(op["delta"])) for op in ops
+        )
+        grid: list[list[bytes | None]] = [[None] * len(ranks) for _ in range(m)]
+        for r, rank in enumerate(ranks):
+            for op in by_rank[rank]:
+                grid[op["pos"]][r] = op["delta"]
+        stacked = np.stack(
+            [field.stack_payloads(column, length) for column in grid]
+        )
+        parity = field.gf_matmul([self.row], stacked)[0]
+
+        for r, rank in enumerate(ranks):
+            record = ParityRecord(rank=rank)
+            stripe = max(
+                field.symbol_length_for_bytes(len(op["delta"]))
+                for op in by_rank[rank]
+            )
+            if self._store is None:
+                record.symbols = parity[r, :stripe].copy()
+            else:
+                if self._store.ensure(rank, stripe):
+                    self._refresh_views()
+                self._store.view(rank)[:] = parity[r, :stripe]
+                record.symbols = self._store.view(rank)
+            for op in by_rank[rank]:
+                pos = op["pos"]
+                record.keys[pos] = op["key"]
+                record.lengths[pos] = op["length"]
+                self._key_index[op["key"]] = (rank, pos)
+                self._count_fold(self.row[pos], len(op["delta"]))
+            self.records[rank] = record
+        return len(ops)
+
     def handle_parity_batch(self, message: Message) -> dict:
         """Batched Δ-records (splits, merges and encodes ship these).
 
-        Ops in one batch share a channel and are contiguous, so the
-        first stale op means every later one is too — stop and report
-        once.  A trailing ``expected_seqs`` map (coordinator encode
-        paths) re-bases the channels afterwards.
+        Whole-group encode batches (fresh bucket, unsequenced inserts)
+        take the 2D bulk path.  Otherwise ops apply one by one: ops in
+        one batch share a channel and are contiguous, so the first stale
+        op means every later one is too — stop and report once.  A
+        trailing ``expected_seqs`` map (coordinator encode paths)
+        re-bases the channels afterwards.
         """
-        applied = 0
-        for op in message.payload["ops"]:
-            verdict = self._channel_check(op)
-            if verdict == "apply":
-                self._apply(op)
-                applied += 1
-            elif verdict == "stale":
-                self._report_stale()
-                return {"status": "stale", "applied": applied}
+        ops = message.payload["ops"]
+        if self._bulk_encodable(ops):
+            applied = self._bulk_encode(ops)
+        else:
+            applied = 0
+            for op in ops:
+                verdict = self._channel_check(op)
+                if verdict == "apply":
+                    self._apply(op)
+                    applied += 1
+                elif verdict == "stale":
+                    self._report_stale()
+                    return {"status": "stale", "applied": applied}
         expected = message.payload.get("expected_seqs")
         if expected:
             self._expected_seq.update(
@@ -193,12 +321,27 @@ class ParityServer(Node):
     # ------------------------------------------------------------------
     # queries used by recovery
     # ------------------------------------------------------------------
+    def _snapshots(self) -> list[dict]:
+        """Snapshot every record; one contiguous bytes pass with a store."""
+        if self._store is None:
+            return [r.snapshot(self.field) for r in self.records.values()]
+        payloads = self._store.row_bytes()
+        return [
+            {
+                "rank": rank,
+                "keys": dict(record.keys),
+                "lengths": dict(record.lengths),
+                "parity": payloads.get(rank, b""),
+            }
+            for rank, record in self.records.items()
+        ]
+
     def handle_parity_dump(self, message: Message) -> dict:
         """Everything this bucket knows (bucket recovery reads this)."""
         return {
             "group": self.group,
             "index": self.index,
-            "records": [r.snapshot(self.field) for r in self.records.values()],
+            "records": self._snapshots(),
             "expected_seqs": dict(self._expected_seq),
         }
 
@@ -211,11 +354,11 @@ class ParityServer(Node):
         *unsuccessfully with certainty* even while data buckets are down.
         """
         key = message.payload["key"]
-        rank = self._key_index.get(key)
-        if rank is None:
+        entry = self._key_index.get(key)
+        if entry is None:
             return None
+        rank, pos = entry
         record = self.records[rank]
-        pos = next(p for p, k in record.keys.items() if k == key)
         snap = record.snapshot(self.field)
         snap["pos"] = pos
         return snap
@@ -227,14 +370,29 @@ class ParityServer(Node):
 
     def handle_parity_load(self, message: Message) -> None:
         """Bulk-load recovered content into a fresh (spare) parity bucket."""
+        snaps = message.payload["records"]
         self.records = {
-            snap["rank"]: ParityRecord.from_snapshot(snap, self.field)
-            for snap in message.payload["records"]
+            snap["rank"]: ParityRecord(
+                rank=snap["rank"],
+                keys=dict(snap["keys"]),
+                lengths=dict(snap["lengths"]),
+            )
+            for snap in snaps
         }
+        if self._store is None:
+            for snap in snaps:
+                self.records[snap["rank"]].symbols = (
+                    self.field.symbols_from_bytes(snap["parity"])
+                )
+        else:
+            self._store.bulk_load(
+                [(snap["rank"], snap["parity"]) for snap in snaps]
+            )
+            self._refresh_views()
         self._key_index = {
-            key: rank
+            key: (rank, pos)
             for rank, record in self.records.items()
-            for key in record.keys.values()
+            for pos, key in record.keys.items()
         }
         # A rebuilt spare is encoded from the group's *current* data, so
         # every Δ the senders have issued is already reflected; adopting
@@ -245,10 +403,24 @@ class ParityServer(Node):
         }
 
     def handle_signature_dump(self, message: Message) -> dict:
-        """Algebraic signatures of every parity record, keyed by rank."""
+        """Algebraic signatures of every parity record, keyed by rank.
+
+        With the stripe store the whole bucket is one stacked matrix and
+        the signatures come out of one vectorized pass per signature
+        symbol (zero padding contributes nothing to a signature).
+        """
+        count = message.payload.get("count", 2)
+        if self._store is not None:
+            from repro.gf.signatures import signature_matrix
+
+            ranks, matrix = self._store.stacked()
+            vectors = signature_matrix(self.field, matrix, count)
+            return {
+                "index": self.index,
+                "ranks": dict(zip(ranks, vectors)),
+            }
         from repro.gf.signatures import signature_vector
 
-        count = message.payload.get("count", 2)
         return {
             "index": self.index,
             "ranks": {

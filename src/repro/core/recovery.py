@@ -396,7 +396,18 @@ class RecoveryManager:
         lost_parity: list[int],
         group: int,
     ) -> tuple[dict[int, dict], dict[int, list], int]:
-        """Decode every affected record group; assemble spare contents."""
+        """Decode every affected record group; assemble spare contents.
+
+        Ranks sharing a loss pattern — the same set of surviving
+        codeword positions and the same set wanted back — share a decode
+        matrix, so they are decoded together: each position's payloads
+        stack into one ``(nranks, L)`` matrix and one
+        :meth:`RSCodec.recover_stripes` kernel call rebuilds every rank
+        of the batch at once.  Results are trimmed per rank back to the
+        lengths the record-at-a-time path produces (bit-exact: zero
+        padding to the batch stripe length is semantically free).
+        """
+        field = codec.field
         # Index survivor data records by rank and position.
         by_rank: dict[int, dict[int, bytes]] = {}
         for bucket, dump in data_dumps.items():
@@ -411,8 +422,10 @@ class RecoveryManager:
         new_parity: dict[int, list] = {i: [] for i in lost_parity}
         decoded = 0
 
+        # ---- pass 1: assemble shares, batch ranks by loss pattern -----
+        batches: dict[tuple, list[tuple[int, dict[int, bytes]]]] = {}
         for rank, entry in sorted(directory.items()):
-            keys, lengths = entry["keys"], entry["lengths"]
+            keys = entry["keys"]
             # Which codeword positions need rebuilding for this rank?
             lost_here = [
                 pos for pos in lost_positions_data if pos in keys
@@ -444,24 +457,66 @@ class RecoveryManager:
             for index, parity in entry["parity"].items():
                 shares[m + index] = parity
 
-            lengths_map = {pos: lengths[pos] for pos in lost_here}
-            recovered = codec.recover(shares, want, payload_lengths=lengths_map)
+            signature = (tuple(sorted(shares)), tuple(want))
+            batches.setdefault(signature, []).append((rank, shares))
 
-            for pos in lost_here:
-                bucket = lost_positions_data[pos]
-                new_data[bucket]["records"].append(
-                    (keys[pos], rank, recovered[pos])
+        # ---- pass 2: one stacked decode per loss pattern --------------
+        stats = getattr(self._net, "stats", None)
+        for (positions, want), members in batches.items():
+            want = list(want)
+            lost_here = [pos for pos in want if pos < m]
+            ranks = [rank for rank, _ in members]
+            # Logical stripe length of each rank (what the scalar path
+            # would size its output to) and the common batch length.
+            stripe_lengths = [
+                field.symbol_length_for_bytes(
+                    max(len(p) for p in shares.values())
                 )
-                decoded += 1
-            for index in lost_parity:
-                new_parity[index].append(
-                    {
-                        "rank": rank,
-                        "keys": dict(keys),
-                        "lengths": dict(lengths),
-                        "parity": recovered[m + index],
-                    }
+                for _, shares in members
+            ]
+            batch_length = max(stripe_lengths)
+            stacked = {
+                pos: field.stack_payloads(
+                    [shares[pos] for _, shares in members], batch_length
                 )
+                for pos in positions
+            }
+            recovered = codec.recover_stripes(stacked, want)
+            if stats is not None:
+                # CPU model: rebuilding one position of one rank costs m
+                # multiply-accumulates per stripe symbol, regardless of
+                # how the work was dispatched.
+                stats.record_symbols(
+                    len(want) * m * sum(stripe_lengths)
+                )
+
+            for i, rank in enumerate(ranks):
+                entry = directory[rank]
+                keys, lengths = entry["keys"], entry["lengths"]
+                for pos in lost_here:
+                    bucket = lost_positions_data[pos]
+                    new_data[bucket]["records"].append(
+                        (keys[pos], rank,
+                         field.bytes_from_symbols(
+                             recovered[pos][i], lengths[pos]
+                         ))
+                    )
+                    decoded += 1
+                for index in lost_parity:
+                    new_parity[index].append(
+                        {
+                            "rank": rank,
+                            "keys": dict(keys),
+                            "lengths": dict(lengths),
+                            "parity": field.bytes_from_symbols(
+                                recovered[m + index][i][: stripe_lengths[i]]
+                            ),
+                        }
+                    )
+        for index in lost_parity:
+            new_parity[index].sort(key=lambda snap: snap["rank"])
+        for bucket in lost_data:
+            new_data[bucket]["records"].sort(key=lambda rec: rec[1])
         return new_data, new_parity, decoded
 
     # ------------------------------------------------------------------

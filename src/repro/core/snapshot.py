@@ -54,10 +54,9 @@ def snapshot_file(file: LHRSFile) -> dict:
             {
                 "group": server.group,
                 "index": server.index,
-                "records": [
-                    record.snapshot(server.field)
-                    for record in server.records.values()
-                ],
+                # _snapshots renders a stripe-store bucket in one
+                # contiguous bytes pass; identical dicts either way.
+                "records": server._snapshots(),
             }
         )
     return {
@@ -70,6 +69,7 @@ def snapshot_file(file: LHRSFile) -> dict:
             "generator": config.generator,
             "compact_ranks": config.compact_ranks,
             "parity_batch_size": config.parity_batch_size,
+            "parity_stripe_store": config.parity_stripe_store,
         },
         "state": {
             "n": coordinator.state.n,

@@ -1,0 +1,172 @@
+"""Contiguous stripe storage for parity buckets.
+
+A parity bucket holds one parity symbol array per record group (rank).
+Storing each as its own numpy array costs one allocation per record and
+forces every bulk operation — dumps, signature scans, recovery decodes —
+to walk Python objects.  :class:`StripeStore` packs them all into one
+``(rows x width)`` symbol matrix with a rank→row map: each rank's parity
+lives in a row slice, zero-padded to the store width (the paper's
+padding rule makes the padding semantically free).
+
+The matrix grows geometrically in both dimensions.  Growth reallocates
+the matrix, which invalidates previously handed-out row views, so
+callers that cache views (the parity server binds ``record.symbols`` to
+row views) must refresh them when :attr:`generation` changes —
+:meth:`ensure` returns ``True`` exactly when that happened.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import GF
+
+
+class StripeStore:
+    """One contiguous (rows x width) symbol matrix, addressed by rank."""
+
+    __slots__ = ("field", "matrix", "generation", "_row_of", "_length", "_free")
+
+    def __init__(self, field: GF, rows: int = 0, width: int = 0):
+        if field.width < 8:
+            # Sub-byte symbols would make row slices non-byte-aligned in
+            # row_bytes; the file configs only use GF(2^8)/GF(2^16).
+            raise ValueError("StripeStore requires a whole-byte symbol field")
+        self.field = field
+        self.matrix = np.zeros((rows, width), dtype=field.symbol_dtype)
+        #: bumped whenever the matrix is reallocated (views invalidated)
+        self.generation = 0
+        self._row_of: dict[int, int] = {}
+        self._length: dict[int, int] = {}
+        self._free: list[int] = list(range(rows - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._row_of
+
+    def ranks(self) -> list[int]:
+        """Stored ranks in insertion-independent sorted order."""
+        return sorted(self._row_of)
+
+    def length_of(self, rank: int) -> int:
+        """Logical symbol length of one rank's stripe."""
+        return self._length[rank]
+
+    @property
+    def width(self) -> int:
+        return int(self.matrix.shape[1])
+
+    # ------------------------------------------------------------------
+    def view(self, rank: int) -> np.ndarray:
+        """Logical-length view of one rank's row (writes hit the store)."""
+        return self.matrix[self._row_of[rank], : self._length[rank]]
+
+    def ensure(self, rank: int, length: int) -> bool:
+        """Make ``rank`` exist with at least ``length`` logical symbols.
+
+        Returns ``True`` when the matrix was reallocated (all previously
+        obtained views are stale and must be re-fetched via :meth:`view`).
+        """
+        grew = False
+        if length > self.width:
+            new_width = max(8, self.width)
+            while new_width < length:
+                new_width *= 2
+            fresh = np.zeros(
+                (self.matrix.shape[0], new_width), dtype=self.field.symbol_dtype
+            )
+            fresh[:, : self.width] = self.matrix
+            self.matrix = fresh
+            self.generation += 1
+            grew = True
+        if rank not in self._row_of:
+            if not self._free:
+                old_rows = self.matrix.shape[0]
+                new_rows = max(8, 2 * old_rows)
+                fresh = np.zeros(
+                    (new_rows, self.width), dtype=self.field.symbol_dtype
+                )
+                fresh[:old_rows] = self.matrix
+                self.matrix = fresh
+                self.generation += 1
+                grew = True
+                self._free = list(range(new_rows - 1, old_rows - 1, -1))
+            self._row_of[rank] = self._free.pop()
+            self._length[rank] = 0
+        if length > self._length[rank]:
+            self._length[rank] = length
+        return grew
+
+    def release(self, rank: int) -> None:
+        """Drop a rank; its row is zeroed and recycled."""
+        row = self._row_of.pop(rank)
+        self._length.pop(rank)
+        self.matrix[row] = 0
+        self._free.append(row)
+
+    # ------------------------------------------------------------------
+    # bulk views (what dumps and signature scans ride on)
+    # ------------------------------------------------------------------
+    def stacked(self) -> tuple[list[int], np.ndarray]:
+        """``(ranks, matrix)`` with one full-width row per stored rank.
+
+        The matrix is a single fancy-index gather — one allocation for
+        the whole bucket, in rank order.
+        """
+        ranks = self.ranks()
+        rows = [self._row_of[rank] for rank in ranks]
+        return ranks, self.matrix[rows, :]
+
+    def row_bytes(self) -> dict[int, bytes]:
+        """Per-rank parity payloads rendered from one contiguous pass.
+
+        The whole store is converted to bytes once; each rank's payload
+        is then a cheap slice of that blob, trimmed to its logical
+        (symbol-aligned) length.
+        """
+        ranks, matrix = self.stacked()
+        if not ranks:
+            return {}
+        blob = self.field.bytes_from_symbols(matrix.reshape(-1))
+        stride = self.width * matrix.dtype.itemsize
+        out: dict[int, bytes] = {}
+        for i, rank in enumerate(ranks):
+            nbytes = self._length[rank] * matrix.dtype.itemsize
+            out[rank] = blob[i * stride : i * stride + nbytes]
+        return out
+
+    def bulk_load(self, items: list[tuple[int, bytes]]) -> None:
+        """Replace the store content with ``(rank, payload)`` pairs.
+
+        Packs every payload in one :meth:`GF.stack_payloads` pass —
+        the fast path for ``parity.load`` (spare installation, snapshot
+        restore).
+        """
+        lengths = [self.field.symbol_length_for_bytes(len(p)) for _, p in items]
+        width = max(lengths, default=0)
+        packed = self.field.stack_payloads([p for _, p in items], width)
+        if not packed.flags.writeable:
+            # stack_payloads may alias the (immutable) joined input
+            # bytes; the store matrix is written in place by later folds.
+            packed = packed.copy()
+        self.matrix = packed
+        self.generation += 1
+        self._row_of = {rank: i for i, (rank, _) in enumerate(items)}
+        self._length = {
+            rank: length for (rank, _), length in zip(items, lengths)
+        }
+        self._free = []
+
+    def nbytes(self) -> int:
+        """Logical payload bytes held (excludes padding and free rows)."""
+        itemsize = self.matrix.dtype.itemsize
+        return sum(self._length.values()) * itemsize
+
+    def __repr__(self) -> str:
+        return (
+            f"StripeStore({len(self)} ranks, "
+            f"{self.matrix.shape[0]}x{self.width} {self.matrix.dtype})"
+        )

@@ -15,10 +15,22 @@ Public API
 ``GFMatrix``
     Dense matrices over a ``GF``; multiplication, Gauss-Jordan inversion,
     Vandermonde and Cauchy constructions, MDS checks.
+
+The 2D batch kernels (``GF.mul_matrix``, ``GF.gf_matmul``,
+``GF.stack_payloads``, ``GFMatrix.mul_stacked``) operate on whole
+stacked-stripe matrices at once: one table gather + XOR per generator
+*coefficient* instead of per record, which is where the bulk
+encode/decode/recovery paths get their throughput.
 """
 
 from repro.gf.field import GF
 from repro.gf.matrix import GFMatrix
-from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_tables
+from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_mul_tables, build_tables
 
-__all__ = ["GF", "GFMatrix", "PRIMITIVE_POLYNOMIALS", "build_tables"]
+__all__ = [
+    "GF",
+    "GFMatrix",
+    "PRIMITIVE_POLYNOMIALS",
+    "build_mul_tables",
+    "build_tables",
+]

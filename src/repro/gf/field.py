@@ -10,9 +10,11 @@ of the paper.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
-from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_tables
+from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_mul_tables, build_tables
 
 _SYMBOL_DTYPES = {4: np.uint8, 8: np.uint8, 16: np.uint16}
 
@@ -25,7 +27,10 @@ class GF:
     ``[0, 2^width)``.
     """
 
-    __slots__ = ("width", "order", "group_order", "_exp", "_log", "_mul_rows")
+    __slots__ = (
+        "width", "order", "group_order", "_exp", "_log",
+        "_exp_mul", "_log_mul", "_mul_rows", "_pair_rows",
+    )
 
     def __init__(self, width: int = 8):
         if width not in PRIMITIVE_POLYNOMIALS:
@@ -37,9 +42,14 @@ class GF:
         self.order = 1 << width
         self.group_order = self.order - 1
         self._exp, self._log = build_tables(width)
+        self._exp_mul, self._log_mul = build_mul_tables(width)
         # Per-scalar full multiplication rows (lazy); only worthwhile for
         # small fields where a row is tiny (16 or 256 entries).
         self._mul_rows: dict[int, np.ndarray] = {}
+        # Per-scalar byte-*pair* rows for GF(2^8): 65536 uint16 entries
+        # mapping a little-endian symbol pair to its scaled pair, so the
+        # batch kernels gather half as many elements per coefficient.
+        self._pair_rows: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # scalar arithmetic
@@ -125,6 +135,23 @@ class GF:
             self._mul_rows[scalar] = row
         return row
 
+    def mul_pair_row(self, scalar: int) -> np.ndarray:
+        """Product table over byte *pairs* for GF(2^8) (65536 uint16 entries).
+
+        ``mul_pair_row(a)[x0 | (x1 << 8)] == (a*x0) | ((a*x1) << 8)``, so
+        a contiguous even-length uint8 symbol block viewed as ``<u2``
+        multiplies with half the gathered elements of :meth:`mul_row` —
+        the per-coefficient kernel of :meth:`gf_matmul`.
+        """
+        if self.width != 8:
+            raise ValueError("mul_pair_row is specific to GF(2^8)")
+        pair = self._pair_rows.get(scalar)
+        if pair is None:
+            row = self.mul_row(scalar).astype(np.uint16)
+            pair = ((row << 8)[:, None] | row[None, :]).reshape(-1)
+            self._pair_rows[scalar] = pair
+        return pair
+
     def _mul_symbols_log(self, symbols: np.ndarray, scalar: int) -> np.ndarray:
         """Multiply a symbol array by a scalar via log tables (any width)."""
         if scalar == 0:
@@ -136,7 +163,13 @@ class GF:
         return np.where(symbols == 0, 0, out)
 
     def mul_symbols(self, symbols: np.ndarray, scalar: int) -> np.ndarray:
-        """Return ``scalar * symbols`` as a new symbol-dtype array."""
+        """Return ``scalar * symbols`` as a new symbol-dtype array.
+
+        Works on arrays of any shape (the table gathers are elementwise).
+        Wide fields use the zero-safe table layout from
+        :func:`~repro.gf.tables.build_mul_tables`: a single
+        ``exp_mul[log_mul[x] + log_mul[s]]`` gather, no masking passes.
+        """
         self.check(scalar)
         symbols = np.asarray(symbols)
         if scalar == 0:
@@ -145,12 +178,92 @@ class GF:
             return symbols.astype(self.symbol_dtype, copy=True)
         if self.width <= 8:
             return self.mul_row(scalar)[symbols]
-        logs = self._log[symbols]
-        # Replace the zero sentinel with 0 before the add so indexing stays
-        # in-bounds, then mask products of zeros back to zero.
-        safe = np.where(symbols == 0, 0, logs)
-        out = self._exp[safe + self._log[scalar]]
-        return np.where(symbols == 0, 0, out).astype(self.symbol_dtype)
+        return self._exp_mul[self._log_mul[symbols] + self._log_mul[scalar]]
+
+    def mul_matrix(self, symbols_2d: np.ndarray, scalar: int) -> np.ndarray:
+        """``scalar * symbols_2d`` for a stacked (rows x length) matrix.
+
+        The batch counterpart of :meth:`mul_symbols`: one table gather
+        covers every row, so the per-call dispatch cost is paid once per
+        *matrix*, not once per record.
+        """
+        symbols_2d = np.asarray(symbols_2d)
+        if symbols_2d.ndim != 2:
+            raise ValueError("mul_matrix expects a 2-D (rows x length) matrix")
+        return self.mul_symbols(symbols_2d, scalar)
+
+    def mul_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise field product of two symbol arrays (any shape).
+
+        Enabled by the zero-safe table layout: one gather handles zeros
+        in either operand.  Used by the vectorized signature scans.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        return self._exp_mul[self._log_mul[a] + self._log_mul[b]]
+
+    def gf_matmul(self, coefficients, stacked: np.ndarray) -> np.ndarray:
+        """Multiply a coefficient matrix against a stacked share tensor.
+
+        ``coefficients`` is an (r x c) grid of field scalars (a nested
+        list, numpy array, or a :class:`~repro.gf.matrix.GFMatrix`'s
+        ``.data``); ``stacked`` is a (c, ...) symbol tensor whose leading
+        axis indexes shares — typically ``(c, nranks, L)`` with one row
+        per record group.  Returns the (r, ...) tensor
+
+            ``out[i] = XOR_j coefficients[i][j] * stacked[j]``
+
+        computed with one table gather + XOR per *coefficient* instead of
+        per record: the 2D batch kernel every bulk encode/decode path
+        rides on.  Zero coefficients are skipped and unit coefficients
+        degrade to plain XOR, so the normalized generator's XOR row stays
+        a pure-XOR pass.
+        """
+        coeff = np.asarray(
+            getattr(coefficients, "data", coefficients), dtype=np.int64
+        )
+        if coeff.ndim != 2:
+            raise ValueError("gf_matmul expects a 2-D coefficient matrix")
+        stacked = np.asarray(stacked, dtype=self.symbol_dtype)
+        if stacked.ndim < 1 or stacked.shape[0] != coeff.shape[1]:
+            raise ValueError(
+                f"stacked tensor has {stacked.shape[0] if stacked.ndim else 0} "
+                f"shares but the coefficient matrix has {coeff.shape[1]} columns"
+            )
+        out = np.zeros((coeff.shape[0],) + stacked.shape[1:], dtype=self.symbol_dtype)
+        # GF(2^8) blocks with an even trailing axis gather two symbols
+        # per table lookup through the uint16 pair rows.
+        pairs = (
+            self.width == 8
+            and stacked.ndim >= 2
+            and stacked.shape[-1] % 2 == 0
+            and stacked.flags.c_contiguous
+        )
+        # np.take(..., mode="clip") skips the bounds check a fancy index
+        # pays (indices are in range by construction: symbols index full
+        # product tables, log sums stay inside the extended exp table).
+        for i in range(coeff.shape[0]):
+            for j in range(coeff.shape[1]):
+                a = int(coeff[i, j])
+                if a == 0:
+                    continue
+                if a == 1:
+                    out[i] ^= stacked[j]
+                elif pairs:
+                    target = out[i].view("<u2")
+                    target ^= np.take(
+                        self.mul_pair_row(a), stacked[j].view("<u2"),
+                        mode="clip",
+                    )
+                elif self.width <= 8:
+                    out[i] ^= np.take(self.mul_row(a), stacked[j], mode="clip")
+                else:
+                    logs = np.take(self._log_mul, stacked[j], mode="clip")
+                    out[i] ^= np.take(
+                        self._exp_mul, logs + int(self._log_mul[a]),
+                        mode="clip",
+                    )
+        return out
 
     # ------------------------------------------------------------------
     # byte payload arithmetic
@@ -211,13 +324,63 @@ class GF:
         return 2 * nbytes
 
     def add_bytes(self, a: bytes, b: bytes) -> bytes:
-        """XOR two payloads, the shorter zero-padded (paper's padding rule)."""
+        """XOR two payloads, the shorter zero-padded (paper's padding rule).
+
+        Runs through arbitrary-precision int XOR: little-endian conversion
+        zero-extends the shorter payload for free and the XOR itself is a
+        single C-level pass instead of a Python byte loop.
+        """
         if len(a) < len(b):
             a, b = b, a
-        out = bytearray(a)
-        for i, byte in enumerate(b):
-            out[i] ^= byte
-        return bytes(out)
+        if not b:
+            return bytes(a)
+        return (
+            int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+        ).to_bytes(len(a), "little")
+
+    def stack_payloads(
+        self, payloads: Sequence[bytes | None], length: int
+    ) -> np.ndarray:
+        """Pack byte payloads into one (n x length) zero-padded symbol matrix.
+
+        ``None`` (or empty) entries become all-zero rows — the padding
+        rule for unoccupied group slots.  This is the packing step in
+        front of every 2D kernel: one contiguous allocation for the whole
+        batch instead of one array per record.  The result may be
+        read-only (it can alias the joined input bytes); the kernels only
+        read their stacked operands.
+        """
+        bytes_per_row = length if self.width == 8 else (
+            2 * length if self.width == 16 else (length + 1) // 2
+        )
+        if (
+            self.width in (8, 16)
+            and payloads
+            and all(p is not None and len(p) == bytes_per_row for p in payloads)
+        ):
+            # Uniform full-width payloads (bulk encodes of fixed-size
+            # records): one join + one memcpy instead of a per-row loop.
+            raw = np.frombuffer(b"".join(payloads), dtype=np.uint8).reshape(
+                len(payloads), bytes_per_row
+            )
+        else:
+            raw = np.zeros((len(payloads), bytes_per_row), dtype=np.uint8)
+            for row, payload in enumerate(payloads):
+                if not payload:
+                    continue
+                if self.symbol_length_for_bytes(len(payload)) > length:
+                    raise ValueError(
+                        "payload longer than the stripe symbol length"
+                    )
+                raw[row, : len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+        if self.width == 8:
+            return raw
+        if self.width == 16:
+            return raw.view("<u2")
+        symbols = np.empty((len(payloads), length), dtype=np.uint8)
+        symbols[:, 0::2] = (raw & 0x0F)[:, : (length + 1) // 2]
+        symbols[:, 1::2] = (raw >> 4)[:, : length // 2]
+        return symbols
 
     def scale_accumulate(self, acc: np.ndarray, scalar: int, data: bytes) -> None:
         """In-place ``acc ^= scalar * symbols(data)`` (the Δ-record fold).

@@ -145,6 +145,16 @@ class GFMatrix:
                 out[i, j] = acc
         return GFMatrix(f, out)
 
+    def mul_stacked(self, stacked: np.ndarray) -> np.ndarray:
+        """This matrix times a stacked share tensor via the batch kernel.
+
+        ``stacked`` has shape ``(cols, ...)`` — e.g. all ranks of a
+        record group as one ``(cols, nranks, L)`` tensor — and the result
+        has shape ``(rows, ...)``.  One table gather + XOR per matrix
+        entry; see :meth:`GF.gf_matmul`.
+        """
+        return self.field.gf_matmul(self.data, stacked)
+
     def mul_vector(self, vector: Sequence[int]) -> list[int]:
         """Matrix-vector product over the field."""
         if len(vector) != self.cols:

@@ -68,6 +68,38 @@ def signature_vector(field: GF, data: bytes, count: int = 2,
     )
 
 
+def signature_matrix(field: GF, matrix: np.ndarray, count: int = 2,
+                     ) -> list[tuple[int, ...]]:
+    """Signature vectors for every row of a stacked symbol matrix.
+
+    The batch counterpart of :func:`signature_vector` for contiguous
+    stripe stores: one zero-safe table gather + XOR-reduce per signature
+    symbol covers the whole bucket.  Trailing zero padding contributes
+    nothing to a signature, so rows may be padded to a common width.
+    Bit-exact with :func:`signature_vector` per row (the scalar oracle).
+    """
+    if count < 1:
+        raise ValueError("need at least one signature symbol")
+    matrix = np.asarray(matrix, dtype=field.symbol_dtype)
+    if matrix.ndim != 2:
+        raise ValueError("signature_matrix expects an (n, L) symbol matrix")
+    n, length = matrix.shape
+    if n == 0 or length == 0:
+        return [(0,) * count for _ in range(n)]
+    indices = np.arange(length, dtype=np.int64)
+    out: list[tuple[int, ...]] = []
+    columns = []
+    for power in range(1, count + 1):
+        # alpha^power at position i is exp((power * i) mod (2^w - 1));
+        # mul_arrays broadcasts it across every row in one gather.
+        alpha_powers = field._exp[(power * indices) % field.group_order]
+        terms = field.mul_arrays(matrix, alpha_powers[None, :])
+        columns.append(np.bitwise_xor.reduce(terms, axis=1))
+    for row in zip(*columns):
+        out.append(tuple(int(x) for x in row))
+    return out
+
+
 def combine(field: GF, coefficients: list[int], signatures: list[int]) -> int:
     """``XOR_j λ_j · sig_j`` — what a parity signature must equal."""
     if len(coefficients) != len(signatures):

@@ -33,6 +33,35 @@ LOG_ZERO_SENTINEL = 1 << 30
 
 
 @lru_cache(maxsize=None)
+def build_mul_tables(width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return the branch-free ``(exp_mul, log_mul)`` multiplication tables.
+
+    The scalar tables from :func:`build_tables` leave ``log[0]`` as a
+    loud out-of-range sentinel, which forces every vectorized multiply to
+    mask zeros in and out (two ``np.where`` passes).  This layout instead
+    makes zero *algebraically safe* in a single gather:
+
+    * ``log_mul[0] = 2 * (2^w - 1) - 1`` — larger than any sum of two
+      genuine logs (each at most ``2^w - 2``), and
+    * ``exp_mul`` is extended so every index reachable with at least one
+      zero operand (``>= 2^w - 1 + (2^w - 1) - 1``) holds 0.
+
+    ``exp_mul[log_mul[a] + log_mul[b]]`` is then ``a * b`` for *all*
+    field elements, zeros included — one fancy-index per multiply.
+    ``exp_mul`` is stored in the field's symbol dtype so kernel outputs
+    need no cast; ``log_mul`` is int32 (max value fits comfortably).
+    """
+    exp, log = build_tables(width)
+    group = (1 << width) - 1
+    log_zero = 2 * group - 1
+    exp_mul = np.zeros(2 * log_zero + 1, dtype=np.uint8 if width <= 8 else np.uint16)
+    exp_mul[: 2 * group - 1] = exp[: 2 * group - 1]
+    log_mul = log.astype(np.int32)
+    log_mul[0] = log_zero
+    return exp_mul, log_mul
+
+
+@lru_cache(maxsize=None)
 def build_tables(width: int) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(exp, log)`` tables for GF(2^width).
 

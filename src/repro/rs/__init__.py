@@ -21,14 +21,16 @@ Public API
 """
 
 from repro.rs.codec import RSCodec
-from repro.rs.decoder import DecodeError, decode_symbols
-from repro.rs.encoder import delta_payload, encode_symbols
+from repro.rs.decoder import DecodeError, decode_stripes, decode_symbols
+from repro.rs.encoder import delta_payload, encode_stripes, encode_symbols
 from repro.rs.generator import generator_matrix, parity_matrix
 
 __all__ = [
     "RSCodec",
     "DecodeError",
+    "decode_stripes",
     "decode_symbols",
+    "encode_stripes",
     "encode_symbols",
     "delta_payload",
     "generator_matrix",

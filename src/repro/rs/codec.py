@@ -13,8 +13,8 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.gf.field import GF
-from repro.rs.decoder import DecodeError, decode_symbols
-from repro.rs.encoder import delta_payload, encode_symbols, fold_delta
+from repro.rs.decoder import DecodeError, decode_stripes, decode_symbols
+from repro.rs.encoder import delta_payload, encode_stripes, encode_symbols, fold_delta
 from repro.rs.generator import parity_matrix
 
 
@@ -115,6 +115,99 @@ class RSCodec:
                 # payload (may carry the stripe's zero padding).
                 out[pos] = self.field.bytes_from_symbols(symbols)
         return out
+
+    # ------------------------------------------------------------------
+    # stacked-stripe batch paths (the 2D kernels)
+    # ------------------------------------------------------------------
+    def pack_stripes(
+        self,
+        groups: Sequence[Sequence[bytes | None]],
+        length: int | None = None,
+    ) -> np.ndarray:
+        """Pack many record groups into one (m x ngroups x L) tensor.
+
+        ``groups[r]`` is the payload sequence of the r-th record group
+        (up to m entries; ``None`` marks an empty slot).  ``length``
+        defaults to the longest payload's symbol length across *all*
+        groups — every stripe is zero-padded to it, which the paper's
+        padding rule makes exact.
+        """
+        if length is None:
+            length = max(
+                (self.stripe_symbol_length(g) for g in groups), default=0
+            )
+        columns = [
+            self.field.stack_payloads(
+                [g[j] if j < len(g) else None for g in groups], length
+            )
+            for j in range(self.m)
+        ]
+        return np.stack(columns) if columns else np.zeros(
+            (0, len(groups), length), dtype=self.field.symbol_dtype
+        )
+
+    def encode_stripes(self, stacked: np.ndarray) -> np.ndarray:
+        """Parity tensor (k x ngroups x L) for a packed stripe tensor."""
+        if self.k == 0:
+            return np.zeros(
+                (0,) + np.asarray(stacked).shape[1:], dtype=self.field.symbol_dtype
+            )
+        assert self.parity is not None
+        return encode_stripes(self.field, self.parity, stacked)
+
+    def encode_batch(
+        self, groups: Sequence[Sequence[bytes | None]]
+    ) -> list[list[bytes]]:
+        """All parity payloads for many groups in one kernel pass.
+
+        Bit-exact with calling :meth:`encode` per group (each group's
+        parity is trimmed back to its own stripe length), but the GF
+        work is dispatched once per generator coefficient instead of
+        once per record.
+        """
+        if self.k == 0 or not groups:
+            return [[] for _ in groups]
+        field = self.field
+        stripes = [self.stripe_symbol_length(g) for g in groups]
+        stacked = self.pack_stripes(groups, max(stripes))
+        parity = self.encode_stripes(stacked)
+        if field.width in (8, 16):
+            # Whole-byte symbols: render each parity plane as one blob
+            # and slice per group (prefix trims are byte-aligned).
+            itemsize = np.dtype(field.symbol_dtype).itemsize
+            stride = parity.shape[2] * itemsize
+            wire = "<u2" if field.width == 16 else np.uint8
+            blobs = [
+                parity[i].astype(wire, copy=False).tobytes()
+                for i in range(self.k)
+            ]
+            return [
+                [
+                    blobs[i][r * stride : r * stride + stripes[r] * itemsize]
+                    for i in range(self.k)
+                ]
+                for r in range(len(groups))
+            ]
+        return [
+            [
+                field.bytes_from_symbols(parity[i, r, : stripes[r]])
+                for i in range(self.k)
+            ]
+            for r in range(len(groups))
+        ]
+
+    def recover_stripes(
+        self,
+        shares: dict[int, np.ndarray],
+        lost: list[int] | None = None,
+    ) -> dict[int, np.ndarray]:
+        """Rebuild lost positions for many groups in one kernel pass.
+
+        ``shares`` maps surviving codeword positions to stacked
+        ``(ngroups, L)`` symbol matrices (see :func:`decode_stripes`);
+        the result maps each lost position to its rebuilt matrix.
+        """
+        return decode_stripes(self.field, self.m, self.k, shares, lost, self.kind)
 
     # ------------------------------------------------------------------
     # incremental path (the steady-state insert/update/delete protocol)

@@ -131,6 +131,90 @@ def decode_symbols(
     return {p: recovered[p] for p in lost}
 
 
+def decode_stripes(
+    field: GF,
+    m: int,
+    k: int,
+    shares: dict[int, np.ndarray],
+    lost: list[int] | None = None,
+    kind: str = "cauchy",
+) -> dict[int, np.ndarray]:
+    """Reconstruct lost positions for *many* record groups at once.
+
+    The batch counterpart of :func:`decode_symbols` (which remains the
+    scalar oracle).  ``shares`` maps each surviving codeword position to
+    a stacked ``(nranks, L)`` matrix — row r is that position's symbols
+    for the r-th record group, zero-padded to the common stripe length L.
+    Returns ``{position: (nranks, L) matrix}`` for each requested lost
+    position.  The whole rebuild costs O(matrix coefficients) kernel
+    dispatches instead of O(ranks): the decode matrix is inverted once
+    per failure pattern (cached) and applied to the stacked tensor with
+    :meth:`GF.gf_matmul`; the single-data-loss XOR fast path reduces the
+    stack with one ``bitwise_xor.reduce`` pass.
+    """
+    all_positions = set(range(m + k))
+    available = set(shares)
+    if not available <= all_positions:
+        raise ValueError(f"share positions {available - all_positions} out of range")
+    if lost is None:
+        lost = sorted(all_positions - available)
+    if not lost:
+        return {}
+    if set(lost) & available:
+        raise ValueError("a position cannot be both lost and available")
+
+    shares = {
+        pos: np.asarray(matrix, dtype=field.symbol_dtype)
+        for pos, matrix in shares.items()
+    }
+    shapes = {matrix.shape for matrix in shares.values()}
+    if len(shapes) != 1:
+        raise ValueError("all stacked shares must have the same shape")
+    (shape,) = shapes
+    if len(shape) != 2:
+        raise ValueError("decode_stripes expects (nranks, L) share matrices")
+
+    lost_data = [p for p in lost if p < m]
+    lost_parity = [p for p in lost if p >= m]
+
+    # Fast path: exactly one data position lost and parity 0 available —
+    # one XOR-reduce over the stacked survivors, no matrix inversion.
+    data_present = [p for p in sorted(available) if p < m]
+    if (
+        len(lost_data) == 1
+        and m in available
+        and len(data_present) == m - 1
+    ):
+        stack = np.stack([shares[m]] + [shares[p] for p in data_present])
+        recovered = {lost_data[0]: np.bitwise_xor.reduce(stack, axis=0)}
+    elif lost_data:
+        rows = select_rows(available, m)
+        inverse = _decode_matrix(field.width, m, k, kind, rows)
+        rhs = np.stack([shares[r] for r in rows])
+        solved = field.gf_matmul(inverse.data[lost_data, :], rhs)
+        recovered = dict(zip(lost_data, solved))
+    else:
+        recovered = {}
+
+    if lost_parity:
+        missing = [j for j in range(m) if j not in shares and j not in recovered]
+        if missing:
+            rows = select_rows(available, m)
+            inverse = _decode_matrix(field.width, m, k, kind, rows)
+            rhs = np.stack([shares[r] for r in rows])
+            solved = field.gf_matmul(inverse.data[missing, :], rhs)
+            recovered.update(dict(zip(missing, solved)))
+        full_data = np.stack(
+            [shares.get(j, recovered.get(j)) for j in range(m)]
+        )
+        p_matrix = parity_matrix(field, m, k, kind)
+        wanted_rows = [p - m for p in lost_parity]
+        solved = field.gf_matmul(p_matrix.data[wanted_rows, :], full_data)
+        recovered.update(dict(zip(lost_parity, solved)))
+
+    return {p: recovered[p] for p in lost}
+
+
 def _solve(
     field: GF,
     inverse: GFMatrix,

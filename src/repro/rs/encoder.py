@@ -27,13 +27,16 @@ def delta_payload(old: bytes, new: bytes) -> bytes:
 
     An insert uses ``old = b""``, a delete uses ``new = b""``; in both
     cases the Δ degenerates to the record payload itself, as in the paper.
+    Sits on the per-mutation hot path, so the XOR runs as one C-level
+    big-int pass (little-endian zero-extends the shorter side for free).
     """
     if len(old) < len(new):
         old, new = new, old
-    out = bytearray(old)
-    for i, byte in enumerate(new):
-        out[i] ^= byte
-    return bytes(out)
+    if not new:
+        return bytes(old)
+    return (
+        int.from_bytes(old, "little") ^ int.from_bytes(new, "little")
+    ).to_bytes(len(old), "little")
 
 
 def encode_symbols(
@@ -61,6 +64,32 @@ def encode_symbols(
         for i in range(parity.rows):
             field.scale_accumulate(out[i], parity[i, j], payload)
     return out
+
+
+def encode_stripes(
+    field: GF,
+    parity: GFMatrix,
+    stacked: np.ndarray,
+) -> np.ndarray:
+    """All parity symbols for *many* record groups in one kernel call.
+
+    ``stacked`` is an ``(m', nranks, L)`` tensor — axis 0 is the group
+    position (``m' <= m`` positions supplied; missing trailing positions
+    are treated as empty slots), axis 1 the record group (rank), axis 2
+    the symbol within the stripe.  Returns the ``(k, nranks, L)`` parity
+    tensor.  This is the batch counterpart of :func:`encode_symbols`
+    (which remains the scalar oracle): one table gather + XOR-reduce per
+    generator coefficient instead of per record, with the XOR fast path
+    for unit coefficients preserved inside the kernel.
+    """
+    stacked = np.asarray(stacked, dtype=field.symbol_dtype)
+    if stacked.ndim != 3:
+        raise ValueError("encode_stripes expects an (m, nranks, L) tensor")
+    if stacked.shape[0] > parity.cols:
+        raise ValueError(
+            f"{stacked.shape[0]} positions exceed the m={parity.cols} group slots"
+        )
+    return field.gf_matmul(parity.data[:, : stacked.shape[0]], stacked)
 
 
 def fold_delta(

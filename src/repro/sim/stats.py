@@ -25,6 +25,12 @@ class OperationWindow:
     #: network tracks this as the current call-stack depth, so parallel
     #: fan-out (multicast + replies) charges depth 2, not 2M.
     serial_depth: int = 0
+    #: GF multiply-accumulate symbol operations charged to this window.
+    #: Batched 2D kernels perform the same symbol work in far fewer numpy
+    #: dispatches, so the CPU model counts *symbols touched*, never
+    #: kernel calls — a batched rebuild reports the same symbol_ops as a
+    #: record-at-a-time one.
+    symbol_ops: int = 0
 
     def record(self, kind: str, size: int, depth: int) -> None:
         self.messages += 1
@@ -32,6 +38,9 @@ class OperationWindow:
         self.by_kind[kind] += 1
         if depth > self.serial_depth:
             self.serial_depth = depth
+
+    def record_symbols(self, ops: int) -> None:
+        self.symbol_ops += ops
 
 
 class MessageStats:
@@ -47,6 +56,12 @@ class MessageStats:
         self.total.record(kind, size, depth)
         for window in self._stack:
             window.record(kind, size, depth)
+
+    def record_symbols(self, ops: int) -> None:
+        """Charge GF symbol work into the global and all open windows."""
+        self.total.record_symbols(ops)
+        for window in self._stack:
+            window.record_symbols(ops)
 
     # ------------------------------------------------------------------
     def open(self, label: str = "") -> OperationWindow:
@@ -104,10 +119,15 @@ class LatencyModel:
         ``serial=True`` charges every message sequentially (a client doing
         one thing at a time); the default charges the serial depth for the
         fixed cost and the full byte volume for the bandwidth term,
-        modelling parallel fan-out phases.
+        modelling parallel fan-out phases.  GF symbol work recorded into
+        the window (decode/encode during recovery) adds its CPU term.
         """
         fixed = window.messages if serial else max(window.serial_depth, 1)
-        return fixed * self.per_message_s + window.bytes * self.per_byte_s
+        return (
+            fixed * self.per_message_s
+            + window.bytes * self.per_byte_s
+            + window.symbol_ops * self.per_gf_symbol_op_s
+        )
 
     def gf_time(self, symbol_ops: int) -> float:
         """CPU seconds for ``symbol_ops`` GF multiply-accumulate steps."""

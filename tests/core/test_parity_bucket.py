@@ -148,15 +148,15 @@ class TestQueries:
 
 
 class TestKeyIndex:
-    """§4.1's in-bucket secondary index (key -> rank)."""
+    """§4.1's in-bucket secondary index (key -> (rank, pos))."""
 
     def test_index_tracks_membership(self, setup):
         _, p0, _, probe = setup
         probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
         probe.send("f.p0.0", "parity.update", op("insert", 8, 2, 1, b"cd"))
-        assert p0._key_index == {9: 1, 8: 2}
+        assert p0._key_index == {9: (1, 0), 8: (2, 1)}
         probe.send("f.p0.0", "parity.update", op("delete", 9, 1, 0, b"ab", 0))
-        assert p0._key_index == {8: 2}
+        assert p0._key_index == {8: (2, 1)}
 
     def test_index_rebuilt_on_load(self, setup):
         net, p0, _, probe = setup
@@ -165,8 +165,9 @@ class TestKeyIndex:
         fresh = ParityServer("f.p0.7", "f", 0, 0, p0.row, p0.field)
         net.register(fresh)
         probe.send("f.p0.7", "parity.load", {"records": dump["records"]})
-        assert fresh._key_index == {42: 3}
+        assert fresh._key_index == {42: (3, 1)}
         assert probe.call("f.p0.7", "parity.locate", {"key": 42})["rank"] == 3
+        assert probe.call("f.p0.7", "parity.locate", {"key": 42})["pos"] == 1
 
     def test_locate_uses_index_consistently(self, setup):
         """Index answers must match a full scan of the records."""

@@ -1,0 +1,132 @@
+"""Unit tests for the contiguous parity stripe store."""
+
+import numpy as np
+import pytest
+
+from repro.core.stripe_store import StripeStore
+from repro.gf import GF
+
+
+@pytest.fixture(params=[8, 16], ids=["gf8", "gf16"])
+def field(request):
+    return GF(request.param)
+
+
+class TestLifecycle:
+    def test_rejects_sub_byte_fields(self):
+        with pytest.raises(ValueError):
+            StripeStore(GF(4))
+
+    def test_ensure_view_roundtrip(self, field):
+        store = StripeStore(field)
+        store.ensure(3, 4)
+        view = store.view(3)
+        assert view.shape == (4,)
+        view[:] = [1, 2, 3, 4]
+        assert (store.view(3) == [1, 2, 3, 4]).all()
+        assert 3 in store and len(store) == 1
+        assert store.length_of(3) == 4
+
+    def test_views_write_through_to_matrix(self, field):
+        store = StripeStore(field)
+        store.ensure(0, 2)
+        store.view(0)[:] = 7
+        ranks, matrix = store.stacked()
+        assert ranks == [0]
+        assert (matrix[0, :2] == 7).all()
+
+    def test_release_zeroes_and_recycles(self, field):
+        store = StripeStore(field)
+        store.ensure(1, 3)
+        store.view(1)[:] = 9
+        row = store._row_of[1]
+        store.release(1)
+        assert 1 not in store
+        assert (store.matrix[row] == 0).all()
+        store.ensure(2, 3)
+        assert store._row_of[2] == row  # recycled
+
+    def test_length_grows_monotonically(self, field):
+        store = StripeStore(field)
+        store.ensure(0, 4)
+        store.view(0)[:] = 5
+        store.ensure(0, 2)  # shorter request never shrinks
+        assert store.length_of(0) == 4
+        store.ensure(0, 6)
+        assert store.length_of(0) == 6
+        assert (store.view(0)[:4] == 5).all()
+        assert (store.view(0)[4:] == 0).all()
+
+
+class TestGrowth:
+    def test_width_growth_invalidates_views(self, field):
+        store = StripeStore(field)
+        assert store.ensure(0, 4) is True  # first allocation
+        view = store.view(0)
+        view[:] = 3
+        assert store.ensure(0, 100) is True
+        fresh = store.view(0)
+        assert (fresh[:4] == 3).all()  # content preserved
+        assert fresh.base is not view.base  # old view is stale
+
+    def test_row_growth_preserves_content(self, field):
+        store = StripeStore(field)
+        generations = 0
+        for rank in range(40):
+            if store.ensure(rank, 8):
+                generations += 1
+            store.view(rank)[:] = rank % 250 + 1
+        assert generations >= 2  # grew geometrically, not per insert
+        for rank in range(40):
+            assert (store.view(rank) == rank % 250 + 1).all()
+
+    def test_no_growth_returns_false(self, field):
+        store = StripeStore(field)
+        store.ensure(0, 4)
+        assert store.ensure(0, 4) is False
+        assert store.ensure(0, 2) is False
+
+
+class TestBulkViews:
+    def test_stacked_orders_by_rank(self, field):
+        store = StripeStore(field)
+        for rank in (5, 1, 3):
+            store.ensure(rank, 2)
+            store.view(rank)[:] = rank
+        ranks, matrix = store.stacked()
+        assert ranks == [1, 3, 5]
+        for i, rank in enumerate(ranks):
+            assert (matrix[i, :2] == rank).all()
+
+    def test_row_bytes_matches_per_record_rendering(self, field):
+        store = StripeStore(field)
+        payloads = {
+            2: bytes(range(10)),
+            7: bytes(range(100, 116)),
+            4: b"\x00\xff" * 3,
+        }
+        for rank, payload in payloads.items():
+            length = field.symbol_length_for_bytes(len(payload))
+            store.ensure(rank, length)
+            store.view(rank)[:] = field.symbols_from_bytes(payload, length)
+        rendered = store.row_bytes()
+        for rank, payload in payloads.items():
+            expected = field.bytes_from_symbols(store.view(rank))
+            assert rendered[rank] == expected
+            assert rendered[rank][: len(payload)] == payload
+
+    def test_bulk_load_replaces_content(self, field):
+        store = StripeStore(field)
+        store.ensure(9, 4)
+        store.bulk_load([(1, b"abcd"), (2, b"xy")])
+        assert sorted(store.ranks()) == [1, 2]
+        assert field.bytes_from_symbols(store.view(1)) == b"abcd"
+        assert store.length_of(2) == field.symbol_length_for_bytes(2)
+
+    def test_nbytes_counts_logical_payload_only(self, field):
+        store = StripeStore(field)
+        store.ensure(0, 3)
+        store.ensure(1, 5)
+        itemsize = np.dtype(field.symbol_dtype).itemsize
+        assert store.nbytes() == 8 * itemsize
+        assert "StripeStore" in repr(store)

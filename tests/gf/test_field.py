@@ -225,6 +225,114 @@ class TestPayloads:
         assert (acc == np.arange(4)).all()
 
 
+# ----------------------------------------------------------------------
+# 2D batch kernels agree with the scalar oracle
+# ----------------------------------------------------------------------
+class TestBatchKernels:
+    @given(data=st.data())
+    @settings(max_examples=50)
+    def test_mul_arrays_matches_scalar(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        values = data.draw(
+            st.lists(
+                st.tuples(elements(width), elements(width)),
+                min_size=1, max_size=32,
+            )
+        )
+        a = np.array([v for v, _ in values], dtype=f.symbol_dtype)
+        b = np.array([v for _, v in values], dtype=f.symbol_dtype)
+        out = f.mul_arrays(a, b)
+        assert [int(v) for v in out] == [f.mul(x, y) for x, y in values]
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_mul_matrix_matches_mul_symbols_per_row(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        scalar = data.draw(elements(width))
+        rows = data.draw(st.integers(min_value=1, max_value=5))
+        cols = data.draw(st.integers(min_value=1, max_value=16))
+        matrix = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(elements(width), min_size=cols, max_size=cols),
+                    min_size=rows, max_size=rows,
+                )
+            ),
+            dtype=f.symbol_dtype,
+        )
+        out = f.mul_matrix(matrix, scalar)
+        for r in range(rows):
+            assert (out[r] == f.mul_symbols(matrix[r], scalar)).all()
+
+    def test_mul_matrix_rejects_non_2d(self):
+        f = GF(8)
+        with pytest.raises(ValueError):
+            f.mul_matrix(np.zeros(4, dtype=np.uint8), 3)
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_gf_matmul_matches_scalar_accumulation(self, data):
+        width = data.draw(st.sampled_from(WIDTHS))
+        f = GF(width)
+        r = data.draw(st.integers(min_value=1, max_value=3))
+        c = data.draw(st.integers(min_value=1, max_value=3))
+        nranks = data.draw(st.integers(min_value=1, max_value=3))
+        length = data.draw(st.integers(min_value=1, max_value=12))
+        coeff = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(elements(width), min_size=c, max_size=c),
+                    min_size=r, max_size=r,
+                )
+            ),
+            dtype=np.int64,
+        )
+        stacked = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(
+                        st.lists(elements(width), min_size=length, max_size=length),
+                        min_size=nranks, max_size=nranks,
+                    ),
+                    min_size=c, max_size=c,
+                )
+            ),
+            dtype=f.symbol_dtype,
+        )
+        out = f.gf_matmul(coeff, stacked)
+        assert out.shape == (r, nranks, length)
+        for i in range(r):
+            for n in range(nranks):
+                for s in range(length):
+                    expected = 0
+                    for j in range(c):
+                        expected ^= f.mul(int(coeff[i, j]), int(stacked[j, n, s]))
+                    assert int(out[i, n, s]) == expected
+
+    @given(
+        width=st.sampled_from(WIDTHS),
+        payloads=st.lists(
+            st.one_of(st.none(), st.binary(max_size=24)),
+            min_size=1, max_size=6,
+        ),
+        pad=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_stack_payloads_matches_symbols_from_bytes(self, width, payloads, pad):
+        f = GF(width)
+        length = max(
+            (f.symbol_length_for_bytes(len(p)) for p in payloads if p),
+            default=0,
+        ) + pad
+        stacked = f.stack_payloads(payloads, length)
+        assert stacked.shape == (len(payloads), length)
+        for i, payload in enumerate(payloads):
+            expected = f.symbols_from_bytes(payload or b"", length)
+            assert (stacked[i] == expected).all()
+
+
 def test_field_equality_and_hash():
     assert GF(8) == GF(8)
     assert GF(8) != GF(16)
