@@ -8,11 +8,14 @@ reports), which the clean-key columns exclude.
 
 import pytest
 
-from harness import build_lhrs, converge, fmt, save_table, scaled
+from harness import (
+    build_lhrs, converge, fmt, save_metrics, save_table, scaled, with_metrics,
+)
 
 
 def measure(k):
     file, keys = build_lhrs(k=k, capacity=16, count=scaled(600), payload=64)
+    registry = with_metrics(file)
     converge(file, keys)
     state = file.coordinator.state
     clean = [
@@ -36,6 +39,7 @@ def measure(k):
         "insert": ins.messages / n,
         "update": upd.messages / n,
         "delete": dele.messages / n,
+        "metrics": registry.to_dict(),
     }
 
 
@@ -56,7 +60,11 @@ def test_e3_mutation_cost(benchmark):
         "E3: mutation messages vs k — cost = 1 + k, slope 1",
         lines,
     )
+    save_metrics("e3_insert", {"rows": rows})
     for r in rows:
         assert r["insert"] == pytest.approx(1 + r["k"], abs=0.01)
         assert r["update"] == pytest.approx(1 + r["k"], abs=0.01)
         assert r["delete"] == pytest.approx(1 + r["k"], abs=0.01)
+        # The registry saw the same windows the table was built from.
+        assert r["metrics"]["op.insert.ops"]["value"] == 1
+        assert r["metrics"]["op.insert.messages"]["count"] == 1

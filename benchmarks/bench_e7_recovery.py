@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from harness import build_lhrs, fmt, save_table, scaled
+from harness import build_lhrs, fmt, save_metrics, save_table, scaled, with_metrics
 from repro.sim.stats import LatencyModel
 
 MODEL = LatencyModel()
@@ -20,6 +20,7 @@ def measure(m, k, f, count, capacity):
     file, _ = build_lhrs(
         m=m, k=k, capacity=capacity, count=count, payload=100, seed=f * 100 + k
     )
+    registry = with_metrics(file)
     victims = [file.fail_data_bucket(b) for b in range(f)]
     start = time.perf_counter()
     with file.stats.measure("recovery") as window:
@@ -37,6 +38,7 @@ def measure(m, k, f, count, capacity):
         "symbol_ops": window.symbol_ops,
         "records_per_s": summary["records"] / wall_s if wall_s else 0.0,
         "sim_ms": MODEL.window_time(window) * 1e3,
+        "metrics": registry.to_dict(),
     }
 
 
@@ -70,10 +72,13 @@ def test_e7_bucket_recovery(benchmark):
         "rebuild rate of the batched stripe kernels",
         lines,
     )
+    save_metrics("e7_recovery", {"rows": rows})
     for r in rows:
         m, k, f = r["m"], r["k"], r["f"]
         expected = 2 * ((m - f) + k) + f  # dumps are calls, loads are sends
         assert r["messages"] == expected
+        # The registry's recovery window agrees with the table's.
+        assert r["metrics"]["op.recovery.messages"]["count"] == 1
         # Batched kernels must still charge the real decode work: the
         # symbol-op meter counts symbols touched, not kernel dispatches.
         assert r["symbol_ops"] > 0

@@ -13,10 +13,12 @@ evaluation (see DESIGN.md §4).  Conventions:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 from repro.core import LHRSConfig, LHRSFile
+from repro.obs import MetricsRegistry
 from repro.sim.rng import make_rng
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -37,6 +39,35 @@ def save_table(name: str, title: str, lines: list[str]) -> str:
     (OUTPUT_DIR / f"{name}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+def save_metrics(name: str, data: dict) -> Path:
+    """Persist one experiment's machine-readable metrics.
+
+    Written next to the text table as ``output/<name>.metrics.json`` —
+    CI uploads these as workflow artifacts, so a moved number in a table
+    can be explained from the distributions behind it.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.metrics.json"
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path
+
+
+def with_metrics(file: LHRSFile) -> MetricsRegistry:
+    """Attach a metrics registry to a built file; returns the registry.
+
+    Metrics-only observability: labelled ``stats.measure`` windows feed
+    per-op histograms and the network's delivery counters tick, but no
+    tracer is installed and no messages are added — the measured
+    message counts are identical with or without this call.
+    """
+    registry = MetricsRegistry()
+    file.network.install_metrics(registry)
+    file.metrics = registry
+    return registry
 
 
 def build_lhrs(

@@ -20,6 +20,14 @@ class RSClient(Client):
                        failure: NodeUnavailable) -> None:
         """Report the failure to the coordinator, which completes the
         operation (degraded read or recover-then-deliver)."""
+        net = self.network
+        if net is not None and net.tracer is not None:
+            net.tracer.emit(
+                "client.unavailable",
+                node=failure.node_id,
+                op=kind,
+                key=payload.get("key"),
+            )
         self.send(
             f"{self.file_id}.coord",
             "report.unavailable",

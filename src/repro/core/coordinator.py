@@ -59,6 +59,9 @@ class RSCoordinator(Coordinator):
         #: per-probe-round health entries (the self-healing loop's log;
         #: bench_e16_lifetime consumes this)
         self.health_log: list[dict] = []
+        #: first probe round that saw each currently-down node (feeds
+        #: the probe.mttr histogram when the node comes back)
+        self._down_since: dict[str, float] = {}
 
     def take_spare(self) -> None:
         """Consume one hot spare for a recovery; raises when exhausted."""
@@ -178,6 +181,9 @@ class RSCoordinator(Coordinator):
             data_node(self.file_id, target),
             data_node(self.file_id, peek_source),
         )
+        tracer = self._net().tracer
+        if tracer is not None:
+            tracer.emit("merge.start", target=target, retiring=retiring)
         with self._restructure_lock():
             before = len(self._pending_overflows)
             source, _, level = self.state.retreat_merge()
@@ -204,6 +210,8 @@ class RSCoordinator(Coordinator):
             # Drop overflow reports raised by the merge's own movement
             # (see the base class note on merge/split ping-pong).
             del self._pending_overflows[before:]
+        if tracer is not None:
+            tracer.emit("merge.end", source=source, target=target)
         return source, target
 
     def on_bucket_removed(self, number: int) -> None:
@@ -234,6 +242,14 @@ class RSCoordinator(Coordinator):
         current = self.group_level(group)
         if new_level <= current:
             return
+        tracer = self._net().tracer
+        if tracer is not None:
+            tracer.emit(
+                "availability.raise",
+                group=group,
+                level=current,
+                new_level=new_level,
+            )
         if self.config.generator != "cauchy":
             raise RecoveryError(
                 "raising availability needs nested generator rows; "
@@ -307,6 +323,11 @@ class RSCoordinator(Coordinator):
         """
         payload = message.payload
         kind, op = payload.get("kind"), payload.get("op")
+        tracer = self._net().tracer
+        if tracer is not None:
+            tracer.emit(
+                "report.unavailable", node=payload.get("node"), kind=kind
+            )
 
         if kind == "search" and op and self.config.degraded_reads:
             found, value = self.recovery.recover_record(op["key"])
@@ -374,6 +395,9 @@ class RSCoordinator(Coordinator):
         always current (mutations precede their Δ sends).
         """
         node_id = message.payload["node"]
+        tracer = self._net().tracer
+        if tracer is not None:
+            tracer.emit("report.stale", node=node_id)
         if not self.config.auto_recover:
             raise RecoveryError(
                 f"{node_id} reported stale parity and auto_recover is disabled"
@@ -397,12 +421,36 @@ class RSCoordinator(Coordinator):
             for g, level in sorted(self._group_levels.items())
             for i in range(level)
         ]
-        _, unavailable = self._net().multicast(self.node_id, targets, "status")
+        network = self._net()
+        _, unavailable = network.multicast(self.node_id, targets, "status")
         summary = {"probed": len(targets), "unavailable": list(unavailable)}
+        if network.tracer is not None:
+            network.tracer.emit(
+                "probe.round",
+                probed=len(targets),
+                unavailable=len(unavailable),
+            )
+        for node in unavailable:
+            self._down_since.setdefault(node, network.now)
         if unavailable and self.config.auto_recover:
             summary["recovered"] = self.recovery.recover_nodes(
                 unavailable, best_effort=best_effort
             )
+        # Repair-time accounting: a node first seen down at t_down that
+        # answers again now contributes (now - t_down) to probe.mttr.
+        if self._down_since:
+            metrics = network.metrics
+            for node in list(self._down_since):
+                if network.is_available(node):
+                    downtime = network.now - self._down_since.pop(node)
+                    if metrics is not None:
+                        from repro.obs.metrics import MTTR_BUCKETS
+
+                        metrics.histogram(
+                            "probe.mttr",
+                            MTTR_BUCKETS,
+                            "probe-cycle repair time",
+                        ).observe(downtime)
         return summary
 
     def run_probe_cycle(

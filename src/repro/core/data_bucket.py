@@ -222,7 +222,18 @@ class RSDataServer(DataServer):
                 if fault.stage == "reply":
                     return None  # the Δ was applied; only the ack was lost
                 if attempt + 1 < policy.attempts:
-                    self._net().advance(policy.delay(attempt))
+                    net = self._net()
+                    if net.tracer is not None:
+                        net.tracer.emit(
+                            "op.retry", op=kind, node=target,
+                            attempt=attempt + 1,
+                        )
+                    if net.metrics is not None:
+                        net.metrics.counter(
+                            "retry.attempts",
+                            "client+parity retransmissions",
+                        ).inc()
+                    net.advance(policy.delay(attempt))
             except NodeUnavailable as failure:
                 return (
                     "report.unavailable",

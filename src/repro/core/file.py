@@ -50,6 +50,43 @@ class LHRSFile(LHStarFile):
             config=self.config,
         )
         self.failures = FailureInjector(self.network)
+        #: set by enable_observability (None until then)
+        self.tracer = None
+        self.metrics = None
+        self.auditor = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_observability(
+        self,
+        trace_capacity: int | None = None,
+        audit: bool = True,
+        audit_tail: int = 200,
+        strict: bool = True,
+    ):
+        """Install a tracer, a metrics registry and (optionally) the
+        invariant auditor on this file's network.
+
+        Returns ``(tracer, metrics, auditor)`` — also kept as
+        attributes.  ``trace_capacity`` bounds the tracer's event buffer
+        (None keeps everything, the replay-comparison mode); the auditor
+        keeps its own ``audit_tail``-event window regardless.  With
+        nothing enabled the cluster pays a single ``is None`` check per
+        emission site — see docs/observability.md.
+        """
+        from repro.obs import InvariantAuditor, MetricsRegistry, Tracer
+
+        self.tracer = Tracer(capacity=trace_capacity)
+        self.metrics = MetricsRegistry()
+        self.network.install_tracer(self.tracer)
+        self.network.install_metrics(self.metrics)
+        self.auditor = (
+            InvariantAuditor(self.tracer, tail=audit_tail, strict=strict)
+            if audit
+            else None
+        )
+        return self.tracer, self.metrics, self.auditor
 
     def _client_kwargs(self) -> dict[str, Any]:
         return {

@@ -129,31 +129,43 @@ class ParityServer(Node):
             raise ValueError(
                 f"group position {pos} outside 0..{len(self.row) - 1}"
             )
+        # Validate the action BEFORE touching any state: folding the Δ
+        # first and raising after would leave corrupted parity behind an
+        # exception the sender may retry past.
+        action = op["op"]
+        if action not in ("insert", "update", "delete"):
+            raise ValueError(f"unknown parity op {action!r}")
         record = self.records.get(rank)
-        if record is None:
+        created = record is None
+        if created:
             record = ParityRecord(rank=rank)
             self.records[rank] = record
 
         coefficient = self.row[pos]
-        self._fold_into(record, coefficient, op["delta"])
+        try:
+            self._fold_into(record, coefficient, op["delta"])
+        except BaseException:
+            if created:
+                # Crash between row allocation and directory insert: roll
+                # the allocation back so parity.locate / parity.dump
+                # never see a half-born record.
+                self._drop_record(rank)
+            raise
         self._count_fold(coefficient, len(op["delta"]))
 
-        action = op["op"]
         if action == "insert":
             record.keys[pos] = op["key"]
             record.lengths[pos] = op["length"]
             self._key_index[op["key"]] = (rank, pos)
         elif action == "update":
             record.lengths[pos] = op["length"]
-        elif action == "delete":
+        else:  # delete
             record.keys.pop(pos, None)
             record.lengths.pop(pos, None)
             self._key_index.pop(op["key"], None)
             if not record.keys:
                 # All members gone: the accumulated deltas cancel exactly.
                 self._drop_record(rank)
-        else:
-            raise ValueError(f"unknown parity op {action!r}")
 
     def _channel_check(self, op: dict) -> str:
         """Classify one Δ against its channel: apply / duplicate / stale.
@@ -172,12 +184,25 @@ class ParityServer(Node):
         expected = self._expected_seq.get(pos, 1)
         if seq < expected:
             self.duplicates_skipped += 1
-            return "duplicate"
-        if seq > expected:
+            verdict = "duplicate"
+        elif seq > expected:
             self.gaps_detected += 1
-            return "stale"
-        self._expected_seq[pos] = expected + 1
-        return "apply"
+            verdict = "stale"
+        else:
+            self._expected_seq[pos] = expected + 1
+            verdict = "apply"
+        tracer = self.network.tracer if self.network is not None else None
+        if tracer is not None:
+            tracer.emit(
+                "parity.delta",
+                node=self.node_id,
+                pos=pos,
+                seq=seq,
+                expected=expected,
+                verdict=verdict,
+                op=op["op"],
+            )
+        return verdict
 
     def _report_stale(self) -> None:
         """Tell the coordinator this bucket missed Δ traffic (rebuild me)."""
@@ -287,6 +312,11 @@ class ParityServer(Node):
         re-bases the channels afterwards.
         """
         ops = message.payload["ops"]
+        tracer = self.network.tracer if self.network is not None else None
+        if tracer is not None:
+            tracer.emit(
+                "parity.batch", node=self.node_id, ops=len(ops)
+            )
         if self._bulk_encodable(ops):
             applied = self._bulk_encode(ops)
         else:
@@ -315,7 +345,13 @@ class ParityServer(Node):
         zero; without the reset its Δs would arrive below the old
         channel expectation and be skipped as retransmissions.
         """
-        for pos in message.payload["positions"]:
+        positions = message.payload["positions"]
+        tracer = self.network.tracer if self.network is not None else None
+        if tracer is not None:
+            tracer.emit(
+                "parity.reset", node=self.node_id, positions=list(positions)
+            )
+        for pos in positions:
             self._expected_seq.pop(pos, None)
 
     # ------------------------------------------------------------------

@@ -176,8 +176,26 @@ class RecoveryManager:
                 "skipped": True,
             }
         self._recovering_groups.add(group)
+        tracer = self._net.tracer
         try:
-            return self._recover_group_locked(group, lost_data, lost_parity)
+            if tracer is None:
+                return self._recover_group_locked(group, lost_data, lost_parity)
+            with tracer.span(
+                "recovery",
+                group=group,
+                lost_data=sorted(set(lost_data)),
+                lost_parity=sorted(set(lost_parity)),
+            ):
+                tracer.emit("recovery.start", group=group)
+                stats = self._recover_group_locked(group, lost_data, lost_parity)
+                tracer.emit(
+                    "recovery.end",
+                    group=group,
+                    records=stats["records"],
+                    data_buckets=len(stats["data_buckets"]),
+                    parity_buckets=len(stats["parity_buckets"]),
+                )
+                return stats
         finally:
             self._recovering_groups.discard(group)
 
@@ -462,6 +480,7 @@ class RecoveryManager:
 
         # ---- pass 2: one stacked decode per loss pattern --------------
         stats = getattr(self._net, "stats", None)
+        tracer = self._net.tracer
         for (positions, want), members in batches.items():
             want = list(want)
             lost_here = [pos for pos in want if pos < m]
@@ -493,6 +512,14 @@ class RecoveryManager:
             for i, rank in enumerate(ranks):
                 entry = directory[rank]
                 keys, lengths = entry["keys"], entry["lengths"]
+                if tracer is not None:
+                    tracer.emit(
+                        "recovery.rank",
+                        group=group,
+                        rank=rank,
+                        rebuilt=list(want),
+                        stripe_symbols=stripe_lengths[i],
+                    )
                 for pos in lost_here:
                     bucket = lost_positions_data[pos]
                     new_data[bucket]["records"].append(

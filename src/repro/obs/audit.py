@@ -1,0 +1,202 @@
+"""Continuous cross-layer invariant checking over the trace stream.
+
+The chaos tests assert *end-state* properties (parity decodes, acked
+writes survive); this auditor asserts *path* properties — things that
+must hold at every step, where a violation seen live points at the
+exact message that broke it.  It subscribes to a
+:class:`~repro.obs.trace.Tracer` and keeps a bounded tail of recent
+events, so a failed check raises :class:`InvariantViolation` carrying
+the offending event *and* the trace leading up to it (the
+explain-on-failure dump).
+
+Streaming rules (checked on every event):
+
+* **no-delivery-to-failed** — a ``msg.deliver`` whose recipient the
+  failure state (tracked from ``node.fail``/``node.restore`` events)
+  says is down.  The network's own guard makes this impossible through
+  the public API; the auditor proves it stays impossible.
+* **gap-implies-fault** — a Δ-parity sequence gap (``parity.delta``
+  with verdict ``stale``) observed while *no* fault has ever been
+  declared on the trace (no ``fault.injected``, ``node.fail``,
+  ``msg.hold`` or ``msg.lost``).  Gaps are how parity buckets detect
+  lost traffic; on a clean network a gap can only mean sender or
+  channel state corruption.
+
+State rule (checked at quiesce points via :meth:`check_file`):
+
+* **parity-generation** — per group, every parity bucket's Δ-channel
+  expectation equals each live data member's generation
+  (``_parity_seq``): parity generation == max data generation.  A
+  parity channel *ahead* of its data bucket is corruption at any time;
+  *behind* at a quiesce point means a silently lost Δ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.obs.trace import TraceEvent, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.file import LHRSFile
+
+#: Event types that count as "a failure was declared" — after any of
+#: these, Δ-sequence gaps are expected behaviour, not corruption.
+FAULT_EVIDENCE = frozenset({"fault.injected", "node.fail", "msg.hold", "msg.lost"})
+
+
+class InvariantViolation(AssertionError):
+    """An audited invariant broke; carries the evidence.
+
+    ``str()`` renders the rule, the offending event and the trace tail
+    — what a failed chaos test prints instead of a bare assert.
+    """
+
+    def __init__(self, rule: str, detail: str, event: TraceEvent | None,
+                 tail: list[TraceEvent]):
+        self.rule = rule
+        self.detail = detail
+        self.event = event
+        self.tail = tail
+        lines = [f"invariant {rule!r} violated: {detail}"]
+        if event is not None:
+            lines.append(f"offending event: {event!r}")
+        lines.append(f"--- trace tail ({len(tail)} events) ---")
+        lines.extend(repr(e) for e in tail)
+        super().__init__("\n".join(lines))
+
+
+class InvariantAuditor:
+    """Subscribe me to a tracer; I keep watch and remember the tail.
+
+    ``strict=True`` (default) raises :class:`InvariantViolation` at the
+    moment a streaming rule breaks — inside the offending operation's
+    stack, which is exactly where a debugger wants to be.  With
+    ``strict=False`` violations accumulate in :attr:`violations` for a
+    post-hoc :meth:`assert_clean`.
+    """
+
+    def __init__(self, tracer: Tracer, tail: int = 200, strict: bool = True):
+        self.tracer = tracer
+        self.strict = strict
+        self._tail: deque[TraceEvent] = deque(maxlen=tail)
+        self.violations: list[InvariantViolation] = []
+        #: nodes the trace says are currently failed
+        self.failed: set[str] = set()
+        #: count of fault-evidence events seen so far
+        self.fault_evidence = 0
+        #: events checked (cheap liveness indicator for tests)
+        self.events_seen = 0
+        tracer.subscribe(self._on_event)
+
+    def close(self) -> None:
+        """Detach from the tracer."""
+        self.tracer.unsubscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    def _violate(self, rule: str, detail: str, event: TraceEvent | None) -> None:
+        violation = InvariantViolation(rule, detail, event, list(self._tail))
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+
+    def _on_event(self, event: TraceEvent) -> None:
+        self._tail.append(event)
+        self.events_seen += 1
+        kind = event.type
+        if kind in FAULT_EVIDENCE:
+            self.fault_evidence += 1
+            if kind == "node.fail":
+                self.failed.add(event.attrs["node"])
+            return
+        if kind == "node.restore":
+            self.failed.discard(event.attrs["node"])
+            return
+        if kind == "node.unregister":
+            self.failed.discard(event.attrs["node"])
+            return
+        if kind == "msg.deliver":
+            recipient = event.attrs.get("to")
+            if recipient in self.failed:
+                self._violate(
+                    "no-delivery-to-failed",
+                    f"message {event.attrs.get('kind')!r} delivered to failed "
+                    f"node {recipient!r}",
+                    event,
+                )
+            return
+        if kind == "parity.delta" and event.attrs.get("verdict") == "stale":
+            if self.fault_evidence == 0:
+                self._violate(
+                    "gap-implies-fault",
+                    "Δ-parity sequence gap (expected "
+                    f"{event.attrs.get('expected')}, got {event.attrs.get('seq')}) "
+                    "on a trace with no declared failures",
+                    event,
+                )
+            return
+
+    # ------------------------------------------------------------------
+    def check_file(self, file: "LHRSFile") -> list[str]:
+        """Quiesce-point generation audit: parity == data, per group.
+
+        Walks the live server objects directly (no messages): for every
+        group, each parity bucket's next-expected Δ sequence per
+        position must be exactly ``data._parity_seq + 1`` for the live
+        data member at that position.  Call this when the file is
+        quiet — all Δs flushed and delivered, no open failures; the
+        chaos tests call it after the final heal + recovery pass.
+
+        Returns the list of problems (empty = clean) and also records
+        them as violations under the ``parity-generation`` rule.
+        """
+        problems: list[str] = []
+        network = file.network
+        for server in list(network.nodes.values()):
+            if not hasattr(server, "parity_targets"):
+                continue  # not a data bucket
+            if server.node_id in network.failed:
+                continue
+            if server._parity_queue:
+                problems.append(
+                    f"data bucket {server.node_id} has "
+                    f"{len(server._parity_queue)} unflushed Δs (not quiesced)"
+                )
+                continue
+            for target in server.parity_targets:
+                parity = network.nodes.get(target)
+                if parity is None or target in network.failed:
+                    continue
+                expected = parity._expected_seq.get(server.position, 1)
+                generation = expected - 1
+                if generation > server._parity_seq:
+                    problems.append(
+                        f"parity {target} channel for position "
+                        f"{server.position} is AHEAD of data "
+                        f"{server.node_id}: generation {generation} > "
+                        f"data seq {server._parity_seq}"
+                    )
+                elif generation < server._parity_seq:
+                    problems.append(
+                        f"parity {target} channel for position "
+                        f"{server.position} is behind data "
+                        f"{server.node_id} at quiesce: generation "
+                        f"{generation} < data seq {server._parity_seq}"
+                    )
+        for problem in problems:
+            self._violate("parity-generation", problem, None)
+        return problems
+
+    # ------------------------------------------------------------------
+    def assert_clean(self) -> None:
+        """Raise the first recorded violation (non-strict mode wrap-up)."""
+        if self.violations:
+            raise self.violations[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"InvariantAuditor({self.events_seen} events, "
+            f"{len(self.violations)} violations, "
+            f"{len(self.failed)} nodes down)"
+        )

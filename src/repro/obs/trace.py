@@ -1,0 +1,254 @@
+"""Structured event tracing over the simulated cluster.
+
+The papers evaluate every operation by counting messages; this module
+records *which* messages (and splits, recoveries, Δ-folds, faults) in a
+replayable stream, so a number that moved can be explained instead of
+re-derived.  Three properties drive the design:
+
+* **Zero overhead when off.**  Nothing here is consulted unless a
+  :class:`Tracer` has been installed on the network
+  (:meth:`~repro.sim.network.Network.install_tracer`); every emission
+  site guards with a single ``tracer is None`` check and builds no
+  event objects, formats no strings, when tracing is off.
+* **Determinism.**  Events carry the *simulated* clock and a global
+  sequence number — never wall-clock time — so two runs with the same
+  seeds produce byte-identical traces (:meth:`Tracer.to_jsonl` is the
+  canonical serialization; the replay-determinism test pins this).
+* **Typed events.**  Event types come from a registry
+  (:data:`EVENT_TYPES`); a typo in an emission site raises instead of
+  silently producing an unmatchable stream.
+
+Spans give events causal structure: ``with tracer.span("recovery",
+group=3):`` emits ``span.start``/``span.end`` pairs with ids and parent
+links, and every event emitted inside carries the enclosing span's id.
+Subscribers (the invariant auditor, a metrics bridge, a test) see every
+event as it happens via :meth:`Tracer.subscribe`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Iterable
+
+#: The span/event taxonomy (docs/observability.md documents each type).
+EVENT_TYPES = frozenset(
+    {
+        # spans
+        "span.start",
+        "span.end",
+        # message plane
+        "msg.send",
+        "msg.deliver",
+        "msg.reply",
+        "msg.hold",
+        "msg.release",
+        "msg.lost",
+        # fault plane and failure state
+        "fault.injected",
+        "node.fail",
+        "node.restore",
+        "node.register",
+        "node.unregister",
+        # file structure
+        "split.start",
+        "split.end",
+        "merge.start",
+        "merge.end",
+        "availability.raise",
+        # parity maintenance
+        "parity.delta",
+        "parity.batch",
+        "parity.reset",
+        # recovery and self-healing
+        "recovery.start",
+        "recovery.rank",
+        "recovery.end",
+        "probe.round",
+        "report.stale",
+        "report.unavailable",
+        # client discipline
+        "op.retry",
+        "op.failed",
+        "client.unavailable",
+    }
+)
+
+
+class UnknownEventType(ValueError):
+    """An emission site used an event type outside :data:`EVENT_TYPES`."""
+
+
+class TraceEvent:
+    """One trace record: ``(seq, time, type, span, attrs)``.
+
+    ``time`` is the network's logical clock at emission; ``span`` is the
+    id of the enclosing span (0 = no span).  ``attrs`` is a flat dict of
+    JSON-serializable values — payload *sizes*, never payload bytes.
+    """
+
+    __slots__ = ("seq", "time", "type", "span", "attrs")
+
+    def __init__(self, seq: int, time: float, type: str, span: int, attrs: dict):
+        self.seq = seq
+        self.time = time
+        self.type = type
+        self.span = span
+        self.attrs = attrs
+
+    def to_json(self) -> str:
+        """Canonical one-line serialization (sorted keys, compact)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "t": self.time,
+                "type": self.type,
+                "span": self.span,
+                **{f"a.{k}": v for k, v in sorted(self.attrs.items())},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+
+    def __repr__(self) -> str:
+        attrs = " ".join(f"{k}={v!r}" for k, v in sorted(self.attrs.items()))
+        return f"[{self.seq:>6} t={self.time:g} s={self.span}] {self.type} {attrs}"
+
+
+class Span:
+    """An open span; use :meth:`Tracer.span` rather than this directly."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start_time", "tracer")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int, name: str):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_time = tracer.now()
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._close_span(self, error=exc_type is not None)
+
+
+class Tracer:
+    """The event stream: a clock, a span stack, a buffer, subscribers.
+
+    ``capacity=None`` keeps every event (needed for byte-identical
+    replay comparisons); a bounded capacity keeps only the most recent
+    events — the auditor keeps its own tail, so long soaks can run with
+    a small tracer buffer.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capacity: int | None = None,
+    ):
+        #: logical-clock source; installed by Network.install_tracer
+        self.clock = clock
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self._seq = 0
+        self._span_counter = 0
+        self._span_stack: list[Span] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+        #: counts per event type (cheap always-on summary)
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    @property
+    def current_span(self) -> int:
+        """Id of the innermost open span (0 when none)."""
+        return self._span_stack[-1].span_id if self._span_stack else 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked synchronously with every event."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        self._subscribers.remove(callback)
+
+    # ------------------------------------------------------------------
+    def emit(self, type: str, **attrs: Any) -> TraceEvent:
+        """Record one event (validated against :data:`EVENT_TYPES`)."""
+        if type not in EVENT_TYPES:
+            raise UnknownEventType(
+                f"{type!r} is not a registered trace event type"
+            )
+        self._seq += 1
+        event = TraceEvent(self._seq, self.now(), type, self.current_span, attrs)
+        self.events.append(event)
+        self.counts[type] = self.counts.get(type, 0) + 1
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span: ``with tracer.span("recovery", group=3): ...``.
+
+        Emits ``span.start`` now and ``span.end`` (with the span's
+        simulated duration and an ``error`` flag) on exit.  Nesting
+        builds parent links.
+        """
+        self._span_counter += 1
+        span = Span(self, self._span_counter, self.current_span, name)
+        self._span_stack.append(span)
+        # The start event belongs *to* the new span.
+        self.emit("span.start", name=name, id=span.span_id,
+                  parent=span.parent_id, **attrs)
+        return span
+
+    def _close_span(self, span: Span, error: bool = False) -> None:
+        if not self._span_stack or self._span_stack[-1] is not span:
+            raise RuntimeError("spans must close LIFO (innermost first)")
+        self.emit(
+            "span.end",
+            name=span.name,
+            id=span.span_id,
+            duration=self.now() - span.start_time,
+            error=error,
+        )
+        self._span_stack.pop()
+
+    # ------------------------------------------------------------------
+    def tail(self, n: int = 30) -> list[TraceEvent]:
+        """The last ``n`` events (the explain-on-failure dump)."""
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
+
+    def format_tail(self, n: int = 30) -> str:
+        """Human-readable trace tail, one event per line."""
+        lines = [repr(event) for event in self.tail(n)]
+        return "\n".join(lines) if lines else "(trace empty)"
+
+    def to_jsonl(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Canonical JSON-lines serialization of the buffered stream.
+
+        Byte-identical across runs with identical seeds — the contract
+        the replay-determinism test enforces.
+        """
+        source = self.events if events is None else events
+        return "\n".join(event.to_json() for event in source) + "\n"
+
+    def clear(self) -> None:
+        """Drop buffered events (sequence numbers keep counting)."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.events)} events buffered, "
+            f"{self._seq} emitted, {len(self._subscribers)} subscribers)"
+        )

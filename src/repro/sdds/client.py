@@ -173,6 +173,24 @@ class Client(Node):
         delay = self.retry.delay(attempt) if self.retry else 1.0
         self._net().advance(delay)
 
+    def _note_retry(self, kind: str, key: int, attempt: int) -> None:
+        """Observability hook: one more attempt is about to run."""
+        net = self.network
+        if net is None:
+            return
+        if net.tracer is not None:
+            net.tracer.emit("op.retry", op=kind, key=key, attempt=attempt + 1)
+        if net.metrics is not None:
+            net.metrics.counter(
+                "retry.attempts", "client+parity retransmissions"
+            ).inc()
+
+    def _note_failed(self, kind: str, key: int, attempts: int) -> None:
+        """Observability hook: the retry ladder ran dry."""
+        net = self.network
+        if net is not None and net.tracer is not None:
+            net.tracer.emit("op.failed", op=kind, key=key, attempts=attempts)
+
     def _mutate(self, kind: str, payload: dict) -> None:
         """One mutation under the retry/ack discipline.
 
@@ -203,10 +221,12 @@ class Client(Node):
                 self._acks.discard(token)
                 return
             if attempt + 1 < attempts:
+                self._note_retry(kind, payload["key"], attempt)
                 self._wait(attempt)
                 if token is not None and token in self._acks:
                     self._acks.discard(token)
                     return
+        self._note_failed(kind, payload["key"], attempts)
         raise OperationFailed(kind, payload["key"], attempts)
 
     def insert(self, key: int, value: Any) -> None:
@@ -241,12 +261,14 @@ class Client(Node):
                 pass
             reply = self._results.pop(request, None)
             if reply is None and attempt + 1 < attempts:
+                self._note_retry("search", key, attempt)
                 self._wait(attempt)
                 reply = self._results.pop(request, None)
             if reply is not None:
                 return SearchOutcome(
                     key=key, found=reply["found"], value=reply["value"]
                 )
+        self._note_failed("search", key, attempts)
         raise OperationFailed("search", key, attempts)
 
     # ------------------------------------------------------------------

@@ -109,6 +109,14 @@ class Coordinator(Node):
         nested handling must already see the new file extent.
         """
         source, target, new_level = self.state.next_split()
+        tracer = self._net().tracer
+        if tracer is not None:
+            tracer.emit(
+                "split.start",
+                source=source,
+                target=target,
+                new_level=new_level,
+            )
         # Group infrastructure first: the new bucket's server factory
         # reads it (LH*RS: parity buckets must exist and be known before
         # the data server is built, or its parity targets come up empty).
@@ -119,6 +127,14 @@ class Coordinator(Node):
                                        {"target": target, "new_level": new_level})
         self._sizes[source] = result["kept"]
         self._sizes[target] = result["moved"]
+        if tracer is not None:
+            tracer.emit(
+                "split.end",
+                source=source,
+                target=target,
+                moved=result["moved"],
+                kept=result["kept"],
+            )
         return source, target
 
     def on_new_bucket(self, number: int, level: int) -> None:

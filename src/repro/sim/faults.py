@@ -160,6 +160,18 @@ class FaultPlane:
         #: (sender, recipient) -> FIFO of (release_at, Message)
         self._held: dict[tuple[str, str], deque] = {}
         self.counters: Counter = Counter()
+        #: tracer to announce injected faults on (set by the network's
+        #: install_tracer/install_fault_plane; None = silent)
+        self.tracer = None
+
+    def _trace(self, message: "Message", outcome: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault.injected",
+                outcome=outcome,
+                kind=message.kind,
+                to=message.recipient,
+            )
 
     # ------------------------------------------------------------------
     # configuration
@@ -198,22 +210,27 @@ class FaultPlane:
         queue = self._held.get(channel)
         if can_delay and queue:
             release_at = max(queue[-1][0], now)
+            self._trace(message, "delay")
             return "delay", release_at
         for rule in self.rules:
             if not rule.matches(message, now):
                 continue
             draw = float(self.rng.random())
             if draw < rule.drop:
+                self._trace(message, "drop")
                 return "drop", now
             draw -= rule.drop
             if draw < rule.fail:
+                self._trace(message, "fail")
                 return "fail", now
             draw -= rule.fail
             if draw < rule.duplicate:
+                self._trace(message, "duplicate")
                 return "duplicate", now
             draw -= rule.duplicate
             if draw < rule.delay and can_delay:
                 jitter = float(self.rng.random()) * rule.delay_window
+                self._trace(message, "delay")
                 return "delay", now + max(jitter, 1e-9)
             return "deliver", now
         return "deliver", now

@@ -72,6 +72,12 @@ class Network:
         self.now = 0.0
         self.fault_plane = None
         self._clock_listeners: list[Callable[[float], None]] = []
+        #: structured event tracer (None = tracing off, zero overhead)
+        self.tracer = None
+        #: metrics registry (None = metrics off)
+        self.metrics = None
+        self._m_messages = None
+        self._m_bytes = None
 
     # ------------------------------------------------------------------
     # registry and failure state
@@ -82,6 +88,8 @@ class Network:
             raise ValueError(f"node id {node.node_id!r} already registered")
         self.nodes[node.node_id] = node
         node.network = self
+        if self.tracer is not None:
+            self.tracer.emit("node.register", node=node.node_id)
 
     def unregister(self, node_id: str) -> None:
         """Detach a node entirely (decommissioned server).
@@ -94,12 +102,16 @@ class Network:
             raise UnknownNode(node_id)
         del self.nodes[node_id]
         self.failed.discard(node_id)
+        if self.tracer is not None:
+            self.tracer.emit("node.unregister", node=node_id)
 
     def fail(self, node_id: str) -> None:
         """Make a node unavailable (crash / partition / power-off)."""
         if node_id not in self.nodes:
             raise UnknownNode(node_id)
         self.failed.add(node_id)
+        if self.tracer is not None:
+            self.tracer.emit("node.fail", node=node_id)
 
     def restore(self, node_id: str) -> None:
         """Bring a failed node back (its state as the node object holds it).
@@ -112,6 +124,8 @@ class Network:
         """
         if node_id not in self.nodes:
             raise UnknownNode(node_id)
+        if node_id in self.failed and self.tracer is not None:
+            self.tracer.emit("node.restore", node=node_id)
         self.failed.discard(node_id)
 
     def is_available(self, node_id: str) -> bool:
@@ -124,6 +138,41 @@ class Network:
     def install_fault_plane(self, plane) -> None:
         """Attach a :class:`~repro.sim.faults.FaultPlane` (None removes)."""
         self.fault_plane = plane
+        if plane is not None:
+            plane.tracer = self.tracer
+
+    def install_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.trace.Tracer` (None removes).
+
+        The tracer's clock is bound to this network's logical clock, so
+        every event timestamp is simulated time — the determinism the
+        replay tests rely on.  With no tracer installed every emission
+        site is a single ``is None`` check.
+        """
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.clock = lambda: self.now
+        if self.fault_plane is not None:
+            self.fault_plane.tracer = tracer
+
+    def install_metrics(self, registry) -> None:
+        """Attach a :class:`~repro.obs.metrics.MetricsRegistry` (None
+        removes).  The network feeds the global ``net.*`` counters, and
+        every labelled :class:`MessageStats` window that closes lands in
+        the registry's per-operation histograms.
+        """
+        self.metrics = registry
+        self.stats.metrics = registry
+        if registry is not None:
+            self._m_messages = registry.counter(
+                "net.messages", "messages delivered"
+            )
+            self._m_bytes = registry.counter(
+                "net.bytes", "payload bytes delivered"
+            )
+        else:
+            self._m_messages = None
+            self._m_bytes = None
 
     def add_clock_listener(self, listener: Callable[[float], None]) -> None:
         """Register a callback invoked with ``now`` at each clock step.
@@ -169,10 +218,21 @@ class Network:
         if plane is None:
             return
         for message in plane.release_due(self.now):
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "msg.release", to=message.recipient, kind=message.kind
+                )
             try:
                 self._deliver(message)
             except (UnknownNode, NodeUnavailable):
                 plane.counters["lost_in_flight"] += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "msg.lost",
+                        to=message.recipient,
+                        kind=message.kind,
+                        reason="recipient gone",
+                    )
 
     # ------------------------------------------------------------------
     # transport
@@ -184,6 +244,18 @@ class Network:
             raise NodeUnavailable(message.recipient)
         self._depth += 1
         self.stats.record(message.kind, message.size, self._depth)
+        if self._m_messages is not None:
+            self._m_messages.inc()
+            self._m_bytes.inc(message.size)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg.deliver",
+                **{"from": message.sender},
+                to=message.recipient,
+                kind=message.kind,
+                size=message.size,
+                depth=self._depth,
+            )
         try:
             return self.nodes[message.recipient].receive(message)
         finally:
@@ -194,6 +266,14 @@ class Network:
         if self._depth == 0:
             self._tick()
         message = Message(sender, recipient, kind, payload)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg.send",
+                **{"from": sender},
+                to=recipient,
+                kind=kind,
+                size=message.size,
+            )
         plane = self.fault_plane
         if plane is not None:
             outcome, release_at = plane.outcome_for(message, self.now)
@@ -202,12 +282,23 @@ class Network:
                 # but never arrives — the UDP case.
                 plane.counters["dropped"] += 1
                 self.stats.record(message.kind, message.size, self._depth + 1)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "msg.lost", to=recipient, kind=kind, reason="drop"
+                    )
                 return
             if outcome == "fail":
                 plane.counters["failed"] += 1
                 raise DeliveryFault(recipient, "request")
             if outcome == "delay":
                 plane.hold(message, release_at)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "msg.hold",
+                        to=recipient,
+                        kind=kind,
+                        release_at=release_at,
+                    )
                 return
             if outcome == "duplicate":
                 plane.counters["duplicated"] += 1
@@ -228,6 +319,15 @@ class Network:
         if self._depth == 0:
             self._tick()
         message = Message(sender, recipient, kind, payload)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg.send",
+                **{"from": sender},
+                to=recipient,
+                kind=kind,
+                size=message.size,
+                rpc=True,
+            )
         plane = self.fault_plane
         if plane is not None:
             outcome, _ = plane.outcome_for(message, self.now, can_delay=False)
@@ -235,6 +335,10 @@ class Network:
                 plane.counters["dropped" if outcome == "drop" else "failed"] += 1
                 if outcome == "drop":
                     self.stats.record(message.kind, message.size, self._depth + 1)
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "msg.lost", to=recipient, kind=kind, reason="drop"
+                        )
                 raise DeliveryFault(recipient, "request")
             if outcome == "duplicate":
                 plane.counters["duplicated"] += 1
@@ -248,13 +352,35 @@ class Network:
                 plane.counters["dropped" if outcome == "drop" else "failed"] += 1
                 if outcome == "drop":
                     self.stats.record(reply.kind, reply.size, self._depth + 1)
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "msg.lost",
+                            to=sender,
+                            kind=reply.kind,
+                            reason="drop",
+                        )
                 raise DeliveryFault(recipient, "reply")
-            self.stats.record(reply.kind, reply.size, self._depth + 1)
+            self._record_reply(reply, self._depth + 1)
             return result
         result = self._deliver(message)
         reply = Message(recipient, sender, f"{kind}.reply", result)
-        self.stats.record(reply.kind, reply.size, self._depth + 1)
+        self._record_reply(reply, self._depth + 1)
         return result
+
+    def _record_reply(self, reply: Message, depth: int) -> None:
+        """Account one successful reply leg (stats, metrics, trace)."""
+        self.stats.record(reply.kind, reply.size, depth)
+        if self._m_messages is not None:
+            self._m_messages.inc()
+            self._m_bytes.inc(reply.size)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg.reply",
+                **{"from": reply.sender},
+                to=reply.recipient,
+                kind=reply.kind,
+                size=reply.size,
+            )
 
     def multicast(
         self,
@@ -271,9 +397,12 @@ class Network:
         price scans both ways).  Replies are always unicast.  Failed
         recipients are skipped and reported, letting deterministic
         termination protocols detect the gap.  Under a fault plane a
-        recipient whose copy is dropped or transiently failed also lands
-        in ``unavailable`` — from the sender's seat a lost reply and a
-        dead node look identical (only the timeout fires).
+        recipient whose request copy — or collected *reply* — is dropped
+        or transiently failed also lands in ``unavailable``: from the
+        sender's seat a lost reply and a dead node look identical (only
+        the timeout fires).  The reply leg passes through the same
+        fault-plane rules as a ``call``'s reply; a lost reply means the
+        handler DID run (the at-least-once case).
         """
         unavailable: list[str] = []
         replies: dict[str, Any] = {}
@@ -295,6 +424,16 @@ class Network:
             if self.multicast_available and charged_request:
                 # Multicast fabric: later copies of the request are free.
                 self._depth += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "msg.deliver",
+                        **{"from": sender},
+                        to=recipient,
+                        kind=kind,
+                        size=message.size,
+                        depth=self._depth,
+                        free=True,
+                    )
                 try:
                     result = self.nodes[recipient].receive(message)
                 finally:
@@ -304,6 +443,27 @@ class Network:
                 charged_request = True
             if collect_replies:
                 reply = Message(recipient, sender, f"{kind}.reply", result)
-                self.stats.record(reply.kind, reply.size, self._depth + 2)
+                if plane is not None:
+                    outcome, _ = plane.outcome_for(
+                        reply, self.now, can_delay=False
+                    )
+                    if outcome in ("drop", "fail"):
+                        plane.counters[
+                            "dropped" if outcome == "drop" else "failed"
+                        ] += 1
+                        if outcome == "drop":
+                            self.stats.record(
+                                reply.kind, reply.size, self._depth + 2
+                            )
+                            if self.tracer is not None:
+                                self.tracer.emit(
+                                    "msg.lost",
+                                    to=sender,
+                                    kind=reply.kind,
+                                    reason="drop",
+                                )
+                        unavailable.append(recipient)
+                        continue
+                self._record_reply(reply, self._depth + 2)
                 replies[recipient] = result
         return replies, unavailable

@@ -49,6 +49,10 @@ class MessageStats:
     def __init__(self) -> None:
         self.total = OperationWindow(label="total")
         self._stack: list[OperationWindow] = []
+        #: optional MetricsRegistry: every labelled window that closes
+        #: is folded into its per-operation histograms (set by
+        #: ``Network.install_metrics``; None = off, zero overhead)
+        self.metrics = None
 
     # ------------------------------------------------------------------
     def record(self, kind: str, size: int, depth: int) -> None:
@@ -74,7 +78,10 @@ class MessageStats:
         """Close a window opened earlier (must close inner-to-outer)."""
         if not self._stack or self._stack[-1] is not window:
             raise RuntimeError("operation windows must close LIFO")
-        return self._stack.pop()
+        closed = self._stack.pop()
+        if self.metrics is not None and closed.label:
+            self.metrics.observe_window(closed)
+        return closed
 
     class _WindowContext:
         def __init__(self, stats: "MessageStats", label: str):

@@ -185,6 +185,146 @@ class TestKeyIndex:
             assert hit["rank"] == scan_hit
 
 
+class TestCrashConsistency:
+    """A Δ-fold that dies mid-apply must leave no half-born state.
+
+    ``_apply`` allocates the record (and, with a stripe store, its
+    matrix row) *before* folding, but inserts the key directory and
+    ``_key_index`` entries only after.  A crash in between used to
+    strand an allocated record that ``parity.locate`` and
+    ``parity.dump`` could see with no keys — these tests pin the
+    rollback on both storage layouts.
+    """
+
+    def make_server(self, stripe_store):
+        net = Network()
+        field = GF(8)
+        row = parity_matrix(field, 4, 1).row(0)
+        server = ParityServer("f.p0.0", "f", group=0, index=0, row=row,
+                              field=field, stripe_store=stripe_store)
+        probe = Probe("probe")
+        net.register(server)
+        net.register(probe)
+        return server, probe
+
+    @pytest.fixture(params=[False, True], ids=["classic", "stripe"])
+    def layout(self, request, monkeypatch):
+        server, probe = self.make_server(stripe_store=request.param)
+
+        armed = {"on": False}
+
+        def explode(*args, **kwargs):
+            if armed["on"]:
+                raise RuntimeError("simulated crash during fold")
+            return real(*args, **kwargs)
+
+        if request.param:
+            real = GF.scale_accumulate
+            monkeypatch.setattr(GF, "scale_accumulate", explode)
+        else:
+            import repro.core.parity_bucket as module
+
+            real = module.fold_delta
+            monkeypatch.setattr(module, "fold_delta", explode)
+        return server, probe, armed
+
+    def test_crash_on_fresh_rank_leaves_locate_consistent(self, layout):
+        server, probe, armed = layout
+        armed["on"] = True
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        # No half-born record anywhere recovery looks.
+        assert 1 not in server.records
+        assert 9 not in server._key_index
+        assert probe.call("f.p0.0", "parity.locate", {"key": 9}) is None
+        assert probe.call("f.p0.0", "parity.dump")["records"] == []
+        if server._store is not None:
+            assert 1 not in server._store
+        # The bucket still works: a clean retry of the same op succeeds.
+        armed["on"] = False
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        assert probe.call("f.p0.0", "parity.locate", {"key": 9})["rank"] == 1
+        assert server.records[1].parity_bytes(server.field) == b"ab"
+
+    def test_crash_on_existing_rank_keeps_old_record_intact(self, layout):
+        server, probe, armed = layout
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        before = server.records[1].parity_bytes(server.field)
+        armed["on"] = True
+        with pytest.raises(RuntimeError):
+            probe.send("f.p0.0", "parity.update", op("insert", 8, 1, 1, b"cd"))
+        armed["on"] = False
+        record = server.records[1]
+        assert record.keys == {0: 9}
+        assert 8 not in server._key_index
+        assert record.parity_bytes(server.field) == before
+
+    @pytest.mark.parametrize("stripe_store", [False, True],
+                             ids=["classic", "stripe"])
+    def test_unknown_action_rejected_before_any_fold(self, stripe_store):
+        """Validation precedes mutation: a bad action folds nothing."""
+        server, probe = self.make_server(stripe_store)
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        before = server.records[1].parity_bytes(server.field)
+        ops_before = server.symbol_ops
+        with pytest.raises(ValueError, match="unknown parity op"):
+            probe.send("f.p0.0", "parity.update",
+                       op("frobnicate", 8, 1, 1, b"cd"))
+        assert server.records[1].parity_bytes(server.field) == before
+        assert server.symbol_ops == ops_before
+        assert 2 not in server.records
+        with pytest.raises(ValueError):
+            probe.send("f.p0.0", "parity.update",
+                       op("frobnicate", 7, 2, 0, b"zz"))
+        assert 2 not in server.records  # fresh rank not allocated either
+
+
+class TestStoreViewLifecycle:
+    """Stripe-store view staleness across record churn and reloads."""
+
+    def make_server(self):
+        net = Network()
+        field = GF(8)
+        row = parity_matrix(field, 4, 1).row(0)
+        server = ParityServer("f.p0.0", "f", group=0, index=0, row=row,
+                              field=field, stripe_store=True)
+        probe = Probe("probe")
+        net.register(server)
+        net.register(probe)
+        return server, probe
+
+    def test_deleted_rank_view_raises(self):
+        server, probe = self.make_server()
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 1, 0, b"ab"))
+        probe.send("f.p0.0", "parity.update", op("delete", 9, 1, 0, b"ab", 0))
+        assert 1 not in server._store
+        with pytest.raises(KeyError):
+            server._store.view(1)
+
+    def test_load_refreshes_views_and_drops_old_ranks(self):
+        server, probe = self.make_server()
+        probe.send("f.p0.0", "parity.update", op("insert", 9, 5, 0, b"old!"))
+        dump = probe.call("f.p0.0", "parity.dump")
+        assert [r["rank"] for r in dump["records"]] == [5]
+
+        # Replace the content wholesale (the merge/recovery reload path).
+        probe.send("f.p0.0", "parity.load", {
+            "records": [{"rank": 2, "keys": {1: 42}, "lengths": {1: 4},
+                         "parity": b"newp"}],
+        })
+        assert set(server.records) == {2}
+        with pytest.raises(KeyError):
+            server._store.view(5)
+        assert probe.call("f.p0.0", "parity.locate", {"key": 9}) is None
+        # The surviving record's symbols are live views of the new store:
+        # folding through them writes through to the matrix.
+        record = server.records[2]
+        assert record.parity_bytes(server.field) == b"newp"
+        assert record.symbols.base is server._store.matrix.base or (
+            record.symbols.base is server._store.matrix
+        )
+
+
 class TestNestedRows:
     def test_rows_nested_across_k(self):
         """Row i of the (m, k) Cauchy parity matrix is independent of k —

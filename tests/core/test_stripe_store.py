@@ -87,6 +87,80 @@ class TestGrowth:
         assert store.ensure(0, 2) is False
 
 
+class TestGenerationRegressions:
+    """Stale handles must fail loudly, never read recycled memory.
+
+    The store's contract is that ``generation`` bumps on every matrix
+    reallocation and that dropped ranks disappear from the map — so a
+    caller holding a stale rank (after a release, a merge's
+    ``parity.load`` replacement, or a reset) gets a ``KeyError``, and a
+    caller holding a stale *view* can be detected via ``generation``.
+    """
+
+    def test_view_of_unknown_rank_raises(self, field):
+        store = StripeStore(field)
+        with pytest.raises(KeyError):
+            store.view(3)
+        with pytest.raises(KeyError):
+            store.length_of(3)
+
+    def test_view_after_release_raises(self, field):
+        store = StripeStore(field)
+        store.ensure(3, 4)
+        store.release(3)
+        with pytest.raises(KeyError):
+            store.view(3)
+        with pytest.raises(KeyError):
+            store.release(3)  # double release is a bug, not a no-op
+
+    def test_view_of_rank_dropped_by_bulk_load_raises(self, field):
+        """bulk_load models merge/recovery replacement: every rank not in
+        the new content must be gone, and the generation must bump so
+        cached views are recognisably stale."""
+        store = StripeStore(field)
+        store.ensure(9, 4)
+        stale = store.view(9)
+        stale[:] = 7
+        generation = store.generation
+        store.bulk_load([(1, b"\x01\x02\x03\x04"), (2, b"\x05\x06")])
+        assert store.generation > generation
+        with pytest.raises(KeyError):
+            store.view(9)
+        # Writes through the stale view never reach the new matrix.
+        stale[:] = 123
+        assert (store.matrix != 123).all()
+
+    def test_generation_bumps_on_every_reallocation(self, field):
+        store = StripeStore(field)
+        seen = [store.generation]
+
+        def note():
+            assert store.generation >= seen[-1]
+            if store.generation > seen[-1]:
+                seen.append(store.generation)
+
+        store.ensure(0, 4)      # first allocation (rows grow)
+        note()
+        store.ensure(0, 1000)   # width growth
+        note()
+        for rank in range(1, 50):
+            store.ensure(rank, 4)  # row growth, eventually
+            note()
+        store.bulk_load([(0, b"ab")])
+        note()
+        assert len(seen) >= 4
+
+    def test_ensure_true_means_cached_views_went_stale(self, field):
+        """The bool contract callers (the parity server) rely on: a True
+        return is exactly a generation bump."""
+        store = StripeStore(field)
+        for rank, length in [(0, 4), (0, 4), (0, 900), (1, 8), (2, 8),
+                             (3, 8), (50, 8), (50, 2000)]:
+            generation = store.generation
+            grew = store.ensure(rank, length)
+            assert grew == (store.generation > generation)
+
+
 class TestBulkViews:
     def test_stacked_orders_by_rank(self, field):
         store = StripeStore(field)

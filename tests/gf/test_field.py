@@ -333,6 +333,131 @@ class TestBatchKernels:
             assert (stacked[i] == expected).all()
 
 
+# ----------------------------------------------------------------------
+# zero-safe single-gather log layout (the wide-field fast path)
+# ----------------------------------------------------------------------
+class TestZeroSafeLayout:
+    """The branch-free mul tables must make zero algebraically safe.
+
+    GF(2^16) is the width that *depends* on this layout — `mul_row`
+    caching is rejected there, so every batched multiply rides the
+    single `exp_mul[log_mul[a] + log_mul[b]]` gather.  These tests pin
+    the table construction itself and then the GF(2^16) kernels built
+    on it, zeros included.
+    """
+
+    def test_log_zero_sentinel_maps_all_products_to_zero(self):
+        from repro.gf.tables import build_mul_tables
+
+        for width in WIDTHS:
+            exp_mul, log_mul = build_mul_tables(width)
+            group = (1 << width) - 1
+            assert int(log_mul[0]) == 2 * group - 1
+            # Any index reachable with >= 1 zero operand holds 0.
+            assert (exp_mul[int(log_mul[0]):] == 0).all()
+            assert int(exp_mul[int(log_mul[0]) + int(log_mul[0])]) == 0
+
+    @given(data=st.data())
+    @settings(max_examples=60)
+    def test_single_gather_equals_scalar_mul_gf16(self, data):
+        from repro.gf.tables import build_mul_tables
+
+        f = GF(16)
+        exp_mul, log_mul = build_mul_tables(16)
+        # Bias toward zeros: the operands the sentinel exists for.
+        a = data.draw(st.one_of(st.just(0), elements(16)))
+        b = data.draw(st.one_of(st.just(0), elements(16)))
+        gathered = int(exp_mul[int(log_mul[a]) + int(log_mul[b])])
+        assert gathered == f.mul(a, b)
+
+    def test_mul_symbols_all_zero_input_gf16(self):
+        f = GF(16)
+        zeros = np.zeros(64, dtype=f.symbol_dtype)
+        for scalar in (0, 1, 2, 0xFFFF):
+            out = f.mul_symbols(zeros, scalar)
+            assert out.dtype == f.symbol_dtype
+            assert (out == 0).all()
+
+    def test_mul_arrays_zero_columns_gf16(self):
+        f = GF(16)
+        a = np.array([0, 0, 5, 0xFFFF, 0], dtype=np.uint16)
+        b = np.array([0, 7, 0, 0, 0xABCD], dtype=np.uint16)
+        out = f.mul_arrays(a, b)
+        assert [int(v) for v in out] == [0, 0, 0, 0, 0]
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_batch_equals_scalar_with_zero_runs_gf16(self, data):
+        """batch ≡ scalar over GF(2^16) with dense zero runs mixed in."""
+        f = GF(16)
+        values = data.draw(
+            st.lists(
+                st.one_of(st.just(0), elements(16)),
+                min_size=1, max_size=48,
+            )
+        )
+        scalar = data.draw(st.one_of(st.just(0), elements(16)))
+        arr = np.array(values, dtype=np.uint16)
+        assert [int(v) for v in f.mul_symbols(arr, scalar)] == [
+            f.mul(v, scalar) for v in values
+        ]
+
+    def test_gf_matmul_all_zero_column_gf16(self):
+        """A position holding only zero payloads contributes nothing."""
+        f = GF(16)
+        coeff = np.array([[1, 7, 0x1234]], dtype=np.int64)
+        stacked = np.zeros((3, 2, 5), dtype=np.uint16)
+        stacked[0, 0] = [1, 2, 3, 4, 5]
+        stacked[2, 1] = [9, 9, 0, 9, 9]  # zeros inside a used column too
+        out = f.gf_matmul(coeff, stacked)
+        for n in range(2):
+            for s in range(5):
+                expected = f.mul(1, int(stacked[0, n, s])) ^ f.mul(
+                    0x1234, int(stacked[2, n, s])
+                )
+                assert int(out[0, n, s]) == expected
+
+    @given(
+        payloads=st.lists(
+            st.one_of(st.none(), st.binary(max_size=33)),
+            min_size=1, max_size=8,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_ragged_odd_length_payloads_gf16(self, payloads):
+        """GF(2^16) packs odd-byte payloads with a zero pad byte; ragged
+        and all-``None`` (all-zero) columns must round-trip exactly."""
+        f = GF(16)
+        length = max(
+            (f.symbol_length_for_bytes(len(p)) for p in payloads if p),
+            default=1,
+        )
+        stacked = f.stack_payloads(payloads, length)
+        for i, payload in enumerate(payloads):
+            data = payload or b""
+            assert f.bytes_from_symbols(
+                np.ascontiguousarray(stacked[i]), len(data)
+            ) == data
+
+    @given(
+        data=st.binary(min_size=1, max_size=41),
+        scalar=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    @settings(max_examples=50)
+    def test_scale_accumulate_odd_lengths_gf16(self, data, scalar):
+        f = GF(16)
+        acc = np.zeros(f.symbol_length_for_bytes(len(data)) + 2,
+                       dtype=np.uint16)
+        f.scale_accumulate(acc, scalar, data)
+        expected = f.mul_symbols(f.symbols_from_bytes(data), scalar)
+        assert (acc[: len(expected)] == expected).all()
+        assert (acc[len(expected):] == 0).all()
+        # Folding the same Δ again cancels (characteristic 2) — the
+        # idempotence hazard the Δ-sequence machinery protects against.
+        f.scale_accumulate(acc, scalar, data)
+        assert (acc == 0).all()
+
+
 def test_field_equality_and_hash():
     assert GF(8) == GF(8)
     assert GF(8) != GF(16)

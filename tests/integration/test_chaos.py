@@ -31,7 +31,9 @@ MUTATION_KINDS = {"insert", "update", "delete", "search", "parity.update"}
 REPLY_KINDS = {"search.result", "op.ack", "iam"}
 
 
-def run_chaos(operations: int, seed: int) -> None:
+def run_chaos(
+    operations: int, seed: int, trace_capacity: int | None = 20_000
+) -> LHRSFile:
     config = LHRSConfig(
         group_size=4,
         availability=2,
@@ -43,6 +45,12 @@ def run_chaos(operations: int, seed: int) -> None:
     )
     file = LHRSFile(config)
     net = file.network
+    # Full observability: the invariant auditor rides the whole soak in
+    # strict mode — any cross-layer violation raises at the offending
+    # message with the trace tail attached (explain-on-failure).
+    tracer, metrics, auditor = file.enable_observability(
+        trace_capacity=trace_capacity
+    )
 
     plane = FaultPlane(rng=np.random.default_rng(seed))
     plane.add_rule(kinds=MUTATION_KINDS, drop=0.03, fail=0.04, duplicate=0.03)
@@ -138,6 +146,17 @@ def run_chaos(operations: int, seed: int) -> None:
     # The plane really exercised every fault class.
     for counter in ("dropped", "failed", "duplicated", "delayed", "released"):
         assert plane.counters[counter] > 0, counter
+
+    # ---- observability acceptance --------------------------------------
+    # The auditor watched every event in strict mode and never fired;
+    # the quiesce-point generation audit agrees parity == data.
+    assert auditor.violations == []
+    assert auditor.check_file(file) == []
+    assert auditor.events_seen > operations  # it really saw the traffic
+    assert tracer.counts.get("fault.injected", 0) > 0
+    assert tracer.counts.get("recovery.rank", 0) > 0
+    assert 0 < metrics.get("net.messages").value <= net.stats.total.messages
+    return file
 
 
 def test_chaos_soak_5000_ops():

@@ -1,0 +1,185 @@
+"""Tests for the streaming invariant auditor.
+
+Synthetic streams pin each rule in isolation; the seeded-failure tests
+then reproduce a real violation end-to-end on a live file — the
+acceptance demand that a *deliberately corrupted* run fails loudly with
+the offending event and the trace tail printed.
+"""
+
+import pytest
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.core.group import parity_node
+from repro.obs import InvariantAuditor, InvariantViolation, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+def small_file():
+    file = LHRSFile(LHRSConfig(group_size=4, availability=1,
+                               bucket_capacity=16))
+    tracer, metrics, auditor = file.enable_observability()
+    return file, tracer, auditor
+
+
+class TestNoDeliveryToFailed:
+    def test_delivery_to_failed_node_violates(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=False)
+        tracer.emit("node.fail", node="f.d1")
+        tracer.emit("msg.deliver", **{"from": "c"}, to="f.d1", kind="insert")
+        assert len(auditor.violations) == 1
+        assert auditor.violations[0].rule == "no-delivery-to-failed"
+
+    def test_restore_clears_failure_state(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=False)
+        tracer.emit("node.fail", node="f.d1")
+        tracer.emit("node.restore", node="f.d1")
+        tracer.emit("msg.deliver", to="f.d1", kind="insert")
+        assert auditor.violations == []
+
+    def test_unregister_clears_failure_state(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=False)
+        tracer.emit("node.fail", node="f.d1")
+        tracer.emit("node.unregister", node="f.d1")
+        tracer.emit("msg.deliver", to="f.d1", kind="insert")
+        assert auditor.violations == []
+
+    def test_strict_mode_raises_in_stack(self, tracer):
+        InvariantAuditor(tracer, strict=True)
+        tracer.emit("node.fail", node="f.d1")
+        with pytest.raises(InvariantViolation):
+            tracer.emit("msg.deliver", to="f.d1", kind="insert")
+
+
+class TestGapImpliesFault:
+    def test_gap_without_declared_fault_violates(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=False)
+        tracer.emit("parity.delta", node="f.p0.0", pos=1, seq=9,
+                    expected=3, verdict="stale", op="insert")
+        assert [v.rule for v in auditor.violations] == ["gap-implies-fault"]
+
+    @pytest.mark.parametrize("evidence_type,attrs", [
+        ("fault.injected", {"outcome": "drop", "kind": "parity.update",
+                            "to": "f.p0.0"}),
+        ("msg.lost", {"to": "f.p0.0", "kind": "parity.update",
+                      "reason": "drop"}),
+        ("msg.hold", {"to": "f.p0.0", "kind": "op.ack", "release_at": 5.0}),
+        ("node.fail", {"node": "f.d1"}),
+    ])
+    def test_gap_after_any_fault_evidence_is_expected(self, evidence_type, attrs):
+        tracer = Tracer()
+        auditor = InvariantAuditor(tracer, strict=True)
+        tracer.emit(evidence_type, **attrs)
+        tracer.emit("parity.delta", node="f.p0.0", pos=1, seq=9,
+                    expected=3, verdict="stale", op="insert")
+        assert auditor.violations == []
+
+    def test_apply_and_duplicate_verdicts_are_clean(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=True)
+        tracer.emit("parity.delta", node="f.p0.0", pos=0, seq=1,
+                    expected=1, verdict="apply", op="insert")
+        tracer.emit("parity.delta", node="f.p0.0", pos=0, seq=1,
+                    expected=2, verdict="duplicate", op="insert")
+        assert auditor.violations == []
+
+
+class TestViolationRendering:
+    def test_str_carries_event_and_tail(self, tracer):
+        auditor = InvariantAuditor(tracer, tail=5, strict=False)
+        for i in range(10):
+            tracer.emit("msg.send", to="f.d0", i=i)
+        tracer.emit("node.fail", node="f.d1")
+        tracer.emit("msg.deliver", to="f.d1", kind="insert")
+        text = str(auditor.violations[0])
+        assert "no-delivery-to-failed" in text
+        assert "offending event" in text
+        assert "trace tail (5 events)" in text
+        assert "msg.deliver" in text
+
+    def test_assert_clean_raises_first(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=False)
+        auditor.assert_clean()  # clean: no-op
+        tracer.emit("node.fail", node="x")
+        tracer.emit("msg.deliver", to="x", kind="insert")
+        with pytest.raises(InvariantViolation):
+            auditor.assert_clean()
+
+    def test_close_detaches(self, tracer):
+        auditor = InvariantAuditor(tracer, strict=True)
+        auditor.close()
+        tracer.emit("node.fail", node="x")
+        tracer.emit("msg.deliver", to="x", kind="insert")
+        assert auditor.violations == []
+
+
+class TestSeededViolationOnLiveFile:
+    """The acceptance reproduction: corrupt a live run, watch it fail."""
+
+    def test_forged_future_seq_reproduces_gap_violation(self):
+        file, tracer, auditor = small_file()
+        for key in range(12):
+            file.insert(key, b"v%d" % key)
+
+        # Forge a Δ from the future: seq far beyond the channel. On a
+        # trace with no declared faults the auditor must fail the run at
+        # this exact message, with the trace tail attached.
+        target = parity_node("f", 0, 0)
+        with pytest.raises(InvariantViolation) as err:
+            file.network.send(
+                "f.d0", target, "parity.update",
+                {"op": "insert", "key": 999, "rank": 0, "pos": 0,
+                 "delta": b"\x01\x02", "length": 2, "seq": 999},
+            )
+        text = str(err.value)
+        assert err.value.rule == "gap-implies-fault"
+        assert "parity.delta" in text
+        assert "trace tail" in text
+        assert err.value.event.attrs["verdict"] == "stale"
+        assert auditor.violations  # recorded as well as raised
+
+    def test_clean_run_passes_check_file(self):
+        file, tracer, auditor = small_file()
+        for key in range(25):
+            file.insert(key, b"v%d" % key)
+        file.flush_all_parity()
+        assert auditor.check_file(file) == []
+        assert auditor.violations == []
+
+    def test_check_file_detects_channel_ahead_and_behind(self):
+        file, tracer, auditor = small_file()
+        auditor.strict = False
+        for key in range(12):
+            file.insert(key, b"v%d" % key)
+        file.flush_all_parity()
+
+        server = file.network.nodes["f.d0"]
+        parity = file.network.nodes[server.parity_targets[0]]
+        true_seq = server._parity_seq
+
+        parity._expected_seq[server.position] = true_seq + 5
+        problems = auditor.check_file(file)
+        assert any("AHEAD" in p for p in problems)
+        assert [v.rule for v in auditor.violations] == ["parity-generation"]
+
+        parity._expected_seq[server.position] = true_seq  # generation - 1
+        assert any("behind" in p for p in auditor.check_file(file))
+
+        parity._expected_seq[server.position] = true_seq + 1
+        assert auditor.check_file(file) == []
+
+    def test_check_file_flags_unflushed_deltas(self):
+        file, tracer, auditor = small_file()
+        auditor.strict = False
+        for key in range(8):
+            file.insert(key, b"x")
+        file.flush_all_parity()
+        server = file.network.nodes["f.d0"]
+        server._parity_queue.append({"op": "insert", "key": 1})
+        try:
+            problems = auditor.check_file(file)
+            assert any("not quiesced" in p for p in problems)
+        finally:
+            server._parity_queue.clear()

@@ -1,0 +1,163 @@
+"""Unit tests for the structured event tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import EVENT_TYPES, Tracer, UnknownEventType
+
+
+@pytest.fixture
+def tracer():
+    clock = {"t": 0.0}
+    t = Tracer(clock=lambda: clock["t"])
+    t._clock_state = clock  # test hook: advance via tracer._clock_state
+    return t
+
+
+class TestEmit:
+    def test_emit_records_event(self, tracer):
+        event = tracer.emit("msg.send", to="f.d1", kind="insert", size=10)
+        assert event.seq == 1
+        assert event.type == "msg.send"
+        assert event.span == 0
+        assert event.attrs == {"to": "f.d1", "kind": "insert", "size": 10}
+        assert len(tracer) == 1
+        assert tracer.counts == {"msg.send": 1}
+
+    def test_unknown_type_raises(self, tracer):
+        with pytest.raises(UnknownEventType):
+            tracer.emit("msg.snd", to="x")
+        assert len(tracer) == 0
+
+    def test_sequence_is_monotonic(self, tracer):
+        seqs = [tracer.emit("msg.send").seq for _ in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_timestamps_come_from_clock(self, tracer):
+        tracer._clock_state["t"] = 7.5
+        assert tracer.emit("msg.send").time == 7.5
+
+    def test_clockless_tracer_stamps_zero(self):
+        assert Tracer().emit("msg.send").time == 0.0
+
+    def test_registry_covers_all_instrumented_layers(self):
+        # A representative of every instrumented subsystem must exist in
+        # the taxonomy — removing one silently breaks emission sites.
+        for required in (
+            "msg.deliver", "fault.injected", "split.start", "merge.end",
+            "parity.delta", "recovery.rank", "probe.round", "op.retry",
+            "client.unavailable", "availability.raise",
+        ):
+            assert required in EVENT_TYPES
+
+
+class TestSpans:
+    def test_span_ids_and_parent_links(self, tracer):
+        with tracer.span("outer", group=1) as outer:
+            assert tracer.current_span == outer.span_id
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                event = tracer.emit("recovery.rank", rank=3)
+                assert event.span == inner.span_id
+            assert tracer.current_span == outer.span_id
+        assert tracer.current_span == 0
+
+    def test_span_emits_start_and_end(self, tracer):
+        with tracer.span("recovery", group=2):
+            tracer._clock_state["t"] = 4.0
+        types = [e.type for e in tracer.events]
+        assert types == ["span.start", "span.end"]
+        start, end = tracer.events
+        assert start.attrs["name"] == "recovery"
+        assert start.attrs["group"] == 2
+        assert end.attrs["duration"] == 4.0
+        assert end.attrs["error"] is False
+
+    def test_span_end_flags_error(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.events[-1].type == "span.end"
+        assert tracer.events[-1].attrs["error"] is True
+
+    def test_non_lifo_close_rejected(self, tracer):
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(RuntimeError, match="LIFO"):
+            tracer._close_span(outer)
+
+
+class TestBufferAndTail:
+    def test_capacity_bounds_memory(self):
+        tracer = Tracer(capacity=10)
+        for _ in range(100):
+            tracer.emit("msg.send")
+        assert len(tracer) == 10
+        assert tracer.events[0].seq == 91  # oldest events evicted
+        assert tracer.counts["msg.send"] == 100  # counts still exact
+
+    def test_tail_returns_most_recent(self, tracer):
+        for i in range(10):
+            tracer.emit("msg.send", i=i)
+        tail = tracer.tail(3)
+        assert [e.attrs["i"] for e in tail] == [7, 8, 9]
+        assert tracer.tail(0) == []
+
+    def test_format_tail_renders_one_line_per_event(self, tracer):
+        tracer.emit("msg.send", to="f.d1")
+        tracer.emit("msg.deliver", to="f.d1")
+        text = tracer.format_tail()
+        assert len(text.splitlines()) == 2
+        assert "msg.deliver" in text
+        assert Tracer().format_tail() == "(trace empty)"
+
+    def test_clear_keeps_sequence_counting(self, tracer):
+        tracer.emit("msg.send")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emit("msg.send").seq == 2
+
+
+class TestSerialization:
+    def test_to_json_is_canonical(self, tracer):
+        tracer._clock_state["t"] = 2.0
+        event = tracer.emit("msg.deliver", to="f.d1", kind="insert", size=32)
+        line = event.to_json()
+        parsed = json.loads(line)
+        assert parsed == {
+            "seq": 1, "t": 2.0, "type": "msg.deliver", "span": 0,
+            "a.kind": "insert", "a.size": 32, "a.to": "f.d1",
+        }
+        # Compact separators, sorted keys: the byte-stable contract.
+        assert " " not in line
+        keys = list(parsed)
+        assert keys == sorted(keys)
+
+    def test_to_jsonl_joins_with_trailing_newline(self, tracer):
+        tracer.emit("msg.send")
+        tracer.emit("msg.deliver")
+        out = tracer.to_jsonl()
+        assert out.endswith("\n")
+        assert len(out.splitlines()) == 2
+
+    def test_non_json_attrs_fall_back_to_str(self, tracer):
+        event = tracer.emit("msg.send", payload_type=bytes)
+        assert "bytes" in event.to_json()
+
+
+class TestSubscribers:
+    def test_subscribers_see_every_event(self, tracer):
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit("msg.send")
+        with tracer.span("s"):
+            pass
+        assert [e.type for e in seen] == ["msg.send", "span.start", "span.end"]
+
+    def test_unsubscribe_detaches(self, tracer):
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.unsubscribe(seen.append)
+        tracer.emit("msg.send")
+        assert seen == []

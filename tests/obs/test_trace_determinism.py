@@ -1,0 +1,50 @@
+"""Trace-replay determinism: same seeds, byte-identical traces.
+
+The tracer's contract is that events carry only deterministic inputs —
+the simulated clock, a global sequence number, message metadata — never
+wall-clock time or object ids.  Two chaos-smoke runs with identical
+seeds must therefore serialize to byte-identical JSONL, which is what
+makes a trace from a failed CI run *replayable*: re-running the seed
+locally reproduces the exact same stream, event for event.
+"""
+
+from repro.obs import Tracer
+from tests.integration.test_chaos import run_chaos
+
+
+def trace_of(operations: int, seed: int) -> str:
+    file = run_chaos(operations, seed, trace_capacity=None)
+    return file.tracer.to_jsonl()
+
+
+def test_chaos_smoke_traces_are_byte_identical():
+    first = trace_of(700, 1234)
+    second = trace_of(700, 1234)
+    assert first == second
+    # Sanity: the comparison covered a real stream, not a stub.
+    assert first.count("\n") > 5_000
+    assert '"type":"fault.injected"' in first
+    assert '"type":"recovery.rank"' in first
+
+
+def test_different_seeds_diverge():
+    # The converse guard: if traces were seed-insensitive (constant or
+    # empty), the identity test above would prove nothing.
+    assert trace_of(700, 1234) != trace_of(700, 4321)
+
+
+def test_jsonl_round_trips_through_parse():
+    import json
+
+    file = run_chaos(300, 99, trace_capacity=None)
+    lines = file.tracer.to_jsonl().splitlines()
+    seqs = [json.loads(line)["seq"] for line in lines]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_tracer_events_survive_unbounded_capacity():
+    tracer = Tracer(capacity=None)
+    for _ in range(100_000):
+        tracer.emit("msg.send")
+    assert len(tracer) == 100_000

@@ -190,6 +190,81 @@ class TestSignatureMatrix:
             assert row == signature_vector(field, payload, count)
 
 
+class TestWideFieldStripes:
+    """GF(2^16)-specific batch≡scalar coverage.
+
+    The wide field has no cached mul rows — every kernel rides the
+    zero-safe single-gather layout — and its 2-byte symbols make odd
+    byte lengths the ragged case (a trailing zero pad byte).  These
+    tests pin both hazards through the full encode/recover pipeline.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_encode_ragged_odd_lengths_matches_oracle(self, data):
+        field = GF(16)
+        m = data.draw(st.integers(min_value=1, max_value=4))
+        k = data.draw(st.integers(min_value=1, max_value=3))
+        codec = RSCodec(m, k, field)
+        # Odd byte lengths force the 2-byte-symbol pad path; mix them
+        # with even and empty slots so stripes are genuinely ragged.
+        def slot():
+            odd = 2 * data.draw(st.integers(min_value=0, max_value=10)) + 1
+            n = data.draw(st.sampled_from([0, odd, odd + 1]))
+            return data.draw(st.binary(min_size=n, max_size=n))
+
+        groups = [
+            [slot() for _ in range(m)]
+            for _ in range(data.draw(st.integers(min_value=1, max_value=3)))
+        ]
+        batched = codec.encode_batch(groups)
+        for group, parity in zip(groups, batched):
+            assert parity == codec.encode(group)
+
+    def test_all_zero_column_contributes_nothing_gf16(self):
+        """A group position holding only zero bytes (or nothing) leaves
+        the parity equal to the encoding without it."""
+        field = GF(16)
+        codec = RSCodec(4, 2, field)
+        payloads = [b"alpha-record!", b"\x00" * 13, None, b"delta-record."]
+        sparse = [payloads[0], None, None, payloads[3]]
+        assert codec.encode(payloads) == codec.encode(sparse)
+
+        length = codec.stripe_symbol_length(payloads)
+        stacked = codec.pack_stripes([payloads, sparse], length)
+        parity = encode_stripes(field, codec.parity, stacked)
+        assert (parity[:, 0, :] == parity[:, 1, :]).all()
+
+    def test_recover_with_all_zero_surviving_column_gf16(self):
+        """Decode must stay exact when a survivor's stripe is all zeros
+        — the case the log-table sentinel exists for."""
+        field = GF(16)
+        codec = RSCodec(3, 2, field)
+        groups = [
+            [b"one-one-one", b"\x00" * 11, b"three3three"],
+            [b"\x00" * 7, b"\x00" * 7, b"\x00" * 7],
+        ]
+        length = max(codec.stripe_symbol_length(g) for g in groups)
+        full = [list(g) + codec.encode(g) for g in groups]
+        for lost in ([0, 2], [1, 3], [2, 4]):
+            survivors = [p for p in range(5) if p not in lost]
+            stacked = {
+                p: field.stack_payloads([cw[p] for cw in full], length)
+                for p in survivors
+            }
+            batched = codec.recover_stripes(stacked, lost)
+            for r, codeword in enumerate(full):
+                oracle = codec.recover(
+                    {p: codeword[p] for p in survivors}, lost
+                )
+                for p in lost:
+                    want = field.symbols_from_bytes(oracle[p], length)
+                    assert (batched[p][r] == want).all()
+                    # And the oracle itself round-trips the data.
+                    if p < 3:
+                        assert oracle[p][: len(codeword[p])] == codeword[p]
+
+
 class TestValidation:
     def test_encode_stripes_rejects_wrong_rank(self):
         field = GF(8)

@@ -193,6 +193,69 @@ class TestDelay:
         assert plane.pending == 0
 
 
+class TestMulticastReplyFaults:
+    """Multicast replies pass the fault plane exactly like call replies.
+
+    Pins the unified reply leg: a dropped/failed collected reply puts
+    the recipient in ``unavailable`` (from the sender's seat a lost
+    reply and a dead node look identical), but the handler DID run —
+    the same at-least-once hazard `test_call_reply_drop_means_handler_
+    did_run` pins for calls.
+    """
+
+    def test_dropped_reply_lands_recipient_in_unavailable(self, net):
+        plane = plane_on(net, kinds={"ping.reply"}, drop=1.0)
+        replies, unavailable = net.multicast("a", ["b", "c"], "ping", "x")
+        assert replies == {}
+        assert unavailable == ["b", "c"]
+        assert plane.counters["dropped"] == 2
+        # The handlers ran: the at-least-once hazard, as with calls.
+        assert net.nodes["b"].seen == ["x"]
+        assert net.nodes["c"].seen == ["x"]
+
+    def test_dropped_reply_is_charged_to_stats(self, net):
+        plane_on(net, kinds={"ping.reply"}, drop=1.0)
+        before = net.stats.total.messages
+        net.multicast("a", ["b"], "ping", "x")
+        # Request + the reply that left the handler before being lost.
+        assert net.stats.total.messages == before + 2
+
+    def test_failed_reply_lands_recipient_in_unavailable(self, net):
+        plane = plane_on(net, kinds={"ping.reply"}, fail=1.0)
+        replies, unavailable = net.multicast("a", ["b"], "ping", "x")
+        assert replies == {}
+        assert unavailable == ["b"]
+        assert plane.counters["failed"] == 1
+        assert net.nodes["b"].seen == ["x"]
+
+    def test_request_leg_faults_unchanged(self, net):
+        # A request-kind rule still prevents the handler from running.
+        plane_on(net, kinds={"ping"}, drop=1.0)
+        replies, unavailable = net.multicast("a", ["b"], "ping", "x")
+        assert replies == {}
+        assert unavailable == ["b"]
+        assert net.nodes["b"].seen == []
+
+    def test_replies_are_never_delayed(self, net):
+        plane = plane_on(net, kinds={"ping.reply"}, delay=1.0)
+        replies, unavailable = net.multicast("a", ["b"], "ping", "x")
+        assert replies == {"b": ("b", "x")}
+        assert unavailable == []
+        assert plane.pending == 0
+
+    def test_uncollected_replies_bypass_the_plane(self, net):
+        # collect_replies=False sends no reply messages, so reply rules
+        # cannot touch the multicast (the scan fan-out path).
+        plane = plane_on(net, kinds={"ping.reply"}, drop=1.0)
+        replies, unavailable = net.multicast(
+            "a", ["b"], "ping", "x", collect_replies=False
+        )
+        assert replies == {}
+        assert unavailable == []
+        assert plane.counters["dropped"] == 0
+        assert net.nodes["b"].seen == ["x"]
+
+
 class TestClock:
     def test_tick_per_top_level_operation(self, net):
         start = net.now

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Enforce per-package line-coverage floors from a coverage.json report.
+
+CI runs the tier-1 suite under ``pytest --cov ... --cov-report=json`` and
+then gates on this script: each watched package must keep its aggregate
+line coverage at or above its floor, so coverage regressions in the
+codec/core layers fail the build instead of rotting silently.
+
+Stdlib-only on purpose — the gate itself needs no third-party packages,
+so it can be unit-tested (and run against a saved report) in
+environments where ``pytest-cov`` is not installed.
+
+Usage::
+
+    python tools/coverage_gate.py coverage.json \
+        --floor repro/gf=90 --floor repro/rs=90 --floor repro/core=85
+
+With no ``--floor`` arguments the defaults in :data:`DEFAULT_FLOORS`
+apply.  Exit status 0 = every floor held, 1 = at least one breach,
+2 = report unreadable or a watched package has no measured files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Default floors (percent) for the packages the ISSUE gates on.
+DEFAULT_FLOORS: dict[str, float] = {
+    "repro/gf": 90.0,
+    "repro/rs": 90.0,
+    "repro/core": 85.0,
+}
+
+
+def package_of(path: str, packages: list[str]) -> str | None:
+    """Which watched package a measured file belongs to (None = ignore).
+
+    Longest match wins so ``repro/core`` files are never claimed by a
+    hypothetical ``repro`` entry.
+    """
+    normalized = path.replace("\\", "/")
+    best = None
+    for package in packages:
+        if f"/{package}/" in f"/{normalized}":
+            if best is None or len(package) > len(best):
+                best = package
+    return best
+
+
+def aggregate(report: dict, floors: dict[str, float]) -> dict[str, dict]:
+    """Per-package ``{statements, covered, percent, floor}`` rollup."""
+    packages = sorted(floors)
+    totals = {
+        package: {"statements": 0, "covered": 0} for package in packages
+    }
+    for path, entry in report.get("files", {}).items():
+        package = package_of(path, packages)
+        if package is None:
+            continue
+        summary = entry.get("summary", {})
+        totals[package]["statements"] += int(summary.get("num_statements", 0))
+        totals[package]["covered"] += int(summary.get("covered_lines", 0))
+    out = {}
+    for package, counts in totals.items():
+        statements = counts["statements"]
+        percent = 100.0 * counts["covered"] / statements if statements else 0.0
+        out[package] = {
+            "statements": statements,
+            "covered": counts["covered"],
+            "percent": percent,
+            "floor": floors[package],
+        }
+    return out
+
+
+def evaluate(report: dict, floors: dict[str, float]) -> tuple[int, list[str]]:
+    """Gate a parsed coverage.json; returns ``(exit_status, lines)``."""
+    rollup = aggregate(report, floors)
+    lines = []
+    status = 0
+    for package, row in sorted(rollup.items()):
+        if row["statements"] == 0:
+            lines.append(
+                f"FAIL {package}: no measured files in the report "
+                "(wrong --cov targets?)"
+            )
+            status = 2
+            continue
+        verdict = "ok  " if row["percent"] >= row["floor"] else "FAIL"
+        if verdict == "FAIL" and status == 0:
+            status = 1
+        lines.append(
+            f"{verdict} {package}: {row['percent']:.1f}% line coverage "
+            f"({row['covered']}/{row['statements']} lines, "
+            f"floor {row['floor']:.0f}%)"
+        )
+    return status, lines
+
+
+def parse_floor(spec: str) -> tuple[str, float]:
+    package, _, value = spec.partition("=")
+    if not package or not value:
+        raise argparse.ArgumentTypeError(
+            f"floor spec {spec!r} is not of the form package=percent"
+        )
+    return package.strip("/"), float(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to a coverage.json report")
+    parser.add_argument(
+        "--floor", action="append", type=parse_floor, default=[],
+        metavar="PKG=PCT", help="override/add one package floor",
+    )
+    args = parser.parse_args(argv)
+    floors = dict(DEFAULT_FLOORS) if not args.floor else dict(args.floor)
+
+    try:
+        with open(args.report) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as err:
+        print(f"coverage gate: cannot read {args.report}: {err}")
+        return 2
+
+    status, lines = evaluate(report, floors)
+    print("\n".join(lines))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
