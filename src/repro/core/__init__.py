@@ -25,13 +25,15 @@ from repro.core.availability import (
 from repro.core.client import RSClient
 from repro.core.config import LHRSConfig
 from repro.core.costs import CostModel
-from repro.core.coordinator import RSCoordinator
+from repro.core.coordinator import CoordinatorCrashed, RSCoordinator
 from repro.core.data_bucket import RSDataServer
 from repro.core.file import LHRSFile
+from repro.core.journal import CoordinatorJournal, JournalRecord, JournalState
 from repro.core.parity_bucket import ParityServer
 from repro.core.records import DataRecord, ParityRecord
 from repro.core.recovery import RecoveryError, RecoveryManager
 from repro.core.snapshot import restore_file, snapshot_file
+from repro.core.standby import StandbyCoordinator
 
 __all__ = [
     "LHRSFile",
@@ -39,6 +41,11 @@ __all__ = [
     "CostModel",
     "RSClient",
     "RSCoordinator",
+    "StandbyCoordinator",
+    "CoordinatorCrashed",
+    "CoordinatorJournal",
+    "JournalRecord",
+    "JournalState",
     "RSDataServer",
     "ParityServer",
     "DataRecord",

@@ -19,7 +19,12 @@ class RSClient(Client):
     def on_unavailable(self, kind: str, payload: dict,
                        failure: NodeUnavailable) -> None:
         """Report the failure to the coordinator, which completes the
-        operation (degraded read or recover-then-deliver)."""
+        operation (degraded read or recover-then-deliver).
+
+        Goes through the failover-aware send: when the coordinator died
+        too, the whois pull path waits out the standby lease and the
+        report lands on the new primary instead.
+        """
         net = self.network
         if net is not None and net.tracer is not None:
             net.tracer.emit(
@@ -28,8 +33,7 @@ class RSClient(Client):
                 op=kind,
                 key=payload.get("key"),
             )
-        self.send(
-            f"{self.file_id}.coord",
+        self._coord_send(
             "report.unavailable",
             {"kind": kind, "op": payload, "node": failure.node_id},
         )

@@ -95,6 +95,21 @@ class LHRSConfig:
         :class:`~repro.sim.faults.RetryPolicy`).  Backoff waits advance
         the simulated clock, maturing delayed messages and letting crash
         windows pass.
+    coordinator_replicas:
+        Number of standby coordinator replicas (0 = the classic
+        singleton coordinator).  With replicas, every journal append is
+        replicated synchronously, checkpoints land in parity-bucket
+        headers, and a standby whose lease on the primary expires takes
+        over the coordinator node id (see ``repro.core.standby``).
+    heartbeat_interval:
+        Logical-clock distance between the primary's lease renewals to
+        its standbys.
+    lease_timeout:
+        How long a standby tolerates heartbeat silence before it
+        suspects the primary (a direct ping confirms before takeover).
+        Must exceed ``heartbeat_interval``.
+    journal_checkpoint_interval:
+        Replicated journal appends between parity-header checkpoints.
     """
 
     group_size: int = 4
@@ -116,6 +131,10 @@ class LHRSConfig:
     retry_backoff_base: float = 1.0
     retry_backoff_factor: float = 2.0
     retry_backoff_max: float = 16.0
+    coordinator_replicas: int = 0
+    heartbeat_interval: float = 4.0
+    lease_timeout: float = 12.0
+    journal_checkpoint_interval: int = 16
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
@@ -132,6 +151,17 @@ class LHRSConfig:
             raise ValueError("parity_batch_size must be >= 1")
         if self.spare_servers is not None and self.spare_servers < 0:
             raise ValueError("spare_servers cannot be negative")
+        if self.coordinator_replicas < 0:
+            raise ValueError("coordinator_replicas cannot be negative")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.lease_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "lease_timeout must exceed heartbeat_interval or every "
+                "renewal races its own expiry"
+            )
+        if self.journal_checkpoint_interval < 1:
+            raise ValueError("journal_checkpoint_interval must be >= 1")
         self.retry_policy  # validate the retry knobs (RetryPolicy raises)
         limit = (1 << self.field_width) - self.group_size
         if self.max_availability > limit:

@@ -10,7 +10,12 @@ Extends the LH* coordinator with the high-availability duties:
   and the group's data servers learn their new parity targets;
 * unavailability reports converge here: searches are served through
   record recovery (degraded reads) and failed buckets are rebuilt onto
-  spares under their logical addresses.
+  spares under their logical addresses;
+* the coordinator itself is expendable: every state transition is
+  journaled (``repro.core.journal``) before it takes effect, replicated
+  to standby replicas and checkpointed into parity-bucket headers, so a
+  standby can replay the journal, adopt the file and roll interrupted
+  restructurings forward (see ``repro.core.standby``).
 """
 
 from __future__ import annotations
@@ -18,12 +23,33 @@ from __future__ import annotations
 from repro.core.config import LHRSConfig
 from repro.core.group import data_node, group_buckets, group_count, group_of, parity_node
 from repro.core.data_bucket import RSDataServer
+from repro.core.journal import RETIRED, CoordinatorJournal, JournalRecord, JournalState
 from repro.core.parity_bucket import ParityServer
-from repro.core.recovery import RecoveryError, RecoveryManager, parse_node_id
+from repro.core.recovery import (
+    RecoveryError,
+    RecoveryManager,
+    parse_node_id,
+    reconstruct_state,
+)
+from repro.obs.metrics import MTTR_BUCKETS
 from repro.rs.generator import parity_matrix
 from repro.sdds.coordinator import Coordinator, SplitPolicy
 from repro.sim.messages import Message
-from repro.sim.network import NodeUnavailable
+from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
+
+
+class CoordinatorCrashed(DeliveryFault):
+    """The coordinator died mid-command (an armed crash point fired).
+
+    Subclasses :class:`DeliveryFault` so the client retry ladders treat
+    a coordinator lost mid-chain exactly like any other transient
+    delivery failure: back off, retry, and — once a standby has taken
+    over — replay the (ack-tokened) request against the new primary.
+    """
+
+    def __init__(self, node_id: str, point: str):
+        super().__init__(node_id, "request")
+        self.point = point
 
 
 class RSCoordinator(Coordinator):
@@ -62,6 +88,21 @@ class RSCoordinator(Coordinator):
         #: first probe round that saw each currently-down node (feeds
         #: the probe.mttr histogram when the node comes back)
         self._down_since: dict[str, float] = {}
+        #: write-ahead journal of state transitions (HA substrate)
+        self.journal = CoordinatorJournal()
+        #: monotonic takeover epoch (bumped by each standby promotion)
+        self.term = 0
+        #: standby replica node ids this primary replicates to
+        self.standby_ids: list[str] = []
+        #: armed crash points (fault injection inside a command chain)
+        self.crash_points: set[str] = set()
+        #: crash points that actually fired on this object
+        self.crash_log: list[str] = []
+        #: intents rolled forward (or aborted) by adopt_journal_state
+        self.takeover_resumes: list[dict] = []
+        self._appends_since_checkpoint = 0
+        self._last_beat_sent = float("-inf")
+        self._hb_busy = False
 
     def take_spare(self) -> None:
         """Consume one hot spare for a recovery; raises when exhausted."""
@@ -73,6 +114,429 @@ class RSCoordinator(Coordinator):
                 "further recoveries"
             )
         self.spares_remaining -= 1
+        self._journal("spares", remaining=self.spares_remaining)
+
+    # ------------------------------------------------------------------
+    # journal, replication, checkpoints
+    # ------------------------------------------------------------------
+    def _journal(self, type: str, **payload) -> JournalRecord:
+        """Append one record; replicate and checkpoint when HA is on.
+
+        Journaling is always local (it costs no messages); replication
+        to standbys and parity-header checkpoints only happen once
+        standbys are attached, so a replica-less file pays nothing.
+        """
+        record = self.journal.append(type, **payload)
+        network = self.network
+        if network is None:
+            return record
+        if network.tracer is not None:
+            network.tracer.emit("coord.journal", record=type, lsn=record.lsn)
+        if self.standby_ids:
+            wire = [record.to_wire()]
+            for standby_id in self.standby_ids:
+                try:
+                    self.call(
+                        standby_id,
+                        "coord.journal.append",
+                        {"records": wire, "term": self.term},
+                    )
+                except (NodeUnavailable, UnknownNode):
+                    # A down standby catches up from the journal.fetch
+                    # path once it hears a heartbeat again.
+                    continue
+            self._appends_since_checkpoint += 1
+            if (
+                self._appends_since_checkpoint
+                >= self.config.journal_checkpoint_interval
+            ):
+                self.checkpoint_to_parity()
+        return record
+
+    def checkpoint_to_parity(self) -> dict:
+        """Push a state snapshot into every parity bucket's header.
+
+        The checkpoint is the journal's belt-and-braces: a takeover that
+        finds the journal empty (or truncated) asks the parity buckets
+        for the newest checkpoint before falling back to probing the
+        data buckets themselves.
+        """
+        snapshot = {
+            "lsn": self.journal.last_lsn,
+            "n": self.state.n,
+            "i": self.state.i,
+            "group_levels": dict(self._group_levels),
+            "spares": self.spares_remaining,
+            "term": self.term,
+        }
+        network = self._net()
+        delivered = 0
+        for group, level in sorted(self._group_levels.items()):
+            for index in range(level):
+                try:
+                    self.send(
+                        parity_node(self.file_id, group, index),
+                        "coord.checkpoint",
+                        snapshot,
+                    )
+                    delivered += 1
+                except (NodeUnavailable, UnknownNode):
+                    continue
+        self._appends_since_checkpoint = 0
+        if network.tracer is not None:
+            network.tracer.emit(
+                "coord.checkpoint",
+                lsn=snapshot["lsn"],
+                delivered=delivered,
+            )
+        return snapshot
+
+    def arm_crash(self, point: str) -> None:
+        """Arm a crash point: the next command reaching it kills this
+        coordinator mid-chain (fault injection for takeover tests)."""
+        self.crash_points.add(point)
+
+    def _crash_hook(self, point: str) -> None:
+        if point not in self.crash_points:
+            return
+        self.crash_points.discard(point)
+        self.crash_log.append(point)
+        network = self._net()
+        if network.tracer is not None:
+            network.tracer.emit("coord.crash", point=point, node=self.node_id)
+        network.fail(self.node_id)
+        raise CoordinatorCrashed(self.node_id, point)
+
+    # ------------------------------------------------------------------
+    # HA message handlers + heartbeat
+    # ------------------------------------------------------------------
+    def handle_coord_ping(self, message: Message) -> dict:
+        """Lease-confirmation probe from a suspicious standby."""
+        return {"term": self.term, "lsn": self.journal.last_lsn}
+
+    def handle_coord_journal_fetch(self, message: Message) -> dict:
+        """A replica pulls the journal suffix it is missing."""
+        after = int(message.payload.get("after", 0))
+        return {"records": self.journal.since(after), "term": self.term}
+
+    def handle_coord_whois(self, message: Message) -> dict:
+        """Client failover probe: the active primary answers for itself."""
+        return {"primary": self.node_id, "ready": True}
+
+    def _heartbeat_tick(self, now: float) -> None:
+        """Clock listener: renew the standbys' lease on the primary.
+
+        Self-deactivates when this object is no longer the registered
+        coordinator (a standby replaced it) or is currently failed.
+        """
+        network = self.network
+        if network is None or self._hb_busy or not self.standby_ids:
+            return
+        if network.nodes.get(self.node_id) is not self:
+            return
+        if self.node_id in network.failed:
+            return
+        if now - self._last_beat_sent < self.config.heartbeat_interval:
+            return
+        self._hb_busy = True
+        try:
+            self._last_beat_sent = now
+            beat = {"term": self.term, "lsn": self.journal.last_lsn}
+            for standby_id in self.standby_ids:
+                try:
+                    self.send(standby_id, "coord.heartbeat", beat)
+                except (NodeUnavailable, UnknownNode, DeliveryFault):
+                    continue
+        finally:
+            self._hb_busy = False
+
+    # ------------------------------------------------------------------
+    # takeover adoption: journal -> checkpoints -> survivor probes
+    # ------------------------------------------------------------------
+    def adopt_journal_state(self, replayed: JournalState) -> None:
+        """Install journal truth, fill gaps from parity checkpoints and
+        survivor probes, then roll open intents forward.
+
+        Called by a promoting standby after it registered this object
+        under the coordinator node id.  Fallback order follows the
+        ISSUE: journal replay first; the newest parity-header checkpoint
+        for anything the journal misses; finally the A6-style survivor
+        probe (``recover_file_state``'s discipline) when neither knows
+        the file state.
+        """
+        n, i = replayed.n, replayed.i
+        group_levels = dict(replayed.group_levels)
+        spares = (
+            replayed.spares_remaining
+            if replayed.spares_known
+            else self.config.spare_servers
+        )
+        if n is None:
+            checkpoint = self._fetch_checkpoint()
+            if checkpoint is not None:
+                n, i = checkpoint["n"], checkpoint["i"]
+                for group, level in checkpoint["group_levels"].items():
+                    group_levels.setdefault(int(group), level)
+                if not replayed.spares_known:
+                    spares = checkpoint.get("spares", spares)
+        if n is None:
+            n, i = self._discover_from_survivors()
+        self.state.n, self.state.i = n, i
+        self.state.splits_done = max(0, self.state.bucket_count - self.state.n0)
+        self._group_levels = {
+            group: level
+            for group, level in group_levels.items()
+            if level != RETIRED
+        }
+        self.spares_remaining = spares
+        # Every group of the current extent must have a known level; a
+        # journal-less takeover probes the parity namespace for them.
+        for group in range(
+            group_count(self.state.bucket_count, self.config.group_size)
+        ):
+            if group not in self._group_levels:
+                level = self._probe_group_level(group)
+                if level:
+                    self._group_levels[group] = level
+        self._journal("takeover", term=self.term)
+        self._journal("file.state", n=self.state.n, i=self.state.i)
+        # Innermost intent first: a raise triggered inside a split must
+        # settle before the split itself is rolled forward.
+        for record in sorted(
+            replayed.open_intents, key=lambda r: r.lsn, reverse=True
+        ):
+            self._resume_intent(record)
+        if self.standby_ids:
+            self.checkpoint_to_parity()
+
+    def _fetch_checkpoint(self) -> dict | None:
+        """Newest coordinator checkpoint held by any parity bucket.
+
+        Walks the parity namespace by existence (``UnknownNode`` ends a
+        row/column) so it needs no prior knowledge of the group map.
+        """
+        network = self._net()
+        best: dict | None = None
+        group = 0
+        while True:
+            index = 0
+            existed = False
+            while True:
+                node_id = parity_node(self.file_id, group, index)
+                try:
+                    reply = self.call(node_id, "coord.checkpoint.fetch")
+                except UnknownNode:
+                    break
+                except (NodeUnavailable, DeliveryFault):
+                    existed = True
+                    index += 1
+                    continue
+                existed = True
+                index += 1
+                if reply is not None and (
+                    best is None or reply["lsn"] > best["lsn"]
+                ):
+                    best = dict(reply)
+            if not existed:
+                break
+            group += 1
+        return best
+
+    def _discover_from_survivors(self) -> tuple[int, int]:
+        """A6 discipline with nothing else to go on: probe data-bucket
+        levels sequentially and reconstruct ``(n, i)`` from survivors."""
+        levels: dict[int, int] = {}
+        bucket = 0
+        while True:
+            node_id = data_node(self.file_id, bucket)
+            try:
+                reply = self.call(node_id, "status")
+            except UnknownNode:
+                break
+            except (NodeUnavailable, DeliveryFault):
+                bucket += 1
+                continue
+            levels[reply["bucket"]] = reply["level"]
+            bucket += 1
+        return reconstruct_state(levels, self.state.n0)
+
+    def _probe_group_level(self, group: int) -> int:
+        """How many parity buckets exist for ``group`` (0 = none)."""
+        index = 0
+        while True:
+            node_id = parity_node(self.file_id, group, index)
+            try:
+                self.call(node_id, "status")
+            except UnknownNode:
+                break
+            except (NodeUnavailable, DeliveryFault):
+                pass
+            index += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # intent roll-forward
+    # ------------------------------------------------------------------
+    def _resume_intent(self, record: JournalRecord) -> None:
+        op = record.payload.get("op")
+        network = self._net()
+        if network.tracer is not None:
+            network.tracer.emit("coord.resume", op=op, lsn=record.lsn)
+        self.takeover_resumes.append({"op": op, "lsn": record.lsn})
+        if op == "split":
+            self._resume_split(record)
+        elif op == "merge":
+            self._resume_merge(record)
+        elif op == "raise":
+            self._resume_raise(record)
+        elif op == "recover":
+            self._resume_recover(record)
+        else:
+            self._journal("intent.end", begin=record.lsn, outcome="abort")
+
+    def _resume_split(self, record: JournalRecord) -> None:
+        """Roll an interrupted split forward.
+
+        The crash window leaves the target registered (possibly empty)
+        and the source either pre- or post-partition.  ``handle_split``
+        is idempotent on already-partitioned content (it moves nothing
+        and re-asserts the level), so: recover participants, re-issue
+        the structural command if the source's level says it never ran,
+        then commit the post-split state.
+        """
+        payload = record.payload
+        source, target = payload["source"], payload["target"]
+        new_level = payload["new_level"]
+        m = self.config.group_size
+        network = self._net()
+        source_id = data_node(self.file_id, source)
+        target_id = data_node(self.file_id, target)
+        # Group infrastructure for the target may be half-born.
+        if target % m == 0:
+            group = group_of(target, m)
+            if group not in self._group_levels:
+                self._create_group(group)
+            else:
+                for index in range(self._group_levels[group]):
+                    node_id = parity_node(self.file_id, group, index)
+                    if node_id not in network.nodes:
+                        network.register(self.make_parity_server(group, index))
+        # Recover the source under the *pre-split* directory (its level
+        # label must match the extent the parity data describes).
+        self._ensure_available(source_id)
+        source_level = self.call(source_id, "status")["level"]
+        self.state.n, self.state.i = payload["post_n"], payload["post_i"]
+        self.state.splits_done = max(0, self.state.bucket_count - self.state.n0)
+        if target_id not in network.nodes:
+            network.register(self.make_server(target, new_level))
+        self._ensure_available(target_id)
+        if source_level < new_level:
+            result = self._structural_call(
+                source_id, "split", {"target": target, "new_level": new_level}
+            )
+            self._sizes[source] = result["kept"]
+            self._sizes[target] = result["moved"]
+        self._journal("file.state", n=self.state.n, i=self.state.i)
+        self._journal("intent.end", begin=record.lsn)
+
+    def _resume_merge(self, record: JournalRecord) -> None:
+        """Roll an interrupted merge forward.
+
+        The crash window leaves the absorber's level possibly already
+        lowered and the dissolving bucket still registered with its
+        records; re-running ``level.set`` (absolute) and the structural
+        merge (moves whatever is still there) converges either way.
+        """
+        payload = record.payload
+        source, target = payload["source"], payload["target"]
+        level, retiring = payload["level"], payload["retiring"]
+        m = self.config.group_size
+        network = self._net()
+        source_id = data_node(self.file_id, source)
+        target_id = data_node(self.file_id, target)
+        self.state.n, self.state.i = payload["post_n"], payload["post_i"]
+        self.state.splits_done = max(0, self.state.bucket_count - self.state.n0)
+        self._ensure_available(source_id)
+        with self._restructure_lock():
+            before = len(self._pending_overflows)
+            self.send(source_id, "level.set", {"level": level})
+            if target_id in network.nodes:
+                self._structural_call(
+                    target_id, "merge", {"into": source, "retiring": retiring}
+                )
+                network.unregister(target_id)
+            self.on_bucket_removed(target)
+            # Same rule as merge_once: overflow reports raised by the
+            # merge's own record movement would split right back.
+            del self._pending_overflows[before:]
+        if not retiring:
+            group = group_of(target, m)
+            if group in self._group_levels:
+                for index in range(self.group_level(group)):
+                    node_id = parity_node(self.file_id, group, index)
+                    if network.is_available(node_id):
+                        self.send(
+                            node_id, "parity.reset",
+                            {"positions": [target % m]},
+                        )
+        self._sizes.pop(target, None)
+        self._journal("file.state", n=self.state.n, i=self.state.i)
+        self._journal("intent.end", begin=record.lsn)
+
+    def _resume_raise(self, record: JournalRecord) -> None:
+        """Abort a half-done availability raise, then redo it.
+
+        Partially encoded new parity columns are unregistered and the
+        group's level reset to the pre-raise value — the redo is then an
+        ordinary (atomic-at-this-layer) ``raise_group_level``.
+        """
+        payload = record.payload
+        group = payload["group"]
+        from_level, to_level = payload["from_level"], payload["to_level"]
+        network = self._net()
+        for index in range(from_level, to_level):
+            node_id = parity_node(self.file_id, group, index)
+            if node_id in network.nodes:
+                network.unregister(node_id)
+        if self._group_levels.get(group, 0) > from_level:
+            self._group_levels[group] = from_level
+            self._journal("group.level", group=group, level=from_level)
+        self._journal("intent.end", begin=record.lsn, outcome="abort")
+        if group not in self._group_levels:
+            return  # the group has since retired
+        buckets = group_buckets(
+            group, self.config.group_size, self.state.bucket_count
+        )
+        self._ensure_available(
+            *[data_node(self.file_id, b) for b in buckets]
+        )
+        self.raise_group_level(group, to_level)
+
+    def _resume_recover(self, record: JournalRecord) -> None:
+        """Abort the interrupted recovery intent and re-probe the group.
+
+        Recovery is idempotent roll-forward by construction (spares are
+        fresh objects, installs re-run); what matters after a takeover
+        is that still-down members get rebuilt, which the best-effort
+        re-recovery does.
+        """
+        self._journal("intent.end", begin=record.lsn, outcome="abort")
+        group = record.payload["group"]
+        if group not in self._group_levels:
+            return
+        network = self._net()
+        members = [
+            data_node(self.file_id, b)
+            for b in group_buckets(
+                group, self.config.group_size, self.state.bucket_count
+            )
+        ] + [
+            parity_node(self.file_id, group, index)
+            for index in range(self.group_level(group))
+        ]
+        down = [n for n in members if not network.is_available(n)]
+        if down:
+            self.recovery.recover_nodes(down, best_effort=True)
 
     # ------------------------------------------------------------------
     # group/parity bookkeeping
@@ -141,12 +605,14 @@ class RSCoordinator(Coordinator):
         """Create group 0's parity buckets, then the initial data buckets."""
         self._create_group(0)
         super().bootstrap()
+        self._journal("file.state", n=self.state.n, i=self.state.i)
 
     def _create_group(self, group: int) -> None:
         level = self.config.effective_policy.level_for(
             group_count(self.state.bucket_count, self.config.group_size) or 1
         )
         self._group_levels[group] = level
+        self._journal("group.level", group=group, level=level)
         for index in range(level):
             self._net().register(self.make_parity_server(group, index))
 
@@ -184,11 +650,24 @@ class RSCoordinator(Coordinator):
         tracer = self._net().tracer
         if tracer is not None:
             tracer.emit("merge.start", target=target, retiring=retiring)
+        post = self.state.copy()
+        peek = post.retreat_merge()
+        begin = self._journal(
+            "intent.begin",
+            op="merge",
+            source=peek[0],
+            target=peek[1],
+            level=peek[2],
+            retiring=retiring,
+            post_n=post.n,
+            post_i=post.i,
+        )
         with self._restructure_lock():
             before = len(self._pending_overflows)
             source, _, level = self.state.retreat_merge()
             self.send(data_node(self.file_id, source), "level.set",
                       {"level": level})
+            self._crash_hook("merge.mid")
             self._structural_call(
                 data_node(self.file_id, target), "merge",
                 {"into": source, "retiring": retiring},
@@ -210,6 +689,8 @@ class RSCoordinator(Coordinator):
             # Drop overflow reports raised by the merge's own movement
             # (see the base class note on merge/split ping-pong).
             del self._pending_overflows[before:]
+        self._journal("file.state", n=self.state.n, i=self.state.i)
+        self._journal("intent.end", begin=begin.lsn)
         if tracer is not None:
             tracer.emit("merge.end", source=source, target=target)
         return source, target
@@ -217,9 +698,15 @@ class RSCoordinator(Coordinator):
     def on_bucket_removed(self, number: int) -> None:
         if number % self.config.group_size == 0:
             group = group_of(number, self.config.group_size)
-            level = self._group_levels.pop(group)
+            level = self._group_levels.pop(group, None)
+            if level is None:
+                return  # already retired (idempotent under resume)
+            self._journal("group.level", group=group, level=RETIRED)
+            network = self._net()
             for index in range(level):
-                self._net().unregister(parity_node(self.file_id, group, index))
+                node_id = parity_node(self.file_id, group, index)
+                if node_id in network.nodes:
+                    network.unregister(node_id)
 
     def _maybe_scale_availability(self) -> None:
         """Retrofit existing groups when the policy raised the level."""
@@ -259,9 +746,18 @@ class RSCoordinator(Coordinator):
         # member surfaces here and leaves the group untouched (recover
         # it, then retry the raise).
         ops, expected_seqs = self._collect_group_ops(group)
+        begin = self._journal(
+            "intent.begin",
+            op="raise",
+            group=group,
+            from_level=current,
+            to_level=new_level,
+        )
         for index in range(current, new_level):
             self._net().register(self.make_parity_server(group, index))
         self._group_levels[group] = new_level
+        self._journal("group.level", group=group, level=new_level)
+        self._crash_hook("raise.mid")
         for index in range(current, new_level):
             self.send(
                 parity_node(self.file_id, group, index),
@@ -279,6 +775,7 @@ class RSCoordinator(Coordinator):
                 "config.parity",
                 {"targets": targets},
             )
+        self._journal("intent.end", begin=begin.lsn)
 
     def _collect_group_ops(self, group: int) -> tuple[list[dict], dict[int, int]]:
         """Dump a group's data as (unsequenced) insert Δ-ops plus the
@@ -384,9 +881,23 @@ class RSCoordinator(Coordinator):
             self.recovery.recover_nodes(down)
 
     def split_once(self) -> tuple[int, int]:
-        source, _, _ = self.state.next_split()
+        source, target, new_level = self.state.next_split()
         self._ensure_available(data_node(self.file_id, source))
-        return super().split_once()
+        post = self.state.copy()
+        post.advance_split()
+        begin = self._journal(
+            "intent.begin",
+            op="split",
+            source=source,
+            target=target,
+            new_level=new_level,
+            post_n=post.n,
+            post_i=post.i,
+        )
+        result = super().split_once()
+        self._journal("file.state", n=self.state.n, i=self.state.i)
+        self._journal("intent.end", begin=begin.lsn)
+        return result
 
     def handle_report_stale(self, message: Message) -> None:
         """A parity bucket detected a gap in its Δ stream (or a sender
@@ -422,8 +933,18 @@ class RSCoordinator(Coordinator):
             for i in range(level)
         ]
         network = self._net()
-        _, unavailable = network.multicast(self.node_id, targets, "status")
-        summary = {"probed": len(targets), "unavailable": list(unavailable)}
+        replies, unavailable = network.multicast(self.node_id, targets, "status")
+        # A parity bucket that detected a Δ gap while the coordinator
+        # was unreachable carries the staleness in its status reply —
+        # the probe sweeps it up even though the report.stale was lost.
+        stale = sorted(
+            node for node, reply in replies.items() if reply.get("stale")
+        )
+        summary = {
+            "probed": len(targets),
+            "unavailable": list(unavailable),
+            "stale": stale,
+        }
         if network.tracer is not None:
             network.tracer.emit(
                 "probe.round",
@@ -432,20 +953,21 @@ class RSCoordinator(Coordinator):
             )
         for node in unavailable:
             self._down_since.setdefault(node, network.now)
-        if unavailable and self.config.auto_recover:
+        needs_recovery = list(unavailable) + stale
+        if needs_recovery and self.config.auto_recover:
             summary["recovered"] = self.recovery.recover_nodes(
-                unavailable, best_effort=best_effort
+                needs_recovery, best_effort=best_effort
             )
         # Repair-time accounting: a node first seen down at t_down that
         # answers again now contributes (now - t_down) to probe.mttr.
+        # MTTR_BUCKETS is a module-level import: the accounting (and the
+        # _down_since bookkeeping) must not depend on the metrics layer.
         if self._down_since:
             metrics = network.metrics
             for node in list(self._down_since):
                 if network.is_available(node):
                     downtime = network.now - self._down_since.pop(node)
                     if metrics is not None:
-                        from repro.obs.metrics import MTTR_BUCKETS
-
                         metrics.histogram(
                             "probe.mttr",
                             MTTR_BUCKETS,
@@ -477,6 +999,7 @@ class RSCoordinator(Coordinator):
                 "time": self._net().now,
                 "probed": summary["probed"],
                 "unavailable": list(summary["unavailable"]),
+                "stale": list(summary.get("stale", [])),
                 "recovered_groups": recovered.get("groups", 0),
                 "recovered_data_buckets": recovered.get("data_buckets", 0),
                 "recovered_parity_buckets": recovered.get("parity_buckets", 0),

@@ -25,7 +25,7 @@ from repro.lh import addressing
 from repro.sdds.server import DataServer
 from repro.sim.faults import RetryPolicy
 from repro.sim.messages import Message
-from repro.sim.network import DeliveryFault, NodeUnavailable
+from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.rs.encoder import delta_payload
 
 
@@ -183,7 +183,13 @@ class RSDataServer(DataServer):
             if report is not None:
                 reports.append(report)
         for report_kind, report_payload in reports:
-            self.send(self._coordinator(), report_kind, report_payload)
+            try:
+                self.send(self._coordinator(), report_kind, report_payload)
+            except (NodeUnavailable, UnknownNode):
+                # Coordinator dark (pre-takeover window): the casualty
+                # stays visible — a down parity target to the probe
+                # sweep, a stale one through its sticky status flag.
+                pass
 
     def _send_parity_to(
         self, target: str, kind: str, payload: Any

@@ -22,6 +22,7 @@ from repro.core.group import group_count, parity_node
 from repro.core.parity_bucket import ParityServer
 from repro.core.recovery import reconstruct_state
 from repro.rs.codec import RSCodec
+from repro.core.standby import StandbyCoordinator
 from repro.sdds.coordinator import SplitPolicy
 from repro.sdds.file import LHStarFile
 from repro.sim.failure import FailureInjector
@@ -50,6 +51,10 @@ class LHRSFile(LHStarFile):
             config=self.config,
         )
         self.failures = FailureInjector(self.network)
+        #: standby coordinator replicas (empty without HA)
+        self.standbys: list[StandbyCoordinator] = []
+        if self.config.coordinator_replicas:
+            self._attach_standbys(self.config.coordinator_replicas)
         #: set by enable_observability (None until then)
         self.tracer = None
         self.metrics = None
@@ -92,7 +97,60 @@ class LHRSFile(LHStarFile):
         return {
             "retry": self.config.retry_policy,
             "ack_writes": self.config.client_acks,
+            "coord_replicas": self.config.coordinator_replicas,
         }
+
+    # ------------------------------------------------------------------
+    # coordinator high availability
+    # ------------------------------------------------------------------
+    def _attach_standbys(self, count: int) -> None:
+        """Register ``count`` standby replicas and start heartbeating.
+
+        Standbys seed their journal from the primary's (bootstrap is
+        already in it), watch the lease as clock listeners, and receive
+        every subsequent append synchronously.
+        """
+        primary = self.rs_coordinator
+        standby_ids = [
+            f"{self.file_id}.coord.r{j}" for j in range(1, count + 1)
+        ]
+        for node_id in standby_ids:
+            standby = StandbyCoordinator(
+                node_id=node_id,
+                file_id=self.file_id,
+                config=self.config,
+                policy=primary.policy,
+                primary_id=primary.node_id,
+                peer_ids=standby_ids,
+            )
+            self.network.register(standby)
+            standby.journal.ingest(primary.journal.since(0))
+            standby.last_beat = self.network.now
+            self.network.add_clock_listener(standby.on_tick)
+            self.standbys.append(standby)
+        primary.standby_ids = list(standby_ids)
+        self.network.add_clock_listener(primary._heartbeat_tick)
+
+    def fail_coordinator(self) -> str:
+        """Crash the active coordinator; returns its node id."""
+        self.network.fail(self._coordinator_id)
+        return self._coordinator_id
+
+    def await_takeover(self, max_advance: float = 400.0) -> RSCoordinator:
+        """Advance the clock until a standby has promoted; returns the
+        new primary (tests/benchmarks convenience)."""
+        if not self.standbys:
+            raise RuntimeError("no standby replicas are configured")
+        advanced = 0.0
+        step = self.config.lease_timeout
+        while not self.network.is_available(self._coordinator_id):
+            if advanced > max_advance:
+                raise TimeoutError(
+                    "no standby took over within the advance budget"
+                )
+            self.network.advance(step)
+            advanced += step
+        return self.rs_coordinator
 
     # ------------------------------------------------------------------
     # typing conveniences

@@ -38,6 +38,7 @@ from repro.core.stripe_store import StripeStore
 from repro.gf.field import GF
 from repro.rs.encoder import fold_delta
 from repro.sim.messages import Message
+from repro.sim.network import NodeUnavailable, UnknownNode
 from repro.sim.node import Node
 
 
@@ -70,6 +71,13 @@ class ParityServer(Node):
         #: retransmissions skipped / gaps detected (observability)
         self.duplicates_skipped = 0
         self.gaps_detected = 0
+        #: sticky gap marker: this bucket's content is behind its data.
+        #: Surfaced in status replies so the probe loop rebuilds the
+        #: bucket even when the report.stale was lost (coordinator down).
+        self.stale = False
+        #: newest coordinator state checkpoint (HA header; see
+        #: RSCoordinator.checkpoint_to_parity)
+        self.coord_checkpoint: dict | None = None
         #: §4.1's in-bucket secondary index: member key -> (rank, pos).
         #: Makes record recovery's locate step an O(1) lookup instead of
         #: a scan over every parity record ("shortens the bucket search
@@ -187,6 +195,7 @@ class ParityServer(Node):
             verdict = "duplicate"
         elif seq > expected:
             self.gaps_detected += 1
+            self.stale = True
             verdict = "stale"
         else:
             self._expected_seq[pos] = expected + 1
@@ -205,10 +214,36 @@ class ParityServer(Node):
         return verdict
 
     def _report_stale(self) -> None:
-        """Tell the coordinator this bucket missed Δ traffic (rebuild me)."""
-        self.send(
-            f"{self.file_id}.coord", "report.stale", {"node": self.node_id}
-        )
+        """Tell the coordinator this bucket missed Δ traffic (rebuild me).
+
+        A down coordinator is tolerated: the staleness stays in
+        :attr:`stale` and the next probe round (post-takeover) sweeps
+        it up from the status reply instead.
+        """
+        try:
+            self.send(
+                f"{self.file_id}.coord", "report.stale", {"node": self.node_id}
+            )
+        except (NodeUnavailable, UnknownNode):
+            pass
+
+    # ------------------------------------------------------------------
+    # coordinator-state checkpoints (HA headers)
+    # ------------------------------------------------------------------
+    def handle_coord_checkpoint(self, message: Message) -> None:
+        """Store the coordinator's state snapshot (newest LSN wins)."""
+        checkpoint = message.payload
+        if (
+            self.coord_checkpoint is None
+            or checkpoint["lsn"] >= self.coord_checkpoint["lsn"]
+        ):
+            self.coord_checkpoint = dict(checkpoint)
+
+    def handle_coord_checkpoint_fetch(self, message: Message) -> dict | None:
+        """Return the stored coordinator checkpoint (None = never saw one)."""
+        if self.coord_checkpoint is None:
+            return None
+        return dict(self.coord_checkpoint)
 
     def handle_parity_update(self, message: Message) -> dict:
         """One Δ-record from a data bucket (insert/update/delete).
@@ -473,4 +508,5 @@ class ParityServer(Node):
             "index": self.index,
             "records": len(self.records),
             "parity_bytes": int(sum(r.symbols.nbytes for r in self.records.values())),
+            "stale": self.stale,
         }

@@ -177,25 +177,47 @@ class RecoveryManager:
             }
         self._recovering_groups.add(group)
         tracer = self._net.tracer
+        # Recovery intent: a coordinator crash mid-rebuild leaves this
+        # begin record open, and the takeover re-probes the group (the
+        # rebuild itself is idempotent roll-forward — spares are fresh).
+        begin = self.coordinator._journal(
+            "intent.begin",
+            op="recover",
+            group=group,
+            lost_data=sorted(set(lost_data)),
+            lost_parity=sorted(set(lost_parity)),
+        )
         try:
-            if tracer is None:
-                return self._recover_group_locked(group, lost_data, lost_parity)
-            with tracer.span(
-                "recovery",
-                group=group,
-                lost_data=sorted(set(lost_data)),
-                lost_parity=sorted(set(lost_parity)),
-            ):
-                tracer.emit("recovery.start", group=group)
-                stats = self._recover_group_locked(group, lost_data, lost_parity)
-                tracer.emit(
-                    "recovery.end",
-                    group=group,
-                    records=stats["records"],
-                    data_buckets=len(stats["data_buckets"]),
-                    parity_buckets=len(stats["parity_buckets"]),
+            try:
+                if tracer is None:
+                    stats = self._recover_group_locked(
+                        group, lost_data, lost_parity
+                    )
+                else:
+                    with tracer.span(
+                        "recovery",
+                        group=group,
+                        lost_data=sorted(set(lost_data)),
+                        lost_parity=sorted(set(lost_parity)),
+                    ):
+                        tracer.emit("recovery.start", group=group)
+                        stats = self._recover_group_locked(
+                            group, lost_data, lost_parity
+                        )
+                        tracer.emit(
+                            "recovery.end",
+                            group=group,
+                            records=stats["records"],
+                            data_buckets=len(stats["data_buckets"]),
+                            parity_buckets=len(stats["parity_buckets"]),
+                        )
+            except RecoveryError:
+                self.coordinator._journal(
+                    "intent.end", begin=begin.lsn, outcome="abort"
                 )
-                return stats
+                raise
+            self.coordinator._journal("intent.end", begin=begin.lsn)
+            return stats
         finally:
             self._recovering_groups.discard(group)
 
@@ -276,6 +298,11 @@ class RecoveryManager:
                     lost_parity = sorted({*lost_parity, parsed[2]})
                 continue
             break
+
+        # Crash point: survivors dumped, nothing claimed or installed
+        # yet — the window a takeover must re-probe (see recover_group's
+        # intent record).
+        coordinator._crash_hook("recover.mid")
 
         # ---- stale-survivor promotion ---------------------------------
         # A surviving parity bucket whose Δ channel lags a surviving data
@@ -827,14 +854,63 @@ class RecoveryManager:
     # file-state recovery (A6)
     # ------------------------------------------------------------------
     def recover_file_state(self) -> tuple[int, int]:
-        """Reconstruct (n, i) from the surviving data buckets' levels."""
+        """Reconstruct (n, i) from the surviving data buckets' levels.
+
+        Best-effort by design: buckets that do not answer the status
+        probe are tolerated — their levels are filled in from the newest
+        coordinator checkpoint held in the parity buckets' headers (the
+        "parity directory dump" of the SDDS line).  Only when the
+        survivors plus the parity evidence are below what A6 needs does
+        this raise a :class:`RecoveryError` naming the missing evidence.
+        """
         coordinator = self.coordinator
-        targets = [
-            data_node(self._file_id, b)
+        targets = {
+            b: data_node(self._file_id, b)
             for b in coordinator.state.buckets()
-        ]
-        replies, _ = self._net.multicast(
-            coordinator.node_id, targets, "status"
+        }
+        replies, unavailable = self._net.multicast(
+            coordinator.node_id, list(targets.values()), "status"
         )
         levels = {r["bucket"]: r["level"] for r in replies.values()}
+        missing = sorted(b for b in targets if b not in levels)
+        if missing:
+            checkpoint = self._best_parity_checkpoint()
+            if checkpoint is not None:
+                from repro.lh.state import FileState
+
+                ghost = FileState(
+                    n0=coordinator.state.n0,
+                    n=checkpoint["n"],
+                    i=checkpoint["i"],
+                )
+                for bucket in missing:
+                    if bucket < ghost.bucket_count:
+                        levels.setdefault(bucket, ghost.level_of(bucket))
+        if not levels:
+            raise RecoveryError(
+                "cannot reconstruct (n, i): no data bucket answered the "
+                "status probe and no parity checkpoint is available; "
+                f"missing evidence: data buckets {sorted(targets)} "
+                f"(unavailable: {sorted(unavailable)})"
+            )
         return reconstruct_state(levels, coordinator.state.n0)
+
+    def _best_parity_checkpoint(self) -> dict | None:
+        """Newest coordinator checkpoint any reachable parity bucket
+        holds (None when nothing is reachable or nothing was stored)."""
+        coordinator = self.coordinator
+        best: dict | None = None
+        for group, level in sorted(coordinator.group_levels.items()):
+            for index in range(level):
+                node_id = parity_node(self._file_id, group, index)
+                try:
+                    reply = self._net.call(
+                        coordinator.node_id, node_id, "coord.checkpoint.fetch"
+                    )
+                except NodeUnavailable:
+                    continue
+                if reply is not None and (
+                    best is None or reply["lsn"] > best["lsn"]
+                ):
+                    best = dict(reply)
+        return best

@@ -71,6 +71,15 @@ EVENT_TYPES = frozenset(
         "op.retry",
         "op.failed",
         "client.unavailable",
+        # coordinator HA: journal, checkpoints, lease and takeover
+        "coord.journal",
+        "coord.checkpoint",
+        "coord.crash",
+        "coord.lease.expired",
+        "coord.takeover.start",
+        "coord.takeover.end",
+        "coord.resume",
+        "coord.whois",
     }
 )
 

@@ -69,10 +69,14 @@ class Client(Node):
         n0: int = 1,
         retry: RetryPolicy | None = None,
         ack_writes: bool = False,
+        coord_replicas: int = 0,
     ):
         super().__init__(node_id)
         self.file_id = file_id
         self.image = ClientImage(n0=n0)
+        #: how many standby coordinator replicas exist (the whois pull
+        #: path walks <file>.coord.r1 .. .rN when the primary is dark)
+        self.coord_replicas = coord_replicas
         self._results: dict[int, dict] = {}
         self._scan_replies: dict[int, list[dict]] = {}
         self._request_counter = 0
@@ -125,7 +129,62 @@ class Client(Node):
         routed = dict(payload)
         # Mark as forwarded so the acceptor sends a corrective IAM.
         routed["hops"] = routed.get("hops", 0) + 1
-        self.send(f"{self.file_id}.coord", "route", {"kind": kind, "op": routed})
+        self._coord_send("route", {"kind": kind, "op": routed})
+
+    # ------------------------------------------------------------------
+    # coordinator failover
+    # ------------------------------------------------------------------
+    def _coord_send(self, kind: str, payload: dict) -> None:
+        """Send to the coordinator, failing over to a standby if dark.
+
+        The coordinator *identity* is stable — a promoted standby
+        re-registers under ``<file>.coord`` — so failover is not a
+        re-address but a wait-for-succession: ask the standbys who the
+        primary is (``coord.whois``), back off for the remaining lease
+        when told to, and resend once one vouches for a live primary.
+        """
+        coord_id = f"{self.file_id}.coord"
+        try:
+            self.send(coord_id, kind, payload)
+            return
+        except (NodeUnavailable, UnknownNode):
+            if not self._failover_coordinator():
+                raise
+        self.send(coord_id, kind, payload)
+
+    def _failover_coordinator(self) -> bool:
+        """Drive the whois pull path; True once a live primary answers.
+
+        Bounded: each standby is asked at most a handful of times, and a
+        ``retry_after`` answer advances the clock by the remaining lease
+        — which is exactly what lets the standby's own lease monitor
+        fire and perform the takeover.
+        """
+        if not self.coord_replicas:
+            return False
+        network = self._net()
+        coord_id = f"{self.file_id}.coord"
+        standbys = [
+            f"{coord_id}.r{j}" for j in range(1, self.coord_replicas + 1)
+        ]
+        for _ in range(4 * len(standbys)):
+            if network.is_available(coord_id):
+                return True
+            for standby_id in standbys:
+                try:
+                    reply = self.call(standby_id, "coord.whois")
+                except (NodeUnavailable, UnknownNode, DeliveryFault):
+                    continue
+                if reply.get("ready"):
+                    return True
+                retry_after = reply.get("retry_after")
+                if retry_after is not None:
+                    # Sit out the remaining lease; the advance runs the
+                    # standbys' lease monitors, so by the time it
+                    # returns one of them has usually promoted.
+                    network.advance(float(retry_after) + 0.5)
+                    break
+        return network.is_available(coord_id)
 
     def on_unavailable(self, kind: str, payload: dict,
                        failure: NodeUnavailable) -> None:

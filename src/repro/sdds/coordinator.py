@@ -123,6 +123,7 @@ class Coordinator(Node):
         self.on_new_bucket(target, new_level)
         self._net().register(self.make_server(target, new_level))
         self.state.advance_split()
+        self._crash_hook("split.mid")
         result = self._structural_call(self._data_node(source), "split",
                                        {"target": target, "new_level": new_level})
         self._sizes[source] = result["kept"]
@@ -139,6 +140,12 @@ class Coordinator(Node):
 
     def on_new_bucket(self, number: int, level: int) -> None:
         """Hook for subclasses (LH*RS grows the parity file here)."""
+
+    def _crash_hook(self, point: str) -> None:
+        """Hook for subclasses: a named mid-command crash point.
+
+        The HA coordinator arms these for fault injection — the plain
+        coordinator never crashes."""
 
     def _structural_call(self, node_id: str, kind: str, payload: dict):
         """A call the file's structure depends on (split/merge commands).

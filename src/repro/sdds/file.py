@@ -35,18 +35,29 @@ class LHStarFile:
     ):
         self.file_id = file_id
         self.network = network or Network()
-        self.coordinator = self.coordinator_class(
-            node_id=f"{file_id}.coord",
+        self._coordinator_id = f"{file_id}.coord"
+        coordinator = self.coordinator_class(
+            node_id=self._coordinator_id,
             file_id=file_id,
             capacity=capacity,
             n0=n0,
             policy=policy,
             **coordinator_kwargs,
         )
-        self.network.register(self.coordinator)
-        self.coordinator.bootstrap()
+        self.network.register(coordinator)
+        coordinator.bootstrap()
         self._clients: list[Client] = []
         self.client = self.new_client()
+
+    @property
+    def coordinator(self) -> Coordinator:
+        """The *current* coordinator node.
+
+        Resolved through the network registry on every access: after a
+        standby takeover a different object serves under the same node
+        id, and the facade (and everything layered on it) must follow.
+        """
+        return self.network.nodes[self._coordinator_id]
 
     # ------------------------------------------------------------------
     def _client_kwargs(self) -> dict[str, Any]:

@@ -18,7 +18,7 @@ from typing import Any
 from repro.lh import addressing
 from repro.lh.bucket import Bucket
 from repro.sim.messages import Message
-from repro.sim.network import NodeUnavailable, UnknownNode
+from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.sim.node import Node
 
 
@@ -74,10 +74,23 @@ class DataServer(Node):
             # Forwarding bucket unavailable or address stale: per the
             # protocol, resend the query to the coordinator, which
             # delivers it from the true file state.
-            self.send(
-                self._coordinator(), "route",
-                {"kind": message.kind, "op": payload},
-            )
+            try:
+                self.send(
+                    self._coordinator(), "route",
+                    {"kind": message.kind, "op": payload},
+                )
+            except (UnknownNode, NodeUnavailable) as failure:
+                failed = getattr(failure, "node_id", None) or (
+                    failure.args[0] if failure.args else None
+                )
+                if failed != self._coordinator():
+                    # The coordinator answered; some downstream bucket is
+                    # dead — surface that verbatim (A2 fallback contract).
+                    raise
+                # Coordinator dark too (pre-takeover window): surface a
+                # transient fault so the client's retry ladder backs off
+                # and replays against the promoted primary.
+                raise DeliveryFault(self._coordinator(), "request") from failure
 
     def _send_iam(self, client: str) -> None:
         """Image adjustment message: my level and address (A3 input)."""
@@ -111,12 +124,19 @@ class DataServer(Node):
             # Report only on growth: a delete that leaves the bucket
             # overflowing is not new pressure.
             if size > self._last_reported_size:
+                previous = self._last_reported_size
                 self._last_reported_size = size
-                self.send(
-                    self._coordinator(),
-                    "overflow",
-                    {"bucket": self.number, "size": size},
-                )
+                try:
+                    self.send(
+                        self._coordinator(),
+                        "overflow",
+                        {"bucket": self.number, "size": size},
+                    )
+                except (UnknownNode, NodeUnavailable, DeliveryFault):
+                    # Coordinator unreachable (or it crashed while
+                    # handling the report): roll the dedup marker back
+                    # so the pressure is re-reported to its successor.
+                    self._last_reported_size = previous
         else:
             self._last_reported_size = -1
 
@@ -130,12 +150,16 @@ class DataServer(Node):
         size = len(self.bucket)
         if size < self.bucket.capacity * self.UNDERFLOW_FRACTION:
             if size < self._last_underflow_size:
+                previous = self._last_underflow_size
                 self._last_underflow_size = size
-                self.send(
-                    self._coordinator(),
-                    "underflow",
-                    {"bucket": self.number, "size": size},
-                )
+                try:
+                    self.send(
+                        self._coordinator(),
+                        "underflow",
+                        {"bucket": self.number, "size": size},
+                    )
+                except (UnknownNode, NodeUnavailable, DeliveryFault):
+                    self._last_underflow_size = previous
         else:
             self._last_underflow_size = 1 << 30
 

@@ -63,6 +63,14 @@ DEFAULT_PROTECTED_KINDS = frozenset(
         "route",
         "report.unavailable",
         "report.stale",
+        # coordinator HA control plane: journal replication and
+        # checkpoints are the reliable channel takeover correctness
+        # rests on (heartbeats/pings/whois stay fault-prone — their
+        # consumers tolerate loss by design).
+        "coord.journal.append",
+        "coord.journal.fetch",
+        "coord.checkpoint",
+        "coord.checkpoint.fetch",
     }
 )
 

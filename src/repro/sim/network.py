@@ -182,6 +182,17 @@ class Network:
         """
         self._clock_listeners.append(listener)
 
+    def remove_clock_listener(self, listener: Callable[[float], None]) -> None:
+        """Detach a clock listener (no-op when absent).
+
+        A coordinator takeover uses this to silence the deposed
+        primary's heartbeat.
+        """
+        try:
+            self._clock_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def advance(self, dt: float = 1.0) -> float:
         """Advance the logical clock (a sender waiting / backing off).
 
@@ -204,7 +215,9 @@ class Network:
         self._pump()
 
     def _run_listeners(self) -> None:
-        for listener in self._clock_listeners:
+        # Snapshot: a listener may add/remove listeners (a standby
+        # taking over swaps the primary's heartbeat) mid-iteration.
+        for listener in list(self._clock_listeners):
             listener(self.now)
 
     def _pump(self) -> None:

@@ -1,0 +1,372 @@
+"""Coordinator high availability: leases, takeover, resumable intents.
+
+The coordinator is LH*RS's one singleton; these tests kill it — cleanly
+between operations and mid-split / mid-merge / mid-raise / mid-recovery
+via the armed crash points — and check a standby replays the journal,
+assumes the ``<file>.coord`` identity, rolls open intents forward, and
+that clients fail over without losing a single record.
+"""
+
+import pytest
+
+from repro.core import (
+    CoordinatorCrashed,
+    LHRSConfig,
+    LHRSFile,
+    RecoveryError,
+)
+from repro.core.group import parity_node
+from repro.sim.faults import DEFAULT_PROTECTED_KINDS, FaultPlane
+from repro.sim.rng import make_rng
+
+
+def ha_file(replicas=1, **overrides) -> LHRSFile:
+    defaults = dict(
+        group_size=2,
+        availability=1,
+        bucket_capacity=8,
+        coordinator_replicas=replicas,
+        heartbeat_interval=3.0,
+        lease_timeout=9.0,
+        journal_checkpoint_interval=4,
+    )
+    defaults.update(overrides)
+    return LHRSFile(LHRSConfig(**defaults))
+
+
+def load(file: LHRSFile, count: int, start: int = 0) -> None:
+    for key in range(start, start + count):
+        file.insert(key, bytes([key % 251]) * 8)
+
+
+def assert_intact(file: LHRSFile, count: int) -> None:
+    missing = [k for k in range(count) if not file.search(k).found]
+    assert missing == []
+    assert file.verify_parity_consistency() == []
+    assert file.check_reconstructed_state()
+
+
+# ----------------------------------------------------------------------
+# replication and leases
+# ----------------------------------------------------------------------
+class TestReplication:
+    def test_standbys_mirror_the_journal_synchronously(self):
+        file = ha_file(replicas=2)
+        load(file, 60)
+        primary = file.rs_coordinator
+        assert primary.journal.last_lsn > 0
+        for standby in file.standbys:
+            assert standby.journal.last_lsn == primary.journal.last_lsn
+            assert standby.journal.gaps() == []
+
+    def test_checkpoints_land_in_parity_headers(self):
+        file = ha_file(replicas=1)
+        load(file, 60)
+        file.rs_coordinator.checkpoint_to_parity()
+        server = file.network.nodes[parity_node("f", 0, 0)]
+        checkpoint = server.coord_checkpoint
+        assert checkpoint is not None
+        assert (checkpoint["n"], checkpoint["i"]) == (
+            file.rs_coordinator.state.as_tuple()
+        )
+
+    def test_no_replicas_means_no_ha_traffic(self):
+        file = ha_file(replicas=0)
+        load(file, 40)
+        kinds = file.network.stats.total.by_kind
+        assert not any(k.startswith("coord.") for k in kinds)
+
+
+class TestLeaseTakeover:
+    def test_lease_expiry_promotes_a_standby(self):
+        file = ha_file(replicas=1)
+        load(file, 60)
+        old = file.rs_coordinator
+        expected = old.state.as_tuple()
+        levels = dict(old.group_levels)
+        file.fail_coordinator()
+        new = file.await_takeover()
+        assert new is not old
+        assert new.node_id == "f.coord"
+        assert new.state.as_tuple() == expected
+        assert new.group_levels == levels
+        assert new.term == old.term + 1
+        assert sum(s.takeovers for s in file.standbys) == 1
+        assert_intact(file, 60)
+
+    def test_file_keeps_growing_under_the_new_primary(self):
+        file = ha_file(replicas=1)
+        load(file, 60)
+        file.fail_coordinator()
+        file.await_takeover()
+        load(file, 120, start=60)  # forces splits through the new primary
+        assert_intact(file, 180)
+
+    def test_repeated_coordinator_kills(self):
+        file = ha_file(replicas=2)
+        load(file, 60)
+        for round_ in range(3):
+            file.fail_coordinator()
+            file.await_takeover()
+            load(file, 20, start=60 + 20 * round_)
+        assert sum(s.takeovers for s in file.standbys) == 3
+        assert_intact(file, 120)
+
+    def test_whois_pull_path_promotes_for_a_blocked_client(self):
+        """A client that needs the (dark) coordinator before any lease
+        monitor fires drives succession through coord.whois: the standby
+        reports the remaining lease, the client sits it out, the monitor
+        promotes, the report is replayed against the new primary."""
+        file = ha_file(replicas=1, lease_timeout=9.0)
+        load(file, 60)
+        key = next(
+            k for k in range(60) if file.find_bucket_of(k) == 0
+        )
+        file.fail_data_bucket(0)
+        file.fail_coordinator()
+        # The search hits the dead bucket; report.unavailable needs the
+        # coordinator, which is dark — the whois pull path must carry
+        # the op through the takeover (degraded read + bucket rebuild).
+        outcome = file.search(key)
+        assert outcome.found
+        assert sum(s.takeovers for s in file.standbys) == 1
+        assert file.network.is_available("f.d0")
+
+    def test_takeover_without_journal_uses_survivor_probe(self):
+        """A standby with an empty journal (checkpoints unreachable too)
+        still reconstructs (n, i) A6-style from the data buckets."""
+        from repro.core.journal import CoordinatorJournal
+
+        file = ha_file(replicas=1)
+        load(file, 60)
+        expected = file.rs_coordinator.state.as_tuple()
+        levels = dict(file.rs_coordinator.group_levels)
+        standby = file.standbys[0]
+        standby.journal = CoordinatorJournal()  # amnesiac replica
+        for server in file.parity_servers():
+            server.coord_checkpoint = None
+        file.fail_coordinator()
+        new = file.await_takeover()
+        assert new.state.as_tuple() == expected
+        assert new.group_levels == levels
+        assert_intact(file, 60)
+
+
+# ----------------------------------------------------------------------
+# crash points: resumable restructuring
+# ----------------------------------------------------------------------
+class TestResumableIntents:
+    def test_crash_mid_split_resumes_after_takeover(self):
+        file = ha_file(replicas=1)
+        load(file, 60)
+        file.rs_coordinator.arm_crash("split.mid")
+        key = 60
+        while file.network.is_available("f.coord"):
+            file.insert(key, b"x" * 8)
+            key += 1
+            assert key < 500, "split.mid never fired"
+        new = file.await_takeover()
+        assert [r["op"] for r in new.takeover_resumes] == ["split"]
+        assert new.journal.replay().open_intents == []
+        assert_intact(file, key)
+
+    def test_crash_mid_merge_resumes_after_takeover(self):
+        file = ha_file(replicas=1)
+        load(file, 120)
+        before = file.bucket_count
+        file.rs_coordinator.arm_crash("merge.mid")
+        with pytest.raises(CoordinatorCrashed):
+            file.rs_coordinator.merge_once()
+        new = file.await_takeover()
+        assert [r["op"] for r in new.takeover_resumes] == ["merge"]
+        assert file.bucket_count == before - 1
+        assert_intact(file, 120)
+
+    def test_crash_mid_raise_aborts_and_redoes(self):
+        file = ha_file(replicas=1)
+        load(file, 40)
+        file.rs_coordinator.arm_crash("raise.mid")
+        with pytest.raises(CoordinatorCrashed):
+            file.rs_coordinator.raise_group_level(0, 2)
+        new = file.await_takeover()
+        assert [r["op"] for r in new.takeover_resumes] == ["raise"]
+        assert new.group_level(0) == 2
+        assert_intact(file, 40)
+
+    def test_crash_mid_recovery_resumes_after_takeover(self):
+        file = ha_file(replicas=1, availability=2, bucket_capacity=16)
+        load(file, 40)
+        before = file.census_with_ranks()
+        file.rs_coordinator.arm_crash("recover.mid")
+        file.failures.crash(["f.d0"])
+        with pytest.raises(CoordinatorCrashed):
+            file.recover(["f.d0"])
+        new = file.await_takeover()
+        assert [r["op"] for r in new.takeover_resumes] == ["recover"]
+        assert file.network.is_available("f.d0")
+        assert file.census_with_ranks() == before
+        assert_intact(file, 40)
+
+    def test_byte_equal_state_after_mid_split_takeover(self):
+        """The acceptance-criteria check in miniature: the standby's
+        reconstructed (n, i) and group-level map byte-equal the journal
+        truth."""
+        import json
+
+        file = ha_file(replicas=1)
+        load(file, 60)
+        file.rs_coordinator.arm_crash("split.mid")
+        key = 60
+        while file.network.is_available("f.coord"):
+            file.insert(key, b"x" * 8)
+            key += 1
+        new = file.await_takeover()
+        replayed = new.journal.replay()
+        live = json.dumps(
+            {
+                "n": new.state.n,
+                "i": new.state.i,
+                "group_levels": {
+                    str(g): l for g, l in sorted(new.group_levels.items())
+                },
+            },
+            sort_keys=True,
+        ).encode()
+        truth = json.dumps(
+            {
+                "n": replayed.n,
+                "i": replayed.i,
+                "group_levels": {
+                    str(g): l
+                    for g, l in sorted(replayed.group_levels.items())
+                },
+            },
+            sort_keys=True,
+        ).encode()
+        assert live == truth
+
+
+# ----------------------------------------------------------------------
+# hardened file-state recovery (satellite)
+# ----------------------------------------------------------------------
+class TestHardenedFileStateRecovery:
+    def test_unreachable_buckets_filled_from_parity_checkpoint(self):
+        file = ha_file(replicas=1, availability=2, bucket_capacity=8)
+        load(file, 80)
+        expected = file.rs_coordinator.state.as_tuple()
+        file.rs_coordinator.checkpoint_to_parity()
+        # Kill a couple of data buckets WITHOUT recovering them: the
+        # survivor probe alone may still pin the state, but the point is
+        # the missing levels come from the checkpoint ghost.
+        file.network.fail("f.d0")
+        file.network.fail("f.d1")
+        assert file.reconstruct_file_state() == expected
+
+    def test_total_blackout_raises_typed_error_naming_evidence(self):
+        file = ha_file(replicas=0, availability=1, bucket_capacity=32)
+        load(file, 20)
+        for server in file.data_servers():
+            file.network.fail(server.node_id)
+        for server in file.parity_servers():
+            file.network.fail(server.node_id)
+        with pytest.raises(RecoveryError) as excinfo:
+            file.reconstruct_file_state()
+        text = str(excinfo.value)
+        assert "missing evidence" in text
+        assert "data buckets" in text
+
+    def test_survivors_alone_still_reconstruct(self):
+        file = ha_file(replicas=0, availability=1, bucket_capacity=8)
+        load(file, 80)
+        expected = file.rs_coordinator.state.as_tuple()
+        file.network.fail("f.d2")  # no checkpoint exists (replicas=0)
+        assert file.reconstruct_file_state() == expected
+
+
+# ----------------------------------------------------------------------
+# probe MTTR accounting is metrics-independent (satellite)
+# ----------------------------------------------------------------------
+class TestProbeMetricsOff:
+    def test_probe_mttr_bookkeeping_without_metrics(self):
+        """The MTTR import is module-level: with NO metrics registry
+        installed the probe's repair-time bookkeeping must still run
+        (down-since tracked, then cleared on recovery) without error."""
+        file = ha_file(replicas=0, availability=1, bucket_capacity=32)
+        load(file, 20)
+        assert file.network.metrics is None
+        coordinator = file.rs_coordinator
+        file.fail_data_bucket(0)
+        coordinator.run_probe_cycle(rounds=2)
+        assert file.network.is_available("f.d0")
+        assert coordinator._down_since == {}
+
+    def test_probe_mttr_histogram_when_metrics_on(self):
+        file = ha_file(replicas=0, availability=1, bucket_capacity=32)
+        load(file, 20)
+        _, metrics, _ = file.enable_observability(audit=False)
+        file.fail_data_bucket(0)
+        file.rs_coordinator.run_probe_cycle(rounds=2)
+        histogram = metrics.get("probe.mttr")
+        assert histogram is not None
+        assert histogram.count == 1
+
+
+# ----------------------------------------------------------------------
+# idempotence pins under the fault plane (satellite)
+# ----------------------------------------------------------------------
+class TestHandlerIdempotence:
+    def _unprotect(self, file: LHRSFile, kinds: set[str]) -> FaultPlane:
+        """Install a plane that duplicates exactly ``kinds`` (removing
+        them from the protected set so the rule can bite)."""
+        plane = FaultPlane(
+            rng=make_rng(7),
+            protected_kinds=DEFAULT_PROTECTED_KINDS - kinds,
+        )
+        plane.add_rule(kinds=kinds, duplicate=1.0)
+        file.network.install_fault_plane(plane)
+        return plane
+
+    def test_duplicated_report_unavailable_is_idempotent(self):
+        """Every delivery of report.unavailable re-runs recovery; the
+        second finds the node healthy and must be a no-op."""
+        file = ha_file(replicas=0, availability=1, bucket_capacity=32)
+        load(file, 20)
+        before = file.census_with_ranks()
+        plane = self._unprotect(file, {"report.unavailable"})
+        file.fail_data_bucket(0)
+        file.network.send(
+            "f.client0", "f.coord", "report.unavailable", {"node": "f.d0"}
+        )
+        assert plane.counters["duplicated"] >= 1
+        assert file.network.is_available("f.d0")
+        assert file.census_with_ranks() == before
+        assert file.verify_parity_consistency() == []
+
+    def test_duplicated_rejoin_is_idempotent(self):
+        """rejoin is a pure read of the registry: duplicated delivery
+        changes nothing and the reply stays stable."""
+        file = ha_file(replicas=0, availability=1, bucket_capacity=32)
+        load(file, 20)
+        self._unprotect(file, {"rejoin"})
+        census = file.census_with_ranks()
+        server = file.data_servers()[0]
+        first = file.network.call(
+            server.node_id, "f.coord", "rejoin", {"node": server.node_id}
+        )
+        second = file.network.call(
+            server.node_id, "f.coord", "rejoin", {"node": server.node_id}
+        )
+        assert first == second == {"role": "current"}
+        assert file.census_with_ranks() == census
+
+    def test_rejoin_of_replaced_server_reports_spare(self):
+        file = ha_file(replicas=0, availability=1, bucket_capacity=32)
+        load(file, 20)
+        self._unprotect(file, {"rejoin"})
+        old = file.data_servers()[0]
+        file.fail_data_bucket(0)
+        file.recover(["f.d0"])  # a spare now carries bucket 0
+        reply = file.network.call(
+            "f.client0", "f.coord", "rejoin", {"node": old.node_id}
+        )
+        assert reply["role"] == "spare"

@@ -21,7 +21,7 @@ def populated_file(**overrides) -> LHRSFile:
 
 
 HEALTH_KEYS = {
-    "time", "probed", "unavailable", "recovered_groups",
+    "time", "probed", "unavailable", "stale", "recovered_groups",
     "recovered_data_buckets", "recovered_parity_buckets",
     "records_rebuilt", "errors", "spares_remaining",
 }

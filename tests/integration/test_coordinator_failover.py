@@ -1,0 +1,231 @@
+"""Coordinator-kill soak: thousands of mixed operations while the
+coordinator itself is repeatedly assassinated — cleanly between
+operations (scheduled windows) and mid-restructuring (armed crash
+points firing one crash mid-split and one mid-recovery).
+
+What the run must show (the PR's acceptance criteria):
+
+* zero lost or duplicated records — every acked write readable, every
+  acked delete gone, under the same hostile message plane as the chaos
+  soak;
+* the promoted standby's reconstructed ``(n, i)`` and group-level map
+  byte-equal the journal truth after every takeover;
+* the strict-mode :class:`InvariantAuditor` rides the whole run and
+  never fires.
+
+Clients keep addressing ``<file>.coord``; succession is invisible to
+them except for the whois round they pay when they catch the blackout.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.core.group import parity_node
+from repro.sdds.client import OperationFailed
+from repro.sim import FaultPlane
+
+MUTATION_KINDS = {"insert", "update", "delete", "search", "parity.update"}
+REPLY_KINDS = {"search.result", "op.ack", "iam"}
+
+
+def live_state_bytes(file: LHRSFile) -> bytes:
+    coordinator = file.rs_coordinator
+    return json.dumps(
+        {
+            "n": coordinator.state.n,
+            "i": coordinator.state.i,
+            "group_levels": {
+                str(g): l for g, l in sorted(coordinator.group_levels.items())
+            },
+        },
+        sort_keys=True,
+    ).encode()
+
+
+def journal_state_bytes(file: LHRSFile) -> bytes:
+    replayed = file.rs_coordinator.journal.replay()
+    return json.dumps(
+        {
+            "n": replayed.n,
+            "i": replayed.i,
+            "group_levels": {
+                str(g): l for g, l in sorted(replayed.group_levels.items())
+            },
+        },
+        sort_keys=True,
+    ).encode()
+
+
+def run_coordinator_chaos(
+    operations: int, seed: int, trace_capacity: int | None = 20_000
+) -> LHRSFile:
+    config = LHRSConfig(
+        group_size=4,
+        availability=2,
+        bucket_capacity=16,
+        parity_ack=True,
+        client_acks=True,
+        retry_attempts=8,
+        retry_backoff_base=0.5,
+        coordinator_replicas=2,
+        heartbeat_interval=3.0,
+        lease_timeout=9.0,
+        journal_checkpoint_interval=8,
+    )
+    file = LHRSFile(config)
+    net = file.network
+    tracer, metrics, auditor = file.enable_observability(
+        trace_capacity=trace_capacity
+    )
+    # Capacity-bounded tracers evict events; a subscriber sees them all.
+    crashes_by_point: dict[str, int] = {}
+    takeover_checks: list[tuple[bytes, bytes]] = []
+
+    def watch(event):
+        if event.type == "coord.crash":
+            point = event.attrs.get("point", "?")
+            crashes_by_point[point] = crashes_by_point.get(point, 0) + 1
+        elif event.type == "coord.takeover.end":
+            # Byte-equality of live state vs journal truth, captured at
+            # the instant succession completes.
+            takeover_checks.append(
+                (live_state_bytes(file), journal_state_bytes(file))
+            )
+
+    tracer.subscribe(watch)
+
+    plane = FaultPlane(rng=np.random.default_rng(seed))
+    plane.add_rule(kinds=MUTATION_KINDS, drop=0.02, fail=0.03, duplicate=0.02)
+    plane.add_rule(kinds=REPLY_KINDS, drop=0.02, fail=0.02, duplicate=0.02,
+                   delay=0.04, delay_window=3.0)
+    net.install_fault_plane(plane)
+
+    # Some data-bucket crash windows so recovery runs (and so an armed
+    # recover.mid crash point has something to fire inside), plus clean
+    # scheduled coordinator kills between operations.
+    injector = file.failures
+    horizon = operations + 100
+    for w, at in enumerate(range(150, horizon, 150)):
+        group = w % 3
+        injector.schedule_crash(f"f.d{4 * group}", at=float(at),
+                                duration=60.0)
+        injector.schedule_crash(parity_node("f", group, 0),
+                                at=float(at) + 20.0, duration=60.0)
+    for at in range(400, horizon, 700):
+        injector.schedule_crash("f.coord", at=float(at))  # down until takeover
+
+    # The mid-restructuring kills: armed once each, re-armed on the
+    # current primary until they have fired.
+    file.rs_coordinator.arm_crash("split.mid")
+    file.rs_coordinator.arm_crash("recover.mid")
+
+    rng = np.random.default_rng(seed + 1)
+    oracle: dict[int, bytes] = {}
+    written: set[int] = set()
+    ambiguous: set[int] = set()
+    acked = failed = 0
+
+    for t in range(operations):
+        if t % 100 == 0 and net.is_available("f.coord"):
+            coordinator = file.rs_coordinator
+            for point in ("split.mid", "recover.mid"):
+                if not crashes_by_point.get(point):
+                    coordinator.arm_crash(point)
+        key = int(rng.integers(0, 600))
+        roll = float(rng.random())
+        try:
+            if roll < 0.45:
+                value = b"v%d-%d" % (t, key)
+                file.insert(key, value)
+                oracle[key] = value
+                written.add(key)
+                ambiguous.discard(key)
+                acked += 1
+            elif roll < 0.65:
+                value = b"u%d-%d" % (t, key)
+                file.update(key, value)  # upsert semantics
+                oracle[key] = value
+                written.add(key)
+                ambiguous.discard(key)
+                acked += 1
+            elif roll < 0.80:
+                file.delete(key)
+                oracle.pop(key, None)
+                ambiguous.discard(key)
+                acked += 1
+            else:
+                outcome = file.search(key)
+                if key not in ambiguous:
+                    if key in oracle:
+                        assert outcome.found and outcome.value == oracle[key]
+                    else:
+                        assert not outcome.found
+        except OperationFailed:
+            failed += 1
+            if roll < 0.80:
+                ambiguous.add(key)
+
+    assert acked + failed >= int(operations * 0.70)
+    assert acked > failed * 10
+
+    # ---- quiesce -------------------------------------------------------
+    plane.clear_rules()
+    while injector.pending_events:
+        net.advance(60.0)
+    net.advance(60.0)
+    if not net.is_available("f.coord"):
+        file.await_takeover()
+    assert plane.pending == 0
+
+    entries = file.rs_coordinator.run_probe_cycle(rounds=3)
+    assert entries[-1]["unavailable"] == []
+    assert entries[-1]["errors"] == []
+
+    # ---- acceptance: no record lost or duplicated ----------------------
+    assert file.verify_parity_consistency() == []
+    for key, value in oracle.items():
+        if key in ambiguous:
+            continue
+        outcome = file.search(key)
+        assert outcome.found and outcome.value == value, key
+    for key in written - set(oracle) - ambiguous:
+        assert not file.search(key).found, key
+    # No duplicates: every key lives in exactly one bucket.
+    seen: set[int] = set()
+    for records in file.census_with_ranks().values():
+        overlap = seen & set(records)
+        assert not overlap, f"keys duplicated across buckets: {overlap}"
+        seen |= set(records)
+
+    # ---- acceptance: the coordinator really died, repeatedly -----------
+    takeovers = sum(s.takeovers for s in file.standbys)
+    assert takeovers >= 2, "the kill schedule never forced a succession"
+    assert crashes_by_point.get("split.mid"), "no crash fired mid-split"
+    assert crashes_by_point.get("recover.mid"), "no crash fired mid-recovery"
+    resumed = tracer.counts.get("coord.resume", 0)
+    assert resumed >= 1  # at least one open intent was rolled forward
+
+    # ---- acceptance: state byte-equal to journal truth -----------------
+    assert takeover_checks, "no takeover was observed"
+    for live, truth in takeover_checks:
+        assert live == truth
+    assert live_state_bytes(file) == journal_state_bytes(file)
+    assert file.check_reconstructed_state()
+
+    # ---- observability acceptance --------------------------------------
+    assert auditor.violations == []
+    assert auditor.check_file(file) == []
+    assert tracer.counts.get("coord.takeover.end", 0) == takeovers
+    assert metrics.get("net.messages").value > 0
+    return file
+
+
+def test_coordinator_failover_soak_5000_ops():
+    run_coordinator_chaos(operations=5000, seed=20260806)
+
+
+def test_coordinator_kill_smoke():
+    """Fixed-seed quick variant (CI's coordinator-kill gate)."""
+    run_coordinator_chaos(operations=700, seed=4321)

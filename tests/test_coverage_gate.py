@@ -49,6 +49,24 @@ class TestPackageMatching:
         # "repro/gf" must not claim files from a sibling "repro/gfx".
         assert gate.package_of("src/repro/gfx/x.py", ["repro/gf"]) is None
 
+    def test_file_floor_outranks_package(self):
+        packages = ["repro/core", "repro/core/journal.py"]
+        assert gate.package_of(
+            "src/repro/core/journal.py", packages
+        ) == "repro/core/journal.py"
+        assert gate.package_of(
+            "src/repro/core/file.py", packages
+        ) == "repro/core"
+
+    def test_file_entry_requires_exact_suffix(self):
+        # "journal.py" the file, not any path merely containing it.
+        assert gate.package_of(
+            "src/repro/core/journal.pyc", ["repro/core/journal.py"]
+        ) is None
+        assert gate.package_of(
+            "src/other/core/journal.py", ["repro/core/journal.py"]
+        ) is None
+
 
 class TestEvaluate:
     def test_all_floors_held(self):
@@ -109,7 +127,12 @@ class TestCli:
         assert "cannot read" in capsys.readouterr().out
 
     def test_default_floors_cover_issue_packages(self):
-        assert set(gate.DEFAULT_FLOORS) == {"repro/gf", "repro/rs", "repro/core"}
+        assert set(gate.DEFAULT_FLOORS) == {
+            "repro/gf",
+            "repro/rs",
+            "repro/core",
+            "repro/core/journal.py",
+        }
 
     def test_floor_spec_validation(self):
         with pytest.raises(Exception):

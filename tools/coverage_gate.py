@@ -26,26 +26,34 @@ import argparse
 import json
 import sys
 
-#: Default floors (percent) for the packages the ISSUE gates on.
+#: Default floors (percent) for the packages the ISSUE gates on.  Keys
+#: ending in ``.py`` gate a single file (its lines leave the enclosing
+#: package's aggregate — the file answers to its own, stricter floor).
 DEFAULT_FLOORS: dict[str, float] = {
     "repro/gf": 90.0,
     "repro/rs": 90.0,
     "repro/core": 85.0,
+    "repro/core/journal.py": 90.0,
 }
 
 
 def package_of(path: str, packages: list[str]) -> str | None:
-    """Which watched package a measured file belongs to (None = ignore).
+    """Which watched entry a measured file belongs to (None = ignore).
 
-    Longest match wins so ``repro/core`` files are never claimed by a
-    hypothetical ``repro`` entry.
+    Entries are package path segments (``repro/core``) or single files
+    (``repro/core/journal.py``).  Longest match wins, so ``repro/core``
+    files are never claimed by a hypothetical ``repro`` entry and a
+    file floor outranks its package.
     """
-    normalized = path.replace("\\", "/")
+    normalized = f"/{path.replace(chr(92), '/')}"
     best = None
     for package in packages:
-        if f"/{package}/" in f"/{normalized}":
-            if best is None or len(package) > len(best):
-                best = package
+        if package.endswith(".py"):
+            matched = normalized.endswith(f"/{package}")
+        else:
+            matched = f"/{package}/" in normalized
+        if matched and (best is None or len(package) > len(best)):
+            best = package
     return best
 
 
