@@ -1,0 +1,465 @@
+"""E19 (extension) — Gray-failure tolerance: tail latency and goodput
+under a 50x straggler, 2x overload, and paced recovery (table +
+BENCH_tail.json).
+
+The LH*RS availability machinery handles *dead* buckets; E19 measures
+what the gray-failure stack (deadline/hedged reads, per-bucket circuit
+breaker, bounded queues with busy shedding, paced rebuilds) buys when a
+bucket is merely *slow* — the failure mode the paper's binary up/down
+model cannot see.  Three scenarios, each contrasted with the stack off:
+
+* **straggler** — one data bucket serves 50x slow (ramping gray
+  failure).  Off: every read addressed to it blocks for the full
+  straggle and the tail blows up.  On: reads hedge through the parity
+  reconstruction path after an adaptive p99 delay, the breaker
+  short-circuits repeat offenders, and p99 stays inside the configured
+  deadline at >= 70% of healthy goodput.
+* **overload** — offered load ~2x the drain rate.  Off (unbounded
+  queues): backlogs deepen without bound and per-op latency grows with
+  them.  On (bounded queues + busy shedding + decorrelated-jitter
+  backoff): queue depth is capped, clients back off and retry, and the
+  tail stays bounded — with zero lost acknowledged writes (shed
+  Delta-parity retransmits are idempotent by sequence number).
+* **paced recovery** — rebuild a failed bucket while survivors hold a
+  backlog.  Off: dump/load transfers pile onto the backlog and
+  foreground reads queue behind the rebuild.  On: a token bucket paces
+  transfers against the drain rate, keeping foreground p99 within 2x
+  healthy.
+
+Latency is virtual time from the deterministic service model
+(`link + service x slowdown x (1 + queue_depth)` per delivery), so every
+number below is exactly reproducible.  Goodput is completed reads per
+unit of virtual time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e19_overload.py           # full
+    PYTHONPATH=src python benchmarks/bench_e19_overload.py --smoke   # CI gate
+
+Results land in ``BENCH_tail.json`` at the repo root (override with
+``--output``); the same grid runs under pytest-benchmark via
+``pytest benchmarks/bench_e19_overload.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import save_metrics, save_table
+
+from repro.core import LHRSConfig, LHRSFile
+from repro.core.group import data_node
+from repro.sim import FaultPlane
+from repro.sim.rng import make_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEADLINE = 24.0
+QUEUE_LIMIT = 8
+STRAGGLE = 50.0
+SEED = 19
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def summarize(latencies: list[float]) -> dict:
+    return {
+        "n": len(latencies),
+        "p50": round(percentile(latencies, 0.50), 3),
+        "p99": round(percentile(latencies, 0.99), 3),
+        "max": round(max(latencies), 3),
+        "mean": round(sum(latencies) / len(latencies), 3),
+        # completed ops per unit of virtual time spent reading
+        "goodput": round(len(latencies) / sum(latencies), 4),
+    }
+
+
+def build_file(
+    n_records: int,
+    *,
+    deadline: float | None,
+    queue_limit: int | None,
+    pace_rate: float | None = None,
+    pace_burst: float = 2.0,
+    drain_rate: float = 1.0,
+) -> tuple[LHRSFile, FaultPlane, list[int]]:
+    config = LHRSConfig(
+        group_size=4,
+        availability=1,
+        bucket_capacity=8,
+        client_acks=True,
+        retry_attempts=8,
+        retry_jitter=True,
+        read_deadline=deadline,
+        bucket_queue_limit=queue_limit,
+        recovery_pace_rate=pace_rate,
+        recovery_pace_burst=pace_burst,
+    )
+    file = LHRSFile(config)
+    file.enable_observability(strict=False)
+    file.enable_service_model(
+        link_latency=0.25, service_time=1.0, drain_rate=drain_rate
+    )
+    plane = FaultPlane(rng=make_rng(SEED))
+    file.network.install_fault_plane(plane)
+    # The client is a library, not a server: replies land on its node
+    # but cost no service time (otherwise a shared client queue grows
+    # with the offered load and pollutes every per-bucket measurement).
+    file.network.service.set_service(file.client.node_id, 0.0)
+    rng = make_rng(SEED)
+    keys = [int(x) for x in rng.choice(10**9, size=n_records, replace=False)]
+    for key in keys:
+        file.insert(key, b"e19-%d" % key)
+    return file, plane, keys
+
+
+def mixed_ops(file: LHRSFile, keys: list[int], fresh) -> list[float]:
+    """A read-mostly foreground workload (one insert per four reads);
+    returns per-op virtual-time latencies."""
+    net = file.network
+    out = []
+    for i, key in enumerate(keys):
+        start = net.virtual_time
+        assert file.search(key).found, f"read lost key {key}"
+        out.append(net.virtual_time - start)
+        if i % 4 == 3:
+            start = net.virtual_time
+            file.insert(next(fresh), b"fg")
+            out.append(net.virtual_time - start)
+    return out
+
+
+def settle(file: LHRSFile, slack: float = 8.0) -> None:
+    """Drain every service backlog (e.g. the load phase's) so the next
+    measurement starts from a steady state."""
+    net = file.network
+    service = net.service
+    deepest = max(
+        (service.queue_depth(node, net.now) for node in list(net.nodes)),
+        default=0.0,
+    )
+    net.advance(deepest / service.drain_rate + slack)
+
+
+def read_latencies(file: LHRSFile, keys: list[int], rounds: int) -> list[float]:
+    net = file.network
+    client = file.client
+    deadline_governed = (
+        client.deadline is not None and net.service is not None
+    )
+    out = []
+    for _ in range(rounds):
+        for key in keys:
+            start = net.virtual_time
+            outcome = file.search(key)
+            if deadline_governed:
+                # The client's own accounting: min(primary, hedge).
+                # Wall virtual-time would double-count a hedged read —
+                # the synchronous simulator runs the hedge *after* the
+                # primary instead of racing it.
+                out.append(client.last_read_latency)
+            else:
+                out.append(net.virtual_time - start)
+            assert outcome.found, f"read lost key {key}"
+    return out
+
+
+# ----------------------------------------------------------------------
+# scenario 1: 50x straggler — deadline/hedged reads vs unbounded blocking
+# ----------------------------------------------------------------------
+def run_straggler(n_records: int, rounds: int) -> dict:
+    results = {}
+    for mode, deadline in (("feature_off", None), ("feature_on", DEADLINE)):
+        file, plane, keys = build_file(
+            n_records, deadline=deadline, queue_limit=QUEUE_LIMIT
+        )
+        # Warm the client's image (splits leave it stale; the first
+        # pass pays the forwarding hops) before the baseline.
+        read_latencies(file, keys, 1)
+        settle(file)
+        healthy = summarize(read_latencies(file, keys, rounds))
+        settle(file)
+        # Gray failure: one data bucket serves 50x slow.
+        victim = max(range(file.bucket_count),
+                     key=lambda b: sum(1 for k in keys
+                                       if file.find_bucket_of(k) == b))
+        plane.add_slow_rule(
+            node=data_node(file.file_id, victim),
+            factor=STRAGGLE,
+            start=file.network.now,
+        )
+        slow = summarize(read_latencies(file, keys, rounds))
+        client = file.client
+        results[mode] = {
+            "healthy": healthy,
+            "straggler": slow,
+            "victim_bucket": victim,
+            "victim_keys": sum(
+                1 for k in keys if file.find_bucket_of(k) == victim
+            ),
+            "goodput_ratio": round(slow["goodput"] / healthy["goodput"], 3),
+            "hedged_reads": getattr(client, "hedged_reads", 0),
+            "deadline_misses": getattr(client, "deadline_misses", 0),
+            "degraded_fallbacks": getattr(client, "degraded_fallbacks", 0),
+            "breaker_opens": int(
+                file.metrics.counter("read.breaker.opened").value
+            ),
+        }
+        assert file.verify_parity_consistency() == []
+        assert not file.auditor.violations, file.auditor.violations[:3]
+    results["deadline"] = DEADLINE
+    results["straggle_factor"] = STRAGGLE
+    return results
+
+
+# ----------------------------------------------------------------------
+# scenario 2: 2x overload — bounded queues + shedding vs unbounded
+# ----------------------------------------------------------------------
+def run_overload(n_records: int) -> dict:
+    results = {}
+    for mode, limit in (("unbounded", None), ("bounded", QUEUE_LIMIT)):
+        # Offered load ~2x what the service queues drain: every insert
+        # parks ~4 units of work (client->bucket, Delta-parity fan-out,
+        # acks) against drain_rate*interarrival ~2 units drained.
+        file, plane, keys = build_file(
+            0, deadline=None, queue_limit=limit, drain_rate=0.12
+        )
+        net = file.network
+        service = net.service
+        rng = make_rng(SEED + 1)
+        burst = [int(x) for x in rng.choice(10**9, size=n_records,
+                                            replace=False)]
+        latencies = []
+        for key in burst:
+            start = net.virtual_time
+            file.insert(key, b"load")
+            latencies.append(net.virtual_time - start)
+        missing = sum(1 for k in burst if not file.search(k).found)
+        # Deepest backlog across the *bucket* nodes (data + parity) —
+        # the queues the limit binds; parity buckets concentrate the
+        # group's Delta-parity stream, so they flood first.
+        prefixes = (f"{file.file_id}.d", f"{file.file_id}.p")
+        bucket_depth = max(
+            (
+                depth
+                for node, depth in service.max_depths.items()
+                if node.startswith(prefixes)
+            ),
+            default=0.0,
+        )
+        results[mode] = {
+            "writes": summarize(latencies),
+            "shed": int(service.counters.get("shed", 0)),
+            # deepest *data bucket* backlog — the bounded queues; the
+            # global max is dominated by the unbounded control plane
+            "max_bucket_depth": round(bucket_depth, 1),
+            "max_queue_depth": round(service.max_depth_seen, 1),
+            "lost_acked_writes": missing,
+        }
+        assert missing == 0, f"{mode}: {missing} acknowledged writes lost"
+        assert file.verify_parity_consistency() == []
+        assert not file.auditor.violations, file.auditor.violations[:3]
+    return results
+
+
+# ----------------------------------------------------------------------
+# scenario 3: recovery pacing — token-bucket rebuild vs full blast
+# ----------------------------------------------------------------------
+def run_pacing(n_records: int) -> dict:
+    results = {}
+    drain = 0.1
+    for mode, rate in (("unpaced", None), ("paced", drain)):
+        file, plane, keys = build_file(
+            n_records, deadline=None, queue_limit=None,
+            pace_rate=rate, drain_rate=drain,
+        )
+        rng = make_rng(SEED + 2)
+        fresh = iter(
+            10**9 + int(x) for x in rng.choice(10**9, size=2 * n_records,
+                                               replace=False)
+        )
+        read_latencies(file, keys, 1)  # warm the client's image
+        settle(file)
+        healthy = summarize(mixed_ops(file, keys, fresh))
+        settle(file)
+        # Mass rebuild: one bucket per group fails, so the dump/load
+        # burst hits every survivor — and every group's parity bucket —
+        # at once.  Unpaced, the transfers land back-to-back and
+        # foreground traffic queues behind them (writes especially:
+        # their Delta-parity waits behind the whole-bucket parity
+        # transfer).  Paced at the drain rate, each transfer's backlog
+        # clears before the next fires.
+        victims = [
+            file.fail_data_bucket(b)
+            for b in range(0, file.bucket_count, file.config.group_size)
+        ]
+        rebuild_start = file.network.now
+        file.recover(victims)
+        rebuild_ticks = file.network.now - rebuild_start
+        foreground = summarize(mixed_ops(file, keys, fresh))
+        results[mode] = {
+            "healthy": healthy,
+            "foreground": foreground,
+            "fg_over_healthy_p99": round(
+                foreground["p99"] / healthy["p99"], 2
+            ),
+            "rebuild_ticks": round(rebuild_ticks, 1),
+            "pace_waits": int(
+                file.metrics.counter("recovery.pace.waits").value
+            ),
+        }
+        assert all(file.search(k).found for k in keys)
+        assert file.verify_parity_consistency() == []
+    return results
+
+
+# ----------------------------------------------------------------------
+def run_all(smoke: bool) -> dict:
+    n_reads = 120 if smoke else 240
+    rounds = 2 if smoke else 4
+    n_writes = 200 if smoke else 400
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "smoke": smoke,
+            "seed": SEED,
+        },
+        "straggler": run_straggler(n_reads, rounds),
+        "overload": run_overload(n_writes),
+        "pacing": run_pacing(n_reads),
+    }
+    s_on = report["straggler"]["feature_on"]
+    s_off = report["straggler"]["feature_off"]
+    o_on = report["overload"]["bounded"]
+    o_off = report["overload"]["unbounded"]
+    p_on = report["pacing"]["paced"]
+    p_off = report["pacing"]["unpaced"]
+    report["gates"] = {
+        # acceptance: with one bucket 50x slow, p99 stays inside the
+        # deadline and goodput holds >= 70% of healthy
+        "straggler_p99_within_deadline": s_on["straggler"]["p99"] <= DEADLINE,
+        "straggler_goodput_ratio_ge_70pct": s_on["goodput_ratio"] >= 0.70,
+        # the contrast: without the stack the straggle dominates the tail
+        "feature_off_blows_deadline": s_off["straggler"]["p99"] > DEADLINE,
+        "hedging_engaged": s_on["hedged_reads"] > 0
+        and s_on["degraded_fallbacks"] > 0,
+        # bounded queues shed, cap depth, and tighten the write tail
+        "overload_sheds": o_on["shed"] > 0,
+        "overload_depth_bounded": (
+            o_on["max_bucket_depth"] <= 2 * QUEUE_LIMIT
+            and o_off["max_bucket_depth"] > 4 * QUEUE_LIMIT
+        ),
+        "overload_tail_tighter": (
+            o_on["writes"]["p99"] < o_off["writes"]["p99"]
+        ),
+        # acceptance: paced rebuild keeps foreground p99 within 2x healthy
+        "paced_fg_p99_within_2x_healthy": p_on["fg_over_healthy_p99"] <= 2.0,
+        "pacing_engaged": p_on["pace_waits"] > 0,
+        "pacing_beats_unpaced": (
+            p_on["foreground"]["p99"] < p_off["foreground"]["p99"]
+        ),
+    }
+    return report
+
+
+def render_table(report: dict) -> list[str]:
+    s = report["straggler"]
+    o = report["overload"]
+    p = report["pacing"]
+    lines = [
+        f"{'scenario':<26} {'p50':>8} {'p99':>8} {'max':>9} "
+        f"{'goodput':>8} {'notes':<34}"
+    ]
+    for mode in ("feature_off", "feature_on"):
+        r = s[mode]
+        for phase in ("healthy", "straggler"):
+            row = r[phase]
+            notes = ""
+            if phase == "straggler":
+                notes = (
+                    f"ratio {r['goodput_ratio']:.2f}, "
+                    f"hedged {r['hedged_reads']}, "
+                    f"degraded {r['degraded_fallbacks']}, "
+                    f"misses {r['deadline_misses']}"
+                )
+            lines.append(
+                f"{mode + '/' + phase:<26} {row['p50']:>8.2f} "
+                f"{row['p99']:>8.2f} {row['max']:>9.2f} "
+                f"{row['goodput']:>8.4f} {notes:<34}"
+            )
+    for mode in ("unbounded", "bounded"):
+        row = o[mode]["writes"]
+        notes = (
+            f"shed {o[mode]['shed']}, "
+            f"bucket depth {o[mode]['max_bucket_depth']:.0f}"
+        )
+        lines.append(
+            f"{'overload/' + mode:<26} {row['p50']:>8.2f} "
+            f"{row['p99']:>8.2f} {row['max']:>9.2f} "
+            f"{row['goodput']:>8.4f} {notes:<34}"
+        )
+    for mode in ("unpaced", "paced"):
+        row = p[mode]["foreground"]
+        notes = (
+            f"fg/healthy p99 {p[mode]['fg_over_healthy_p99']:.2f}x, "
+            f"waits {p[mode]['pace_waits']}, "
+            f"rebuild {p[mode]['rebuild_ticks']:.0f} ticks"
+        )
+        lines.append(
+            f"{'rebuild/' + mode:<26} {row['p50']:>8.2f} "
+            f"{row['p99']:>8.2f} {row['max']:>9.2f} "
+            f"{row['goodput']:>8.4f} {notes:<34}"
+        )
+    return lines
+
+
+def test_e19_overload(benchmark):
+    report = benchmark.pedantic(lambda: run_all(smoke=True),
+                                rounds=1, iterations=1)
+    save_table(
+        "e19_overload",
+        f"E19 (ext): tail latency + goodput with one bucket {STRAGGLE:.0f}x "
+        f"slow, 2x overload, and rebuild under load (deadline {DEADLINE:.0f},"
+        f" queue limit {QUEUE_LIMIT}) — the gray-failure stack bounds the "
+        "tail the binary failure model cannot see",
+        render_table(report),
+    )
+    save_metrics("e19_overload", report)
+    failed = [g for g, ok in report["gates"].items() if not ok]
+    assert not failed, f"gates failed: {failed}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workload for the CI gate")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_tail.json")
+    args = parser.parse_args()
+    report = run_all(smoke=args.smoke)
+    print("\n".join(render_table(report)))
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+    failed = [g for g, ok in report["gates"].items() if not ok]
+    for gate, ok in sorted(report["gates"].items()):
+        print(f"  gate {gate:<36} {'PASS' if ok else 'FAIL'}")
+    if failed:
+        print(f"FAILED gates: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,17 +5,90 @@ point: key searches and scans never touch parity, so the availability
 machinery is free until something fails.  When the addressed bucket is
 unavailable the client reports to the coordinator, which serves searches
 through record recovery (degraded mode) and rebuilds the bucket.
+
+Gray failures get the same treatment as death, one step earlier: with a
+:class:`~repro.core.config.DeadlinePolicy` configured (and a
+:class:`~repro.sim.network.ServiceModel` installed), every read carries
+a latency budget.  A read that outruns the client's adaptive p99 is
+*hedged* — the parity-reconstruction path serves the same record through
+the coordinator, and the effective latency is whichever path would have
+answered first.  A bucket that keeps blowing the budget trips a
+per-bucket circuit breaker: reads short-circuit to the degraded path for
+a cooldown instead of queueing behind a straggler.  The record comes
+back identical either way (the property tests pin this); only the tail
+latency differs.
 """
 
 from __future__ import annotations
 
-from repro.sdds.client import Client
-from repro.sim.network import NodeUnavailable
+from collections import deque
+
+from repro.core.config import DeadlinePolicy
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.sdds.client import Client, SearchOutcome
+from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
+
+
+class _Breaker:
+    """Per-bucket circuit breaker over consecutive slow reads."""
+
+    __slots__ = ("threshold", "cooldown", "slow_streak", "opened_at")
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.slow_streak = 0
+        self.opened_at: float | None = None
+
+    def is_open(self, now: float) -> bool:
+        return (
+            self.opened_at is not None
+            and now < self.opened_at + self.cooldown
+        )
+
+    def record(self, slow: bool, now: float) -> str | None:
+        """Fold one read's verdict in; returns "opened"/"closed" on a
+        state transition (the first read after a cooldown is the
+        half-open probe: it either closes the breaker or re-opens it).
+        """
+        if slow:
+            self.slow_streak += 1
+            reopening = self.opened_at is not None
+            if self.slow_streak >= self.threshold or reopening:
+                self.opened_at = now
+                self.slow_streak = 0
+                return "opened"
+            return None
+        self.slow_streak = 0
+        if self.opened_at is not None:
+            self.opened_at = None
+            return "closed"
+        return None
 
 
 class RSClient(Client):
     """An application's access point to one LH*RS file."""
 
+    def __init__(self, *args, deadline: DeadlinePolicy | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: read-latency discipline (None = plain LH*RS behaviour)
+        self.deadline = deadline
+        #: recent effective read latencies, for the adaptive hedge delay
+        self._latency_samples: deque[float] = deque(maxlen=256)
+        self._breakers: dict[int, _Breaker] = {}
+        self.hedged_reads = 0
+        self.deadline_misses = 0
+        self.degraded_fallbacks = 0
+        #: effective latency of the most recent deadline-governed read.
+        #: The simulator runs hedges after the primary instead of racing
+        #: them, so wall virtual-time around ``search`` double-counts a
+        #: hedged read; this is the client's own accounting (min of the
+        #: two paths), the number the latency histogram records.
+        self.last_read_latency: float | None = None
+
+    # ------------------------------------------------------------------
+    # failure reporting (hard failures: the bucket is dead)
+    # ------------------------------------------------------------------
     def on_unavailable(self, kind: str, payload: dict,
                        failure: NodeUnavailable) -> None:
         """Report the failure to the coordinator, which completes the
@@ -37,3 +110,134 @@ class RSClient(Client):
             "report.unavailable",
             {"kind": kind, "op": payload, "node": failure.node_id},
         )
+
+    # ------------------------------------------------------------------
+    # deadline/hedged reads (gray failures: the bucket is slow)
+    # ------------------------------------------------------------------
+    def search(self, key: int) -> SearchOutcome:
+        policy = self.deadline
+        net = self.network
+        if policy is None or net is None or net.service is None:
+            return super().search(key)
+
+        bucket = self.image.address(key)
+        breaker = self._breakers.get(bucket)
+        if breaker is None:
+            breaker = self._breakers[bucket] = _Breaker(
+                policy.breaker_threshold, policy.breaker_cooldown
+            )
+
+        if breaker.is_open(net.now):
+            start = net.virtual_time
+            outcome = self._degraded_search(key)
+            if outcome is not None:
+                self._count("read.breaker.short_circuit")
+                self._observe_read(net.virtual_time - start, policy)
+                return outcome
+            # The alternate path is dark too — fall through and take
+            # our chances with the primary.
+
+        start = net.virtual_time
+        outcome = super().search(key)
+        elapsed = net.virtual_time - start
+
+        effective = elapsed
+        hedged = False
+        hedge_after = self._hedge_delay(policy)
+        if policy.hedge and elapsed > hedge_after:
+            hedge_start = net.virtual_time
+            alternate = self._degraded_search(key)
+            if alternate is not None:
+                hedged = True
+                self.hedged_reads += 1
+                self._count("read.hedged")
+                # The hedge would have fired hedge_after into the
+                # primary read and raced it; the client sees whichever
+                # path answers first.
+                hedge_total = hedge_after + (net.virtual_time - hedge_start)
+                if net.tracer is not None:
+                    net.tracer.emit(
+                        "op.hedged",
+                        key=key,
+                        bucket=bucket,
+                        primary=round(elapsed, 3),
+                        hedged=round(hedge_total, 3),
+                    )
+                if hedge_total < effective:
+                    effective = hedge_total
+                    outcome = alternate
+
+        miss = self._observe_read(effective, policy)
+        transition = breaker.record(miss or hedged, net.now)
+        if transition == "opened":
+            self._count("read.breaker.opened")
+        if transition is not None and net.tracer is not None:
+            net.tracer.emit(
+                "breaker.open" if transition == "opened" else "breaker.close",
+                bucket=bucket,
+            )
+        return outcome
+
+    def _degraded_search(self, key: int) -> SearchOutcome | None:
+        """The alternate read path: parity reconstruction through the
+        coordinator, exactly as if the bucket were dead.  Returns None
+        when the coordinator cannot serve it (no parity, coordinator
+        dark) — the caller falls back to the primary's answer."""
+        try:
+            reply = self.call(
+                f"{self.file_id}.coord", "read.degraded", {"key": key}
+            )
+        except (NodeUnavailable, UnknownNode, DeliveryFault):
+            return None
+        if not isinstance(reply, dict) or not reply.get("served"):
+            return None
+        self.degraded_fallbacks += 1
+        return SearchOutcome(
+            key=key, found=reply["found"], value=reply["value"]
+        )
+
+    def _hedge_delay(self, policy: DeadlinePolicy) -> float:
+        """Adaptive hedge trigger: the configured quantile of this
+        client's recent reads (half the deadline until warmed up).
+
+        Clamped to half the deadline from above: past that point a
+        hedge could no longer finish inside the budget, and an
+        unclamped quantile chases its own tail — hedged reads inflate
+        the sample quantile, which delays the next hedge further.
+        """
+        samples = self._latency_samples
+        if len(samples) < policy.hedge_min_samples:
+            return policy.deadline / 2.0
+        ordered = sorted(samples)
+        index = min(
+            len(ordered) - 1, int(policy.hedge_quantile * len(ordered))
+        )
+        return min(ordered[index], policy.deadline / 2.0)
+
+    def _observe_read(self, effective: float, policy: DeadlinePolicy) -> bool:
+        """Record one read's effective latency; True = deadline miss."""
+        self._latency_samples.append(effective)
+        self.last_read_latency = effective
+        net = self.network
+        if net is not None and net.metrics is not None:
+            net.metrics.histogram(
+                "op.read.latency",
+                LATENCY_BUCKETS,
+                "end-to-end read latency (virtual time)",
+            ).observe(effective)
+        miss = effective > policy.deadline
+        if miss:
+            self.deadline_misses += 1
+            self._count("read.deadline_miss")
+            if net is not None and net.tracer is not None:
+                net.tracer.emit(
+                    "op.deadline_miss",
+                    latency=round(effective, 3),
+                    budget=policy.deadline,
+                )
+        return miss
+
+    def _count(self, name: str) -> None:
+        net = self.network
+        if net is not None and net.metrics is not None:
+            net.metrics.counter(name).inc()

@@ -10,6 +10,41 @@ from repro.sim.faults import RetryPolicy
 
 
 @dataclass(frozen=True)
+class DeadlinePolicy:
+    """Per-read latency discipline: budget, hedging and circuit breaking.
+
+    ``deadline`` is the hard per-read latency budget (the SLO, in
+    virtual time units).  ``hedge`` lets a client fire the degraded
+    parity-reconstruction read once the primary exceeds an adaptive
+    delay — the ``hedge_quantile`` of the client's last observed read
+    latencies (``hedge_min_samples`` warm-up reads use half the
+    deadline).  ``breaker_threshold`` consecutive slow reads against
+    one bucket open its circuit breaker for ``breaker_cooldown`` clock
+    units, during which reads short-circuit straight to the degraded
+    path; the first read after the cooldown probes the primary again.
+    """
+
+    deadline: float
+    hedge: bool = True
+    hedge_quantile: float = 0.99
+    hedge_min_samples: int = 16
+    breaker_threshold: int = 4
+    breaker_cooldown: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1)")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+
+
+@dataclass(frozen=True)
 class LHRSConfig:
     """All tunables of an LH*RS file.
 
@@ -110,6 +145,35 @@ class LHRSConfig:
         Must exceed ``heartbeat_interval``.
     journal_checkpoint_interval:
         Replicated journal appends between parity-header checkpoints.
+    read_deadline:
+        Per-read latency budget in virtual time units (None disables
+        the whole deadline/hedge/breaker discipline — the default, and
+        a no-op anyway unless a
+        :class:`~repro.sim.network.ServiceModel` is installed).  See
+        :class:`DeadlinePolicy` for the semantics of the companion
+        knobs ``hedge_reads``, ``hedge_quantile``,
+        ``hedge_min_samples``, ``breaker_threshold`` and
+        ``breaker_cooldown``.
+    bucket_queue_limit:
+        Bounded inbound queue per bucket server (None = unbounded).
+        With a service model installed, sheddable messages beyond the
+        bound are refused with a typed ``busy`` reply
+        (:class:`~repro.sim.network.NodeBusy`) that senders honor with
+        a jittered backoff — load shedding instead of collapse.
+    recovery_pace_rate / recovery_pace_burst:
+        Token bucket pacing rebuild transfers (survivor dumps, spare
+        loads): ``rate`` tokens accrue per clock unit up to ``burst``,
+        one transfer costs one token, and a deficit makes recovery
+        *wait* (advancing the clock, draining survivor queues) so a
+        rebuild never starves foreground operations.  None (default)
+        = unpaced, the pre-gray-failure behaviour.
+    retry_jitter:
+        Decorrelate sender backoff with deterministic jitter (see
+        :class:`~repro.sim.faults.RetryPolicy`); off by default to
+        keep the exact exponential schedule the pinned tests use.
+    health_log_capacity:
+        Ring-buffer bound on the coordinator's per-probe-round health
+        log; the oldest entries are dropped (and counted) beyond it.
     """
 
     group_size: int = 4
@@ -135,6 +199,17 @@ class LHRSConfig:
     heartbeat_interval: float = 4.0
     lease_timeout: float = 12.0
     journal_checkpoint_interval: int = 16
+    read_deadline: float | None = None
+    hedge_reads: bool = True
+    hedge_quantile: float = 0.99
+    hedge_min_samples: int = 16
+    breaker_threshold: int = 4
+    breaker_cooldown: float = 32.0
+    bucket_queue_limit: int | None = None
+    recovery_pace_rate: float | None = None
+    recovery_pace_burst: float = 8.0
+    retry_jitter: bool = False
+    health_log_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
@@ -162,6 +237,15 @@ class LHRSConfig:
             )
         if self.journal_checkpoint_interval < 1:
             raise ValueError("journal_checkpoint_interval must be >= 1")
+        if self.bucket_queue_limit is not None and self.bucket_queue_limit < 1:
+            raise ValueError("bucket_queue_limit must be >= 1")
+        if self.recovery_pace_rate is not None and self.recovery_pace_rate <= 0:
+            raise ValueError("recovery_pace_rate must be positive")
+        if self.recovery_pace_burst < 1:
+            raise ValueError("recovery_pace_burst must be >= 1")
+        if self.health_log_capacity < 1:
+            raise ValueError("health_log_capacity must be >= 1")
+        self.deadline_policy  # validate the SLO knobs (DeadlinePolicy raises)
         self.retry_policy  # validate the retry knobs (RetryPolicy raises)
         limit = (1 << self.field_width) - self.group_size
         if self.max_availability > limit:
@@ -177,6 +261,21 @@ class LHRSConfig:
             backoff_base=self.retry_backoff_base,
             backoff_factor=self.retry_backoff_factor,
             backoff_max=self.retry_backoff_max,
+            jitter=self.retry_jitter,
+        )
+
+    @property
+    def deadline_policy(self) -> DeadlinePolicy | None:
+        """The read-latency discipline as a policy object (None = off)."""
+        if self.read_deadline is None:
+            return None
+        return DeadlinePolicy(
+            deadline=self.read_deadline,
+            hedge=self.hedge_reads,
+            hedge_quantile=self.hedge_quantile,
+            hedge_min_samples=self.hedge_min_samples,
+            breaker_threshold=self.breaker_threshold,
+            breaker_cooldown=self.breaker_cooldown,
         )
 
     @property

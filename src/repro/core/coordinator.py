@@ -20,6 +20,8 @@ Extends the LH* coordinator with the high-availability duties:
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.core.config import LHRSConfig
 from repro.core.group import data_node, group_buckets, group_count, group_of, parity_node
 from repro.core.data_bucket import RSDataServer
@@ -50,6 +52,40 @@ class CoordinatorCrashed(DeliveryFault):
     def __init__(self, node_id: str, point: str):
         super().__init__(node_id, "request")
         self.point = point
+
+
+class BoundedHealthLog:
+    """Drop-oldest ring buffer over probe-round health entries.
+
+    The self-healing loop appends one entry per round forever; a
+    long-lived coordinator must not grow without bound on its own
+    telemetry.  Reads behave like a list (len, iteration, indexing and
+    slicing — ``bench_e16_lifetime`` consumes it that way); evictions
+    are counted in :attr:`dropped` and surfaced as a gauge.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("health log capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, entry: dict) -> None:
+        if len(self._entries) == self.capacity:
+            self.dropped += 1
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._entries)[index]
+        return self._entries[index]
 
 
 class RSCoordinator(Coordinator):
@@ -83,8 +119,9 @@ class RSCoordinator(Coordinator):
         self.spares_remaining = self.config.spare_servers
         self.recovery = RecoveryManager(self)
         #: per-probe-round health entries (the self-healing loop's log;
-        #: bench_e16_lifetime consumes this)
-        self.health_log: list[dict] = []
+        #: bench_e16_lifetime consumes this), bounded to the configured
+        #: capacity with drop-oldest eviction
+        self.health_log = BoundedHealthLog(self.config.health_log_capacity)
         #: first probe round that saw each currently-down node (feeds
         #: the probe.mttr histogram when the node comes back)
         self._down_since: dict[str, float] = {}
@@ -566,7 +603,7 @@ class RSCoordinator(Coordinator):
         return matrix.row(index)
 
     def make_parity_server(self, group: int, index: int) -> ParityServer:
-        return ParityServer(
+        server = ParityServer(
             node_id=parity_node(self.file_id, group, index),
             file_id=self.file_id,
             group=group,
@@ -575,6 +612,8 @@ class RSCoordinator(Coordinator):
             field=self.field,
             stripe_store=self.config.parity_stripe_store,
         )
+        server.inbound_queue_limit = self.config.bucket_queue_limit
+        return server
 
     def make_server(self, number: int, level: int) -> RSDataServer:
         group = group_of(number, self.config.group_size)
@@ -582,7 +621,7 @@ class RSCoordinator(Coordinator):
             parity_node(self.file_id, group, i)
             for i in range(self._group_levels.get(group, 0))
         ]
-        return RSDataServer(
+        server = RSDataServer(
             node_id=data_node(self.file_id, number),
             file_id=self.file_id,
             number=number,
@@ -597,6 +636,8 @@ class RSCoordinator(Coordinator):
             retry_policy=self.config.retry_policy,
             parity_ack=self.config.parity_ack,
         )
+        server.inbound_queue_limit = self.config.bucket_queue_limit
+        return server
 
     # ------------------------------------------------------------------
     # growth hooks
@@ -855,6 +896,27 @@ class RSCoordinator(Coordinator):
             self.deliver_routed(kind, dict(op, hops=op.get("hops", 0) + 1),
                                 self.state.address(op["key"]))
 
+    def handle_read_degraded(self, message: Message) -> dict:
+        """Serve one key through record recovery while its data bucket
+        is *slow but alive* — the client's hedged / circuit-broken
+        alternate read path (gray-failure tolerance).
+
+        Unlike :meth:`handle_report_unavailable` nothing is declared
+        failed and no rebuild starts: the bucket still answers pings,
+        it is merely blowing its latency SLO, so the coordinator only
+        reconstructs the record from the group's other members and
+        parity.  ``served=False`` tells the client to fall back to the
+        primary's answer (no parity, or a member genuinely down).
+        """
+        key = message.payload["key"]
+        if not self.config.degraded_reads:
+            return {"served": False, "found": False, "value": None}
+        try:
+            found, value = self.recovery.recover_record(key)
+        except (RecoveryError, NodeUnavailable, DeliveryFault):
+            return {"served": False, "found": False, "value": None}
+        return {"served": True, "found": found, "value": value}
+
     def deliver_routed(self, kind: str, op: dict, target: int) -> None:
         try:
             self.send(data_node(self.file_id, target), kind, op)
@@ -1009,6 +1071,12 @@ class RSCoordinator(Coordinator):
             }
             self.health_log.append(entry)
             entries.append(entry)
+        net = self._net()
+        if net.metrics is not None:
+            net.metrics.gauge(
+                "coord.health_log.dropped",
+                "health entries evicted from the bounded ring",
+            ).set(self.health_log.dropped)
         return entries
 
     def handle_rejoin(self, message: Message) -> dict:

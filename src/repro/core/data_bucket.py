@@ -18,6 +18,7 @@ Extends the LH* data server with the paper's high-availability duties:
 from __future__ import annotations
 
 import heapq
+import zlib
 from typing import Any
 
 from repro.core.group import data_node, group_of, position_of
@@ -239,7 +240,13 @@ class RSDataServer(DataServer):
                             "retry.attempts",
                             "client+parity retransmissions",
                         ).inc()
-                    net.advance(policy.delay(attempt))
+                    # Salt per channel: under jitter, group members that
+                    # got shed by the same parity bucket back off apart
+                    # instead of re-converging on it in lockstep.
+                    net.advance(policy.delay(
+                        attempt,
+                        zlib.crc32(f"{self.node_id}->{target}".encode()),
+                    ))
             except NodeUnavailable as failure:
                 return (
                     "report.unavailable",

@@ -93,11 +93,30 @@ class LHRSFile(LHStarFile):
         )
         return self.tracer, self.metrics, self.auditor
 
+    def enable_service_model(self, model=None, **kwargs):
+        """Install a latency/queue plane on this file's network.
+
+        Pass a prebuilt :class:`~repro.sim.network.ServiceModel` or its
+        constructor keywords (``link_latency``, ``service_time``,
+        ``drain_rate``).  With it installed, deliveries accrue virtual
+        latency (stretched by any slow rules on the fault plane),
+        bounded bucket queues shed with typed ``busy`` replies, and the
+        clients' deadline/hedge/breaker discipline (``read_deadline``)
+        becomes active.  Returns the model.
+        """
+        from repro.sim.network import ServiceModel
+
+        if model is None:
+            model = ServiceModel(**kwargs)
+        self.network.install_service_model(model)
+        return model
+
     def _client_kwargs(self) -> dict[str, Any]:
         return {
             "retry": self.config.retry_policy,
             "ack_writes": self.config.client_acks,
             "coord_replicas": self.config.coordinator_replicas,
+            "deadline": self.config.deadline_policy,
         }
 
     # ------------------------------------------------------------------

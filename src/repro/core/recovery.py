@@ -40,6 +40,59 @@ class RecoveryError(RuntimeError):
     """
 
 
+class RecoveryPacer:
+    """Token bucket throttling rebuild transfers against foreground load.
+
+    An unpaced rebuild fires its survivor dumps and spare loads
+    back-to-back, parking a burst of work on every survivor's service
+    queue — foreground reads then wait behind the rebuild, exactly the
+    recovery-starves-clients failure mode.  With pacing, ``rate``
+    tokens accrue per clock unit (up to ``burst``); each transfer costs
+    its weight in records moved, and on a deficit the recovery *waits*
+    — advancing the simulated clock, which drains survivor queues —
+    before continuing.
+    """
+
+    def __init__(self, network, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("pace rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one transfer")
+        self.network = network
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last = network.now
+        self.waits = 0
+        self.waited = 0.0
+
+    def _refill(self) -> None:
+        now = self.network.now
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def pace(self, cost: float = 1.0) -> None:
+        """Take ``cost`` tokens, waiting out any deficit first."""
+        net = self.network
+        self._refill()
+        if self.tokens < cost:
+            wait = (cost - self.tokens) / self.rate
+            self.waits += 1
+            self.waited += wait
+            if net.tracer is not None:
+                net.tracer.emit("recovery.paced", wait=round(wait, 3))
+            if net.metrics is not None:
+                net.metrics.counter(
+                    "recovery.pace.waits", "rebuild transfers throttled"
+                ).inc()
+                net.metrics.gauge(
+                    "recovery.pace.waited", "total clock units recovery yielded"
+                ).inc(wait)
+            net.advance(wait)
+            self._refill()
+        self.tokens -= cost
+
+
 def parse_node_id(file_id: str, node_id: str):
     """Classify a node id: ("data", bucket), ("parity", group, index),
     or None for foreign/client/coordinator nodes."""
@@ -115,6 +168,39 @@ class RecoveryManager:
             field=self.coordinator.field,
             kind=cfg.generator,
         )
+
+    def _make_pacer(self) -> RecoveryPacer | None:
+        """A fresh token bucket per rebuild (None = pacing off)."""
+        cfg = self.coordinator.config
+        if cfg.recovery_pace_rate is None:
+            return None
+        return RecoveryPacer(
+            self._net, cfg.recovery_pace_rate, cfg.recovery_pace_burst
+        )
+
+    def _account_transfer(self, pacer, node_id: str, payload) -> None:
+        """Account one rebuild transfer's weight.
+
+        A dump/load moves a whole bucket in one RPC, not one request's
+        worth of work: the service plane (when installed) parks one unit
+        of serialization backlog per record moved on the node, and the
+        pacer is charged the same cost — so ``recovery_pace_rate`` reads
+        as records per clock unit.  Pacing *after* the transfer lets the
+        just-charged queue drain before the next one fires.
+        """
+        if isinstance(payload, dict):
+            records = payload.get("records")
+        else:
+            records = payload
+        try:
+            units = float(max(1, len(records)))
+        except TypeError:
+            units = 1.0
+        net = self._net
+        if net.service is not None:
+            net.service.charge_bulk(node_id, units, net.now)
+        if pacer is not None:
+            pacer.pace(units)
 
     # ------------------------------------------------------------------
     # entry point: a set of failed nodes
@@ -273,21 +359,28 @@ class RecoveryManager:
                 )
             survivors_data = [b for b in data_buckets if b not in lost_data]
             survivors_parity = [i for i in range(k) if i not in lost_parity]
+            pacer = self._make_pacer()
             try:
-                data_dumps = {
-                    b: self._net.call(
+                data_dumps = {}
+                for b in survivors_data:
+                    data_dumps[b] = self._net.call(
                         coord_id, data_node(self._file_id, b), "bucket.dump"
                     )
-                    for b in survivors_data
-                }
-                parity_dumps = {
-                    i: self._net.call(
+                    self._account_transfer(
+                        pacer, data_node(self._file_id, b), data_dumps[b]
+                    )
+                parity_dumps = {}
+                for i in survivors_parity:
+                    parity_dumps[i] = self._net.call(
                         coord_id,
                         parity_node(self._file_id, group, i),
                         "parity.dump",
                     )
-                    for i in survivors_parity
-                }
+                    self._account_transfer(
+                        pacer,
+                        parity_node(self._file_id, group, i),
+                        parity_dumps[i],
+                    )
             except NodeUnavailable as failure:
                 parsed = parse_node_id(self._file_id, failure.node_id)
                 if parsed is None:  # pragma: no cover - own group members only
@@ -378,10 +471,18 @@ class RecoveryManager:
             self._install_data_spare(
                 bucket, new_data[bucket], data_seqs[position_of(bucket, m)]
             )
+            self._account_transfer(
+                pacer, data_node(self._file_id, bucket), new_data[bucket]
+            )
         expected_seqs = {pos: seq + 1 for pos, seq in data_seqs.items()}
         for index in lost_parity:
             self._install_parity_spare(
                 group, index, new_parity[index], expected_seqs
+            )
+            self._account_transfer(
+                pacer,
+                parity_node(self._file_id, group, index),
+                new_parity[index],
             )
 
         self.groups_recovered += 1

@@ -22,9 +22,11 @@ from repro.obs.metrics import (
     DEPTH_BUCKETS,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MESSAGE_BUCKETS,
     MetricsRegistry,
     MTTR_BUCKETS,
+    QUEUE_DEPTH_BUCKETS,
     RETRY_BUCKETS,
     SYMBOL_BUCKETS,
     default_histograms,
@@ -47,9 +49,11 @@ __all__ = [
     "Histogram",
     "InvariantAuditor",
     "InvariantViolation",
+    "LATENCY_BUCKETS",
     "MESSAGE_BUCKETS",
     "MTTR_BUCKETS",
     "MetricsRegistry",
+    "QUEUE_DEPTH_BUCKETS",
     "RETRY_BUCKETS",
     "SYMBOL_BUCKETS",
     "Span",

@@ -43,7 +43,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Event types that count as "a failure was declared" — after any of
 #: these, Δ-sequence gaps are expected behaviour, not corruption.
-FAULT_EVIDENCE = frozenset({"fault.injected", "node.fail", "msg.hold", "msg.lost"})
+FAULT_EVIDENCE = frozenset(
+    {"fault.injected", "node.fail", "msg.hold", "msg.lost", "msg.shed"}
+)
 
 
 class InvariantViolation(AssertionError):

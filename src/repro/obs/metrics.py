@@ -38,6 +38,13 @@ SYMBOL_BUCKETS = (0, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
 RETRY_BUCKETS = (0, 1, 2, 3, 5, 8)
 #: Probe-cycle mean-time-to-repair, in logical clock units.
 MTTR_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: End-to-end virtual read latency (service times are ~1 unit, so the
+#: healthy fast path lands low and stragglers stretch into the tail).
+LATENCY_BUCKETS = (
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+)
+#: Inbound service-queue depth observed by each delivery.
+QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class Counter:

@@ -44,6 +44,7 @@ EVENT_TYPES = frozenset(
         "msg.hold",
         "msg.release",
         "msg.lost",
+        "msg.shed",
         # fault plane and failure state
         "fault.injected",
         "node.fail",
@@ -71,6 +72,13 @@ EVENT_TYPES = frozenset(
         "op.retry",
         "op.failed",
         "client.unavailable",
+        # gray-failure tolerance: hedged/degraded reads, deadlines,
+        # per-bucket circuit breakers and paced rebuilds
+        "op.hedged",
+        "op.deadline_miss",
+        "breaker.open",
+        "breaker.close",
+        "recovery.paced",
         # coordinator HA: journal, checkpoints, lease and takeover
         "coord.journal",
         "coord.checkpoint",

@@ -10,6 +10,7 @@ has been delivered, so results can be read from the client's buffers.
 from __future__ import annotations
 
 import numbers
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -87,6 +88,9 @@ class Client(Node):
         #: tag mutations for server acknowledgement and retry unacked ones
         self.ack_writes = ack_writes
         self._acks: set[int] = set()
+        #: stable per-sender salt decorrelating jittered backoff (see
+        #: RetryPolicy.delay; inert on the default no-jitter path)
+        self._retry_salt = zlib.crc32(node_id.encode())
 
     # ------------------------------------------------------------------
     def _data_node(self, m: int) -> str:
@@ -229,7 +233,9 @@ class Client(Node):
     def _wait(self, attempt: int) -> None:
         """Back off after a failed attempt (advances the simulated clock,
         which matures delayed messages and lets crash windows pass)."""
-        delay = self.retry.delay(attempt) if self.retry else 1.0
+        delay = (
+            self.retry.delay(attempt, self._retry_salt) if self.retry else 1.0
+        )
         self._net().advance(delay)
 
     def _note_retry(self, kind: str, key: int, attempt: int) -> None:

@@ -32,12 +32,16 @@ from repro.sim.faults import (
     FaultPlane,
     FaultRule,
     RetryPolicy,
+    SlowRule,
 )
 from repro.sim.messages import Message
 from repro.sim.network import (
+    DEFAULT_SHEDDABLE_KINDS,
     DeliveryFault,
     Network,
+    NodeBusy,
     NodeUnavailable,
+    ServiceModel,
     UnknownNode,
 )
 from repro.sim.node import Node
@@ -58,6 +62,10 @@ __all__ = [
     "FaultPlane",
     "FaultRule",
     "RetryPolicy",
+    "SlowRule",
+    "ServiceModel",
+    "NodeBusy",
     "DEFAULT_PROTECTED_KINDS",
+    "DEFAULT_SHEDDABLE_KINDS",
     "make_rng",
 ]

@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.sim.rng import make_rng
+from repro.sim.rng import DEFAULT_SEED, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.messages import Message
@@ -84,12 +84,25 @@ class RetryPolicy:
     Waiting advances the network's logical clock, which matures delayed
     messages and lets scheduled crash windows pass — backing off is how
     a sender *outlives* a transient fault.
+
+    With ``jitter`` enabled the deterministic schedule becomes the
+    *envelope* of a decorrelated-jitter draw: the wait after attempt a
+    is uniform in ``[backoff_base, 3 * delay(a-1)]``, capped at
+    ``backoff_max``.  Senders that failed together then retry spread
+    out instead of thundering-herding the bucket the instant it
+    restores.  The draw is a pure function of ``(jitter_seed, salt,
+    attempt)`` — no shared generator state — so every simulation stays
+    replayable and each sender decorrelates by salting with its own
+    node id.  Off by default: the pinned backoff tests (and the paper's
+    message accounting) use the exact exponential schedule.
     """
 
     attempts: int = 4
     backoff_base: float = 1.0
     backoff_factor: float = 2.0
     backoff_max: float = 16.0
+    jitter: bool = False
+    jitter_seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -99,11 +112,28 @@ class RetryPolicy:
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1 (non-shrinking)")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff after the ``attempt``-th failure (0-based)."""
-        return min(
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff after the ``attempt``-th failure (0-based).
+
+        ``salt`` decorrelates independent senders under ``jitter`` (pass
+        a stable per-sender value, e.g. a CRC of the node id); it is
+        ignored on the exact no-jitter path.
+        """
+        exact = min(
             self.backoff_base * self.backoff_factor**attempt, self.backoff_max
         )
+        if not self.jitter or exact <= 0:
+            return exact
+        prev = self.backoff_base if attempt == 0 else min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        rng = np.random.default_rng(
+            [self.jitter_seed & 0xFFFFFFFF, salt & 0xFFFFFFFF, attempt]
+        )
+        lo = self.backoff_base
+        hi = max(lo, 3.0 * prev)
+        return min(lo + (hi - lo) * float(rng.random()), self.backoff_max)
 
 
 @dataclass(frozen=True)
@@ -154,6 +184,49 @@ class FaultRule:
         return True
 
 
+@dataclass(frozen=True)
+class SlowRule:
+    """Gray failure: a node stays alive but its service slows down.
+
+    Where :class:`FaultRule` kills or loses messages, a slow rule only
+    *stretches* them — the straggler case the crash model cannot
+    express.  ``node`` is a glob over node ids; every matching rule
+    multiplies the node's service time in the network's
+    :class:`~repro.sim.network.ServiceModel`.
+
+    ``factor`` is the multiplier when the rule starts; ``ramp`` adds to
+    it per clock unit elapsed since ``start`` (a degrading NIC or a
+    filling disk worsens over time — the canonical gray failure).
+    ``jitter`` perturbs each query by a uniform ± fraction drawn from
+    the plane's seeded generator, so slowness is noisy yet replayable.
+    ``until`` expires the rule (the straggler recovers on its own).
+    """
+
+    node: str = "*"
+    factor: float = 1.0
+    ramp: float = 0.0
+    jitter: float = 0.0
+    start: float = 0.0
+    until: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("slow factor must be >= 1 (a speedup is not a fault)")
+        if self.ramp < 0:
+            raise ValueError("ramp cannot be negative (rules only degrade)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.until is not None and self.until <= self.start:
+            raise ValueError("until must come after start")
+
+    def applies(self, node_id: str, now: float) -> bool:
+        if now < self.start:
+            return False
+        if self.until is not None and now >= self.until:
+            return False
+        return fnmatchcase(node_id, self.node)
+
+
 class FaultPlane:
     """Per-message fault decisions plus the delayed-message hold queues."""
 
@@ -164,6 +237,7 @@ class FaultPlane:
     ):
         self.rng = rng or make_rng()
         self.rules: list[FaultRule] = []
+        self.slow_rules: list[SlowRule] = []
         self.protected_kinds = frozenset(protected_kinds)
         #: (sender, recipient) -> FIFO of (release_at, Message)
         self._held: dict[tuple[str, str], deque] = {}
@@ -193,9 +267,43 @@ class FaultPlane:
         self.rules.append(rule)
         return rule
 
+    def add_slow_rule(self, **kwargs) -> SlowRule:
+        """Append a :class:`SlowRule` (keyword arguments as its fields)."""
+        rule = SlowRule(**kwargs)
+        self.slow_rules.append(rule)
+        return rule
+
     def clear_rules(self) -> None:
-        """Drop every rule; held messages stay queued until released."""
+        """Drop every rule (fault and slow); held messages stay queued
+        until released."""
         self.rules.clear()
+        self.slow_rules.clear()
+
+    # ------------------------------------------------------------------
+    # gray failure: service slowdown
+    # ------------------------------------------------------------------
+    def slowdown(self, node_id: str, now: float) -> float:
+        """Combined service-time multiplier for a node (1.0 = healthy).
+
+        Matching slow rules compose multiplicatively (a ramping disk
+        *and* an overloaded NIC).  Jittered rules draw from the plane's
+        seeded generator: deterministic given the simulation's message
+        order, like every other fault decision.
+        """
+        if not self.slow_rules:
+            return 1.0
+        total = 1.0
+        for rule in self.slow_rules:
+            if not rule.applies(node_id, now):
+                continue
+            factor = rule.factor + rule.ramp * (now - rule.start)
+            if rule.jitter:
+                factor *= (
+                    1.0 + rule.jitter * (2.0 * float(self.rng.random()) - 1.0)
+                )
+            total *= max(factor, 1.0)
+            self.counters["slowed"] += 1
+        return total
 
     # ------------------------------------------------------------------
     # decisions

@@ -21,11 +21,21 @@ operation chains, never in the middle of one.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable
 
 from repro.sim.messages import Message
 from repro.sim.node import Node
 from repro.sim.stats import MessageStats
+
+#: Kinds a bounded inbound queue may shed under overload.  Deliberately
+#: an allowlist of foreground data traffic: shedding structural or
+#: recovery control messages would turn an overload into a torn split,
+#: and every kind here is safe to retry (mutations are value-idempotent
+#: and Δ-parity is deduped by sequence number).
+DEFAULT_SHEDDABLE_KINDS = frozenset(
+    {"insert", "update", "delete", "search", "parity.update"}
+)
 
 
 class UnknownNode(KeyError):
@@ -59,6 +69,158 @@ class DeliveryFault(RuntimeError):
         self.stage = stage
 
 
+class NodeBusy(DeliveryFault):
+    """Typed backpressure reply: the recipient's bounded inbound queue
+    is full and the message was shed at admission.
+
+    Subclasses :class:`DeliveryFault` so every existing retry ladder
+    honors it, with ``stage == "busy"`` — the handler did NOT run, and
+    unlike a transient fault the *right* reaction is a jittered backoff
+    (draining the queue) rather than an immediate resend.
+    """
+
+    def __init__(self, node_id: str, depth: int, limit: int):
+        RuntimeError.__init__(
+            self,
+            f"node {node_id!r} is overloaded: inbound queue "
+            f"{depth}/{limit}, message shed",
+        )
+        self.node_id = node_id
+        self.stage = "busy"
+        self.queue_depth = depth
+        self.queue_limit = limit
+
+
+class ServiceModel:
+    """Deterministic per-link latency + per-node service-queue model.
+
+    The simulator's delivery stays synchronous and its logical clock
+    still ticks once per top-level operation; latency here is *virtual*:
+    every delivery charges
+
+        ``link(sender→recipient) + service(recipient) × slowdown ×
+        (1 + queue_depth(recipient))``
+
+    into :attr:`accumulated`, which :attr:`Network.virtual_time` adds to
+    the logical clock.  Clients measure an operation as the difference
+    of ``virtual_time`` around it — so a straggler (``slowdown`` comes
+    from the fault plane's slow rules) or a deep queue shows up as tail
+    latency without perturbing the pinned message/clock accounting.
+
+    Queues model per-node service backlogs: each delivery parks one
+    unit of work on the recipient, and backlogs drain at ``drain_rate``
+    per clock unit (lazily, on read).  A node with a bounded inbound
+    queue (``Node.inbound_queue_limit``) sheds sheddable kinds once its
+    backlog reaches the bound — the typed ``busy`` reply of the
+    backpressure protocol.
+
+    Everything is deterministic: the only randomness enters through
+    jittered slow rules, which draw from the fault plane's seeded
+    generator.
+    """
+
+    def __init__(
+        self,
+        link_latency: float = 0.25,
+        service_time: float = 1.0,
+        drain_rate: float = 1.0,
+        sheddable_kinds=DEFAULT_SHEDDABLE_KINDS,
+    ):
+        if link_latency < 0 or service_time < 0:
+            raise ValueError("latencies cannot be negative")
+        if drain_rate <= 0:
+            raise ValueError("drain_rate must be positive")
+        self.link_latency = link_latency
+        self.service_time = service_time
+        self.drain_rate = drain_rate
+        self.sheddable_kinds = frozenset(sheddable_kinds)
+        #: (sender, recipient) -> base link latency override
+        self.link_overrides: dict[tuple[str, str], float] = {}
+        #: node id -> base service time override
+        self.service_overrides: dict[str, float] = {}
+        #: total virtual latency charged since installation
+        self.accumulated = 0.0
+        self.max_depth_seen = 0.0
+        #: node id -> deepest backlog ever seen there (the global
+        #: ``max_depth_seen`` is dominated by unbounded control nodes;
+        #: per-node highs show whether a *bounded* queue held its cap)
+        self.max_depths: dict[str, float] = {}
+        self.counters: Counter = Counter()
+        self._depths: dict[str, float] = {}
+        self._drained_at: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def set_link(self, sender: str, recipient: str, latency: float) -> None:
+        """Override one directed link's base latency."""
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self.link_overrides[(sender, recipient)] = latency
+
+    def set_service(self, node_id: str, service_time: float) -> None:
+        """Override one node's base service time."""
+        if service_time < 0:
+            raise ValueError("service time cannot be negative")
+        self.service_overrides[node_id] = service_time
+
+    # ------------------------------------------------------------------
+    def queue_depth(self, node_id: str, now: float) -> float:
+        """Current backlog at a node (drains lazily with the clock)."""
+        depth = self._depths.get(node_id, 0.0)
+        if depth:
+            last = self._drained_at.get(node_id, now)
+            depth = max(0.0, depth - (now - last) * self.drain_rate)
+            self._depths[node_id] = depth
+        self._drained_at[node_id] = now
+        return depth
+
+    def charge(self, message: Message, now: float, slowdown: float = 1.0) -> float:
+        """Account one delivery: returns its virtual latency and parks
+        one unit of work on the recipient's queue."""
+        link = self.link_overrides.get(
+            (message.sender, message.recipient), self.link_latency
+        )
+        service = self.service_overrides.get(
+            message.recipient, self.service_time
+        )
+        depth = self.queue_depth(message.recipient, now)
+        latency = link + service * slowdown * (1.0 + depth)
+        self._depths[message.recipient] = depth + 1.0
+        if depth + 1.0 > self.max_depth_seen:
+            self.max_depth_seen = depth + 1.0
+        if depth + 1.0 > self.max_depths.get(message.recipient, 0.0):
+            self.max_depths[message.recipient] = depth + 1.0
+        self.accumulated += latency
+        self.counters["deliveries"] += 1
+        if slowdown > 1.0:
+            self.counters["slowed_deliveries"] += 1
+        return latency
+
+    def charge_bulk(self, node_id: str, units: float, now: float) -> None:
+        """Park ``units`` of backlog on a node without a message charge.
+
+        Rebuild transfers move a whole bucket in one RPC: the message
+        itself is charged like any call, but the serialization work it
+        leaves behind scales with the records moved.  Subsequent
+        deliveries to the node pay for that backlog through the queue
+        term until it drains — which is exactly what recovery pacing
+        throttles against.
+        """
+        depth = self.queue_depth(node_id, now) + units
+        self._depths[node_id] = depth
+        if depth > self.max_depth_seen:
+            self.max_depth_seen = depth
+        if depth > self.max_depths.get(node_id, 0.0):
+            self.max_depths[node_id] = depth
+        self.counters["bulk_units"] += units
+
+    def charge_link(self, sender: str, recipient: str) -> float:
+        """Account a reply leg: wire time only (the caller is already
+        waiting; nothing queues at a client)."""
+        link = self.link_overrides.get((sender, recipient), self.link_latency)
+        self.accumulated += link
+        return link
+
+
 class Network:
     """Node registry, message transport, accounting and failure state."""
 
@@ -71,6 +233,8 @@ class Network:
         #: logical clock: 1 unit per top-level operation, plus advance()
         self.now = 0.0
         self.fault_plane = None
+        #: latency/queue plane (None = latency-free, zero overhead)
+        self.service = None
         self._clock_listeners: list[Callable[[float], None]] = []
         #: structured event tracer (None = tracing off, zero overhead)
         self.tracer = None
@@ -78,6 +242,9 @@ class Network:
         self.metrics = None
         self._m_messages = None
         self._m_bytes = None
+        self._m_queue_depth = None
+        self._m_queue_max = None
+        self._m_shed = None
 
     # ------------------------------------------------------------------
     # registry and failure state
@@ -141,6 +308,29 @@ class Network:
         if plane is not None:
             plane.tracer = self.tracer
 
+    def install_service_model(self, model) -> None:
+        """Attach a :class:`ServiceModel` (None removes).
+
+        With a model installed every delivery accrues virtual latency
+        (see :attr:`virtual_time`) and nodes with a bounded
+        ``inbound_queue_limit`` shed excess sheddable traffic with
+        :class:`NodeBusy`.  Without one, nothing here is consulted.
+        """
+        self.service = model
+        self._bind_service_instruments()
+
+    @property
+    def virtual_time(self) -> float:
+        """Logical clock plus all accrued virtual latency.
+
+        Clients bracket an operation with this to measure its
+        end-to-end latency; identical to ``now`` when no service model
+        is installed.
+        """
+        if self.service is None:
+            return self.now
+        return self.now + self.service.accumulated
+
     def install_tracer(self, tracer) -> None:
         """Attach a :class:`~repro.obs.trace.Tracer` (None removes).
 
@@ -173,6 +363,29 @@ class Network:
         else:
             self._m_messages = None
             self._m_bytes = None
+        self._bind_service_instruments()
+
+    def _bind_service_instruments(self) -> None:
+        """Create the service-plane instruments once both a metrics
+        registry and a service model are present."""
+        if self.metrics is None or self.service is None:
+            self._m_queue_depth = None
+            self._m_queue_max = None
+            self._m_shed = None
+            return
+        from repro.obs.metrics import QUEUE_DEPTH_BUCKETS
+
+        self._m_queue_depth = self.metrics.histogram(
+            "svc.queue_depth",
+            QUEUE_DEPTH_BUCKETS,
+            "recipient backlog seen by each delivery",
+        )
+        self._m_queue_max = self.metrics.gauge(
+            "svc.queue_depth.max", "deepest backlog any node reached"
+        )
+        self._m_shed = self.metrics.counter(
+            "svc.shed", "messages shed by bounded inbound queues"
+        )
 
     def add_clock_listener(self, listener: Callable[[float], None]) -> None:
         """Register a callback invoked with ``now`` at each clock step.
@@ -246,6 +459,17 @@ class Network:
                         kind=message.kind,
                         reason="recipient gone",
                     )
+            except NodeBusy:
+                # A matured delayed message arriving at a full queue is
+                # simply lost — nobody waits on a send from the past.
+                plane.counters["lost_in_flight"] += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "msg.lost",
+                        to=message.recipient,
+                        kind=message.kind,
+                        reason="shed",
+                    )
 
     # ------------------------------------------------------------------
     # transport
@@ -255,6 +479,8 @@ class Network:
             raise UnknownNode(message.recipient)
         if message.recipient in self.failed:
             raise NodeUnavailable(message.recipient)
+        if self.service is not None:
+            self._service_admit(message)
         self._depth += 1
         self.stats.record(message.kind, message.size, self._depth)
         if self._m_messages is not None:
@@ -273,6 +499,45 @@ class Network:
             return self.nodes[message.recipient].receive(message)
         finally:
             self._depth -= 1
+
+    def _service_admit(self, message: Message) -> None:
+        """Admission control and latency accounting for one delivery.
+
+        Raises :class:`NodeBusy` at the *sender* when the recipient's
+        bounded inbound queue is full and the kind is sheddable —
+        the backpressure reply senders honor with a jittered backoff.
+        Admitted messages charge virtual latency, stretched by any
+        matching slow rules on the fault plane (gray failures).
+        """
+        service = self.service
+        recipient = message.recipient
+        limit = getattr(self.nodes[recipient], "inbound_queue_limit", None)
+        depth = service.queue_depth(recipient, self.now)
+        if (
+            limit is not None
+            and message.kind in service.sheddable_kinds
+            and depth >= limit
+        ):
+            service.counters["shed"] += 1
+            if self._m_shed is not None:
+                self._m_shed.inc()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "msg.shed",
+                    to=recipient,
+                    kind=message.kind,
+                    depth=int(depth),
+                    limit=limit,
+                )
+            raise NodeBusy(recipient, int(depth), limit)
+        plane = self.fault_plane
+        slowdown = (
+            plane.slowdown(recipient, self.now) if plane is not None else 1.0
+        )
+        service.charge(message, self.now, slowdown)
+        if self._m_queue_depth is not None:
+            self._m_queue_depth.observe(depth)
+            self._m_queue_max.set(service.max_depth_seen)
 
     def send(self, sender: str, recipient: str, kind: str, payload: Any = None) -> None:
         """Fire-and-forget unicast: one message, no reply charged."""
@@ -383,6 +648,8 @@ class Network:
     def _record_reply(self, reply: Message, depth: int) -> None:
         """Account one successful reply leg (stats, metrics, trace)."""
         self.stats.record(reply.kind, reply.size, depth)
+        if self.service is not None:
+            self.service.charge_link(reply.sender, reply.recipient)
         if self._m_messages is not None:
             self._m_messages.inc()
             self._m_bytes.inc(reply.size)
@@ -452,7 +719,13 @@ class Network:
                 finally:
                     self._depth -= 1
             else:
-                result = self._deliver(message)
+                try:
+                    result = self._deliver(message)
+                except NodeBusy:
+                    # An overloaded recipient looks like a dead one from
+                    # the multicaster's seat: only the timeout fires.
+                    unavailable.append(recipient)
+                    continue
                 charged_request = True
             if collect_replies:
                 reply = Message(recipient, sender, f"{kind}.reply", result)

@@ -20,6 +20,11 @@ class Node:
     def __init__(self, node_id: str):
         self.node_id = node_id
         self.network: "Network | None" = None
+        #: bounded inbound queue (None = unbounded).  With a service
+        #: model installed, sheddable messages arriving while this
+        #: node's backlog is at the bound are refused with
+        #: :class:`~repro.sim.network.NodeBusy` — backpressure.
+        self.inbound_queue_limit: int | None = None
 
     # ------------------------------------------------------------------
     def receive(self, message: "Message") -> Any:

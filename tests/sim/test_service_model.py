@@ -1,0 +1,257 @@
+"""Tests for the latency/service-queue plane: charge accounting, lazy
+drains, busy shedding, slow rules, jittered retries, and determinism."""
+
+import json
+
+import pytest
+
+from repro.sim import (
+    DEFAULT_SHEDDABLE_KINDS,
+    FaultPlane,
+    Network,
+    Node,
+    NodeBusy,
+    ServiceModel,
+    SlowRule,
+)
+from repro.sim.faults import RetryPolicy
+from repro.sim.network import DeliveryFault
+from repro.sim.rng import make_rng
+
+
+class Sink(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.seen = 0
+
+    def handle_insert(self, message):
+        self.seen += 1
+        return "ok"
+
+    def handle_bucket_split(self, message):
+        self.seen += 1
+        return "ok"
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    for name in ("a", "b"):
+        network.register(Sink(name))
+    network.install_service_model(
+        ServiceModel(link_latency=0.25, service_time=1.0, drain_rate=1.0)
+    )
+    return network
+
+
+class TestCharges:
+    def test_delivery_charges_link_plus_service(self, net):
+        net.send("a", "b", "insert", {})
+        # empty queue: 0.25 link + 1.0 * (1 + 0) service
+        assert net.service.accumulated == pytest.approx(1.25)
+        assert net.virtual_time == pytest.approx(net.now + 1.25)
+
+    def test_reply_leg_charges_wire_time_only(self, net):
+        net.call("a", "b", "insert", {})
+        # request 1.25 + reply link 0.25 — no service on the caller
+        assert net.service.accumulated == pytest.approx(1.5)
+
+    def test_queue_depth_compounds_service_time(self, net):
+        service = net.service
+        # park two units without letting the clock move between them
+        service.charge_bulk("b", 2.0, net.now)
+        before = service.accumulated
+        net.send("a", "b", "insert", {})
+        # the send's own clock tick drains one unit first, then
+        # 0.25 link + 1.0 * (1 + 1 still queued)
+        assert service.accumulated - before == pytest.approx(2.25)
+
+    def test_backlog_drains_with_the_clock(self, net):
+        service = net.service
+        service.charge_bulk("b", 4.0, net.now)
+        net.advance(3.0)
+        assert service.queue_depth("b", net.now) == pytest.approx(1.0)
+        net.advance(10.0)
+        assert service.queue_depth("b", net.now) == 0.0
+
+    def test_link_and_service_overrides(self, net):
+        net.service.set_link("a", "b", 2.0)
+        net.service.set_service("b", 0.5)
+        net.send("a", "b", "insert", {})
+        assert net.service.accumulated == pytest.approx(2.5)
+
+    def test_per_node_max_depth_tracked(self, net):
+        net.service.charge_bulk("b", 5.0, net.now)
+        net.send("a", "b", "insert", {})
+        # bulk high-water 5.0; the send drained a unit then parked one
+        assert net.service.max_depths["b"] == pytest.approx(5.0)
+        assert "a" not in net.service.max_depths
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceModel(link_latency=-1.0)
+        with pytest.raises(ValueError):
+            ServiceModel(drain_rate=0.0)
+
+
+class TestBusyShedding:
+    def test_sheddable_kind_refused_at_the_bound(self, net):
+        net.nodes["b"].inbound_queue_limit = 2
+        net.send("a", "b", "insert", {})
+        net.service.charge_bulk("b", 5.0, net.now)
+        with pytest.raises(NodeBusy) as excinfo:
+            net.send("a", "b", "insert", {})
+        assert excinfo.value.node_id == "b"
+        assert excinfo.value.stage == "busy"
+        assert excinfo.value.queue_limit == 2
+        assert excinfo.value.queue_depth >= 2
+        assert net.service.counters["shed"] == 1
+        # the refused message was never delivered
+        assert net.nodes["b"].seen == 1
+
+    def test_non_sheddable_kind_charges_past_the_bound(self, net):
+        net.nodes["b"].inbound_queue_limit = 1
+        net.service.charge_bulk("b", 9.0, net.now)
+        net.send("a", "b", "bucket.split", {})  # structural: never shed
+        assert net.nodes["b"].seen == 1
+
+    def test_busy_is_a_delivery_fault(self):
+        # every existing retry ladder catches DeliveryFault, so
+        # backpressure is honored without new catch sites
+        assert issubclass(NodeBusy, DeliveryFault)
+
+    def test_unbounded_node_never_sheds(self, net):
+        net.service.charge_bulk("b", 100.0, net.now)
+        net.send("a", "b", "insert", {})
+        assert net.service.counters["shed"] == 0
+
+    def test_default_sheddable_kinds_exclude_structure(self):
+        assert "insert" in DEFAULT_SHEDDABLE_KINDS
+        assert "parity.update" in DEFAULT_SHEDDABLE_KINDS
+        for kind in ("bucket.split", "bucket.load", "bucket.dump",
+                     "parity.batch", "coord.journal.append"):
+            assert kind not in DEFAULT_SHEDDABLE_KINDS
+
+
+class TestSlowRules:
+    def test_slowdown_defaults_to_one(self):
+        plane = FaultPlane()
+        assert plane.slowdown("f.d1", now=5.0) == 1.0
+
+    def test_factor_applies_to_matching_nodes_only(self):
+        plane = FaultPlane()
+        plane.add_slow_rule(node="f.d*", factor=10.0)
+        assert plane.slowdown("f.d3", now=0.0) == pytest.approx(10.0)
+        assert plane.slowdown("f.p0.0", now=0.0) == 1.0
+
+    def test_ramp_grows_with_the_clock(self):
+        plane = FaultPlane()
+        plane.add_slow_rule(node="f.d1", factor=2.0, ramp=0.5, start=10.0)
+        assert plane.slowdown("f.d1", now=10.0) == pytest.approx(2.0)
+        assert plane.slowdown("f.d1", now=14.0) == pytest.approx(4.0)
+        # before start / after until the rule is dormant
+        assert plane.slowdown("f.d1", now=9.0) == 1.0
+
+    def test_until_expires_the_rule(self):
+        plane = FaultPlane()
+        plane.add_slow_rule(node="*", factor=5.0, start=0.0, until=20.0)
+        assert plane.slowdown("x", now=19.0) == pytest.approx(5.0)
+        assert plane.slowdown("x", now=20.0) == 1.0
+
+    def test_rules_compose_multiplicatively(self):
+        plane = FaultPlane()
+        plane.add_slow_rule(node="f.*", factor=2.0)
+        plane.add_slow_rule(node="f.d1", factor=3.0)
+        assert plane.slowdown("f.d1", now=0.0) == pytest.approx(6.0)
+
+    def test_jitter_bounded_and_seeded(self):
+        a = FaultPlane(rng=make_rng(7))
+        b = FaultPlane(rng=make_rng(7))
+        for plane in (a, b):
+            plane.add_slow_rule(node="*", factor=10.0, jitter=0.2)
+        seq_a = [a.slowdown("n", now=float(t)) for t in range(50)]
+        seq_b = [b.slowdown("n", now=float(t)) for t in range(50)]
+        assert seq_a == seq_b  # same seed, same draws
+        assert all(8.0 <= s <= 12.0 for s in seq_a)
+        assert len(set(seq_a)) > 1  # it really jitters
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowRule(factor=0.5)
+        with pytest.raises(ValueError):
+            SlowRule(ramp=-1.0)
+        with pytest.raises(ValueError):
+            SlowRule(jitter=1.0)
+        with pytest.raises(ValueError):
+            SlowRule(start=5.0, until=5.0)
+
+    def test_clear_rules_drops_slow_rules(self):
+        plane = FaultPlane()
+        plane.add_slow_rule(node="*", factor=2.0)
+        plane.clear_rules()
+        assert plane.slowdown("x", now=0.0) == 1.0
+
+
+class TestRetryJitter:
+    def test_no_jitter_path_is_exact(self):
+        # pinned by tests/sim/test_faults.py too: the deterministic
+        # ladder must not move under the jitter feature flag's default
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=5.0)
+        assert [policy.delay(i) for i in range(4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_deterministic_per_seed_salt_attempt(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=30.0, jitter=True, jitter_seed=42)
+        again = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                            backoff_max=30.0, jitter=True, jitter_seed=42)
+        for attempt in range(5):
+            for salt in (0, 1, 99):
+                assert policy.delay(attempt, salt) == again.delay(
+                    attempt, salt
+                )
+
+    def test_jitter_decorrelates_salts(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=30.0, jitter=True)
+        delays = {policy.delay(3, salt) for salt in range(8)}
+        assert len(delays) > 1
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=6.0, jitter=True)
+        for attempt in range(6):
+            for salt in range(10):
+                d = policy.delay(attempt, salt)
+                assert policy.backoff_base <= d <= policy.backoff_max
+
+
+def _run_traffic(seed: int) -> str:
+    """One deterministic cluster run; returns the serialized per-op
+    virtual-latency sequence."""
+    net = Network()
+    for name in ("client", "s0", "s1", "s2"):
+        net.register(Sink(name))
+    net.install_service_model(
+        ServiceModel(link_latency=0.25, service_time=1.0, drain_rate=0.5)
+    )
+    plane = FaultPlane(rng=make_rng(seed))
+    plane.add_slow_rule(node="s1", factor=8.0, ramp=0.1, jitter=0.3)
+    plane.add_slow_rule(node="s2", factor=2.0, start=10.0, until=40.0)
+    net.install_fault_plane(plane)
+    rng = make_rng(seed + 1)
+    latencies = []
+    for i in range(200):
+        target = f"s{int(rng.integers(0, 3))}"
+        before = net.virtual_time
+        net.call("client", target, "insert", {"i": i})
+        latencies.append(net.virtual_time - before)
+    return json.dumps(latencies)
+
+
+def test_slow_rule_schedule_is_byte_identical_across_runs():
+    """Same seed, same traffic => byte-identical latency sequence, even
+    with ramping + jittered slow rules in play (the jitter draws come
+    from the plane's seeded generator, nothing ambient)."""
+    assert _run_traffic(123) == _run_traffic(123)
+    assert _run_traffic(123) != _run_traffic(124)  # the seed matters
