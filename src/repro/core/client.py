@@ -112,6 +112,45 @@ class RSClient(Client):
         )
 
     # ------------------------------------------------------------------
+    # batched operations: recovery and routing hooks
+    # ------------------------------------------------------------------
+    def _batch_unavailable(self, kind: str, op: dict, failure) -> bool:
+        """A batch target died: report it (the coordinator recovers the
+        bucket onto a spare under the same address), then retry the
+        sub-batch — the LH*RS answer to a dead bucket, batched.  The
+        report carries no op to complete: the retried sub-batch delivers
+        the ops itself once the bucket is back."""
+        net = self.network
+        if net is not None and net.tracer is not None:
+            net.tracer.emit(
+                "client.unavailable",
+                node=failure.node_id,
+                op=kind,
+                key=op.get("key"),
+            )
+        try:
+            self._coord_send(
+                "report.unavailable",
+                {"kind": None, "op": None, "node": failure.node_id},
+            )
+        except (NodeUnavailable, UnknownNode, DeliveryFault):
+            # Coordinator dark: fall back to the scalar path, whose
+            # failover machinery (and failure surface) is authoritative.
+            return False
+        return True
+
+    def _batch_route_scalar(self, kind: str, op: dict) -> bool:
+        """Open-breaker searches skip the batch plane: the scalar
+        :meth:`search` carries the hedge/degraded machinery a slow
+        bucket needs, which an ``ops.batch`` call would bypass."""
+        policy = self.deadline
+        net = self.network
+        if kind != "search" or policy is None or net is None or net.service is None:
+            return False
+        breaker = self._breakers.get(self.image.address(op["key"]))
+        return breaker is not None and breaker.is_open(net.now)
+
+    # ------------------------------------------------------------------
     # deadline/hedged reads (gray failures: the bucket is slow)
     # ------------------------------------------------------------------
     def search(self, key: int) -> SearchOutcome:

@@ -174,6 +174,27 @@ class LHRSConfig:
     health_log_capacity:
         Ring-buffer bound on the coordinator's per-probe-round health
         log; the oldest entries are dropped (and counted) beyond it.
+    batch_ops:
+        Enable the bulk scatter-gather data plane: the ``*_many``
+        client calls bin operations by the client image into one
+        ``ops.batch`` message per target bucket, servers apply each
+        sub-batch vectorized (ranks taken in one pass, payloads stacked
+        into 2D kernels) and coalesce Δ-parity into a single
+        ``parity.batch`` per (bucket, parity-target) pair per client
+        batch.  Off by default: with the knob off the ``*_many`` calls
+        degrade to the scalar per-op loop and every message trace is
+        byte-identical to the unbatched code.
+    batch_max_ops:
+        Ceiling on ops per scattered sub-batch message; a larger client
+        batch is chunked.  Bounds server-side admission cost per
+        message and the shed/retry unit.
+    batch_bulk_weight:
+        Extra service-time units a :class:`~repro.sim.network.ServiceModel`
+        charges per op beyond the first in a batch message (``ops.batch``
+        and ``parity.batch``), via ``charge_bulk``.  0.0 (default) keeps
+        batch messages costing one service time like any other message —
+        the pre-batch costing — while a positive weight models per-op
+        server work so E20 can report honest batched latency.
     """
 
     group_size: int = 4
@@ -210,6 +231,9 @@ class LHRSConfig:
     recovery_pace_burst: float = 8.0
     retry_jitter: bool = False
     health_log_capacity: int = 512
+    batch_ops: bool = False
+    batch_max_ops: int = 256
+    batch_bulk_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
@@ -245,6 +269,10 @@ class LHRSConfig:
             raise ValueError("recovery_pace_burst must be >= 1")
         if self.health_log_capacity < 1:
             raise ValueError("health_log_capacity must be >= 1")
+        if self.batch_max_ops < 1:
+            raise ValueError("batch_max_ops must be >= 1")
+        if self.batch_bulk_weight < 0:
+            raise ValueError("batch_bulk_weight cannot be negative")
         self.deadline_policy  # validate the SLO knobs (DeadlinePolicy raises)
         self.retry_policy  # validate the retry knobs (RetryPolicy raises)
         limit = (1 << self.field_width) - self.group_size

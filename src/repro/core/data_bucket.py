@@ -19,13 +19,16 @@ from __future__ import annotations
 
 import heapq
 import zlib
+from contextlib import contextmanager
 from typing import Any
+
+import numpy as np
 
 from repro.core.group import data_node, group_of, position_of
 from repro.lh import addressing
 from repro.sdds.server import DataServer
 from repro.sim.faults import RetryPolicy
-from repro.sim.messages import Message
+from repro.sim.messages import HEADER_BYTES, Message
 from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.rs.encoder import delta_payload
 
@@ -66,6 +69,12 @@ class RSDataServer(DataServer):
         self._free_ranks: list[int] = []
         #: key -> rank for every stored record
         self.ranks: dict[int, int] = {}
+        #: rank -> key reverse index (kept in lockstep with ``ranks``)
+        #: so compaction finds the highest occupied rank in O(1) amortized
+        self._rank_to_key: dict[int, int] = {}
+        #: >0 while a client batch is applying: Δ-records coalesce into
+        #: the queue and ship as one parity.batch per target at depth 0
+        self._coalesce_depth = 0
         self.retry_policy = retry_policy or RetryPolicy()
         self.parity_ack = parity_ack
         #: monotonic Δ sequence number; the *same* stream goes to every
@@ -89,8 +98,28 @@ class RSDataServer(DataServer):
         self._rank_counter += 1
         return self._rank_counter
 
+    def _take_ranks(self, count: int) -> list[int]:
+        """``count`` ranks in one pass — the same ranks ``count``
+        successive :meth:`_take_rank` calls would hand out."""
+        out: list[int] = []
+        while self._free_ranks and len(out) < count:
+            out.append(heapq.heappop(self._free_ranks))
+        while len(out) < count:
+            self._rank_counter += 1
+            out.append(self._rank_counter)
+        return out
+
     def _release_rank(self, rank: int) -> None:
         heapq.heappush(self._free_ranks, rank)
+
+    def _assign_rank(self, key: int, rank: int) -> None:
+        self.ranks[key] = rank
+        self._rank_to_key[rank] = key
+
+    def _unassign_rank(self, key: int) -> int:
+        rank = self.ranks.pop(key)
+        del self._rank_to_key[rank]
+        return rank
 
     def _compact(self) -> list[dict]:
         """§4.3-style rank compaction; returns the parity ops it implies.
@@ -100,21 +129,31 @@ class RSDataServer(DataServer):
         pair per move, batched by the caller); freed ranks above it are
         simply retired by shrinking the counter.  Afterwards the bucket's
         ranks are exactly {1..size} again.
+
+        The highest occupied rank comes from the ``_rank_to_key``
+        reverse index via a pointer walking down from the counter — the
+        maximum only decreases across the drain (each move fills a rank
+        below ``target`` < the vacated maximum), so the whole drain is
+        O(moves + ranks scanned once), not O(moves × bucket size).
         """
         ops: list[dict] = []
         if not self.compact_ranks:
             return ops
         target = len(self.ranks)
+        high = self._rank_counter
         while self._free_ranks:
             free = heapq.heappop(self._free_ranks)
             if free > target:
                 continue  # beyond the dense range: retire silently
-            key_max, r_max = max(self.ranks.items(), key=lambda kv: kv[1])
+            while high not in self._rank_to_key:
+                high -= 1
+            key_max, r_max = self._rank_to_key[high], high
             payload = self.bucket.get(key_max)
             ops.append(self._parity_op("delete", key_max, r_max, payload, 0))
             op = self._parity_op("insert", key_max, free, payload, len(payload))
             ops.append(op)
-            self.ranks[key_max] = free
+            del self._rank_to_key[r_max]
+            self._assign_rank(key_max, free)
         self._rank_counter = target
         return ops
 
@@ -141,6 +180,11 @@ class RSDataServer(DataServer):
         }
 
     def _send_parity(self, op: dict) -> None:
+        if self._coalesce_depth:
+            # Client-batch coalescing: hold every Δ (no size-triggered
+            # flush) and ship one parity.batch per target at batch end.
+            self._parity_queue.append(op)
+            return
         if self.parity_batch_size > 1:
             # Lazy mode: queue and flush when the batch fills.  The
             # queue is the vulnerability window — a crash loses it.
@@ -150,23 +194,87 @@ class RSDataServer(DataServer):
             return
         self._fanout("parity.update", op)
 
+    def _parity_block(
+        self,
+        action: str,
+        keys: list[int],
+        ranks: list[int],
+        deltas: list[bytes],
+        lengths: list[int],
+    ) -> dict:
+        """One columnar Δ-block: a same-position ``action`` run over
+        parallel columns, carrying the next ``len(keys)`` consecutive
+        sequence numbers.  The parity bucket folds it through one
+        stacked kernel (:meth:`ParityServer._fold_block`)."""
+        seq0 = self._parity_seq + 1
+        self._parity_seq += len(keys)
+        return {
+            "block": action,
+            "pos": self.position,
+            "seq0": seq0,
+            "keys": keys,
+            "ranks": ranks,
+            "deltas": deltas,
+            "lengths": lengths,
+        }
+
+    def _send_parity_block(self, block: dict) -> None:
+        """Queue one columnar block in the Δ stream (FIFO with per-op
+        Δs); blocks only arise inside a coalesced client batch, but a
+        bare one still flushes immediately to keep stream order."""
+        self._parity_queue.append(block)
+        if not self._coalesce_depth:
+            self.flush_parity()
+
+    @staticmethod
+    def _parity_batch_size_of(ops: list[dict]) -> int:
+        """Wire size of a ``{"ops": [...]}`` parity batch, arithmetically.
+
+        A per-op Δ is a 7-field :meth:`_parity_op` dict (26 bytes of key
+        strings + five 8-byte ints + the action string + the Δ bytes); a
+        columnar block is 34 bytes of key strings, the action, two
+        8-byte ints and three 8-byte-int columns plus the Δ bytes.  The
+        envelope's generic payload walk is replaced by one sum, computed
+        once per batch instead of once per parity target.
+        ``tests/core/test_batch_ops.py`` pins equality with
+        :func:`~repro.sim.messages.estimate_size`.
+        """
+        total = HEADER_BYTES + 3
+        for op in ops:
+            if "block" in op:
+                total += (
+                    50 + len(op["block"]) + 24 * len(op["keys"])
+                    + sum(len(d) for d in op["deltas"])
+                )
+            else:
+                total += 66 + len(op["op"]) + len(op["delta"])
+        return total
+
     def flush_parity(self) -> int:
         """Ship every queued Δ-record now; returns how many flushed."""
         if not self._parity_queue:
             return 0
         ops, self._parity_queue = self._parity_queue, []
-        self._fanout("parity.batch", {"ops": ops})
+        self._fanout("parity.batch", {"ops": ops},
+                     size=self._parity_batch_size_of(ops))
         return len(ops)
 
     def _send_parity_batch(self, ops: list[dict]) -> None:
+        if self._coalesce_depth:
+            # Mid-client-batch structural work (split deletes, merges,
+            # compaction) joins the coalesced queue; seqs were taken at
+            # creation, so queue order stays the Δ-stream order.
+            self._parity_queue.extend(ops)
+            return
         # Structural batches (splits, merges, compaction) must apply
         # after any queued per-record Δs — flush preserves FIFO order.
         self.flush_parity()
         if not ops:
             return
-        self._fanout("parity.batch", {"ops": ops})
+        self._fanout("parity.batch", {"ops": ops},
+                     size=self._parity_batch_size_of(ops))
 
-    def _fanout(self, kind: str, payload: Any) -> None:
+    def _fanout(self, kind: str, payload: Any, size: int = 0) -> None:
         """One Δ (or batch) to every parity target, then escalations.
 
         Escalation reports are *deferred* until every reachable target
@@ -180,7 +288,7 @@ class RSDataServer(DataServer):
         """
         reports = []
         for target in self.parity_targets:
-            report = self._send_parity_to(target, kind, payload)
+            report = self._send_parity_to(target, kind, payload, size)
             if report is not None:
                 reports.append(report)
         for report_kind, report_payload in reports:
@@ -193,7 +301,7 @@ class RSDataServer(DataServer):
                 pass
 
     def _send_parity_to(
-        self, target: str, kind: str, payload: Any
+        self, target: str, kind: str, payload: Any, size: int = 0
     ) -> tuple[str, dict] | None:
         """Ship one Δ (or batch) to one parity bucket, surviving faults.
 
@@ -221,9 +329,9 @@ class RSDataServer(DataServer):
         for attempt in range(policy.attempts):
             try:
                 if self.parity_ack:
-                    self.call(target, kind, payload)
+                    self.call(target, kind, payload, size=size)
                 else:
-                    self.send(target, kind, payload)
+                    self.send(target, kind, payload, size=size)
                 return None
             except DeliveryFault as fault:
                 if fault.stage == "reply":
@@ -266,7 +374,7 @@ class RSDataServer(DataServer):
             self.apply_update(key, value)
             return
         rank = self._take_rank()
-        self.ranks[key] = rank
+        self._assign_rank(key, rank)
         self.bucket.put(key, value)
         self._send_parity(self._parity_op("insert", key, rank, value, len(value)))
 
@@ -286,10 +394,155 @@ class RSDataServer(DataServer):
         if key not in self.bucket:
             return
         payload = self.bucket.delete(key)
-        rank = self.ranks.pop(key)
+        rank = self._unassign_rank(key)
         self._send_parity(self._parity_op("delete", key, rank, payload, 0))
         self._release_rank(rank)
         self._send_parity_batch(self._compact())
+
+    # ------------------------------------------------------------------
+    # batched key operations: Δ-coalescing and vectorized runs
+    # ------------------------------------------------------------------
+    def _batch_context(self, ops: list[dict]):
+        return self._coalesce()
+
+    @contextmanager
+    def _coalesce(self):
+        """Hold Δ-records for the duration of one client sub-batch.
+
+        Re-entrant: a split triggered mid-batch re-enters through its
+        own structural parity batch, which simply joins the queue.  At
+        depth 0 the whole queue ships as ONE ``parity.batch`` per parity
+        target — the coalesced-Δ message the 2D bulk fold feeds on.
+        """
+        self._coalesce_depth += 1
+        try:
+            yield
+        finally:
+            self._coalesce_depth -= 1
+            if self._coalesce_depth == 0:
+                self.flush_parity()
+
+    def _apply_batch_ops(self, ops: list[dict]) -> list[dict]:
+        """Vectorize maximal eligible runs of same-kind mutations;
+        everything else takes the scalar per-op path unchanged."""
+        results: list[dict] = []
+        i = 0
+        while i < len(ops):
+            run = self._bulk_run(ops, i)
+            if run > 1:
+                chunk = ops[i:i + run]
+                if chunk[0]["op"] == "insert":
+                    results.extend(self._apply_bulk_insert(chunk))
+                else:
+                    results.extend(self._apply_bulk_update(chunk))
+                i += run
+            else:
+                results.append(self._apply_batch_op(ops[i]))
+                i += 1
+        return results
+
+    def _bulk_run(self, ops: list[dict], start: int) -> int:
+        """Length of the vectorizable run at ``start`` (1 = scalar).
+
+        A run must be same-kind insert-or-update, bytes payloads,
+        pairwise-distinct keys, every key accepted by A2, inserts all
+        absent (and fitting under capacity, so no overflow report can
+        fire mid-run) and updates all present (with no overflow report
+        pending, which only a size change or growth could owe) — the
+        conditions under which the vectorized apply is step-for-step
+        equivalent to the scalar sequence.
+        """
+        kind = ops[start]["op"]
+        if kind not in ("insert", "update"):
+            return 1
+        seen: set[int] = set()
+        run = start
+        while run < len(ops):
+            op = ops[run]
+            key = op["key"]
+            if (
+                op["op"] != kind
+                or key in seen
+                or not isinstance(op.get("value"), (bytes, bytearray))
+                or self._verify(key) is not None
+                or (key in self.bucket) != (kind == "update")
+            ):
+                break
+            seen.add(key)
+            run += 1
+        count = run - start
+        if kind == "insert":
+            # Stop the run at capacity: the tail goes per-op, where the
+            # overflow reports (and any split they trigger) fire exactly
+            # when the scalar sequence would fire them.
+            count = min(count, self.bucket.capacity - len(self.bucket))
+        elif self.bucket.overflowing and len(self.bucket) > self._last_reported_size:
+            return 1  # an overflow report is due; per-op path sends it
+        return count if count >= 2 else 1
+
+    def _apply_bulk_insert(self, ops: list[dict]) -> list[dict]:
+        """Insert a run in one pass: ranks taken together, one store
+        write per record, Δs queued in stream order."""
+        ranks = self._take_ranks(len(ops))
+        keys: list[int] = []
+        values: list[bytes] = []
+        lengths: list[int] = []
+        put = self.bucket.put
+        assign = self._assign_rank
+        for op, rank in zip(ops, ranks):
+            key, value = op["key"], op["value"]
+            assign(key, rank)
+            put(key, value)
+            keys.append(key)
+            values.append(value)
+            lengths.append(len(value))
+        self._send_parity_block(
+            self._parity_block("insert", keys, ranks, values, lengths)
+        )
+        # The run fits under capacity, so this is the scalar sequence's
+        # final not-overflowing marker reset, not a report.
+        self._report_overflow_if_needed()
+        return ["applied"] * len(ops)
+
+    def _apply_bulk_update(self, ops: list[dict]) -> list[dict]:
+        """Update a run with one stacked-XOR delta kernel.
+
+        Old and new payloads are stacked into two (run × symbols)
+        matrices, XORed in one pass, and converted back to bytes in one
+        call; each op's Δ is its row trimmed to max(len(old), len(new))
+        — byte-identical to scalar ``delta_payload``, which zero-extends
+        the shorter operand to exactly that length.
+        """
+        keys = [op["key"] for op in ops]
+        news = [op["value"] for op in ops]
+        olds = [self.bucket.get(k) for k in keys]
+        lengths = [max(len(o), len(n)) for o, n in zip(olds, news)]
+        longest = max(lengths)
+        if longest:
+            sym_len = self.field.symbol_length_for_bytes(longest)
+            stacked_old = self.field.stack_payloads(olds, sym_len)
+            stacked_new = self.field.stack_payloads(news, sym_len)
+            delta = np.bitwise_xor(stacked_old, stacked_new)
+            blob = self.field.bytes_from_symbols(delta.reshape(-1))
+            row_bytes = len(blob) // len(ops)
+        else:
+            blob, row_bytes = b"", 0
+        put = self.bucket.put
+        ranks = [self.ranks[key] for key in keys]
+        deltas: list[bytes] = []
+        new_lengths: list[int] = []
+        for idx, (key, new) in enumerate(zip(keys, news)):
+            put(key, new)
+            start = idx * row_bytes
+            deltas.append(blob[start:start + lengths[idx]])
+            new_lengths.append(len(new))
+        self._send_parity_block(
+            self._parity_block("update", keys, ranks, deltas, new_lengths)
+        )
+        # No size change and no report pending (run precondition), so
+        # this only performs the scalar sequence's marker bookkeeping.
+        self._report_overflow_if_needed()
+        return ["applied"] * len(ops)
 
     # ------------------------------------------------------------------
     # splits: group membership follows the record
@@ -309,7 +562,7 @@ class RSDataServer(DataServer):
         # batch must already be reflected locally (see _send_parity_to).
         delete_ops = []
         for key, payload in move:
-            rank = self.ranks.pop(key)
+            rank = self._unassign_rank(key)
             delete_ops.append(self._parity_op("delete", key, rank, payload, 0))
             self._release_rank(rank)
         delete_ops.extend(self._compact())
@@ -329,7 +582,7 @@ class RSDataServer(DataServer):
         insert_ops = []
         for key, payload in message.payload["records"]:
             rank = self._take_rank()
-            self.ranks[key] = rank
+            self._assign_rank(key, rank)
             self.bucket.put(key, payload)
             insert_ops.append(
                 self._parity_op("insert", key, rank, payload, len(payload))
@@ -355,12 +608,14 @@ class RSDataServer(DataServer):
                 for key, payload in records
             ]
             self.ranks.clear()
+            self._rank_to_key.clear()
             self._free_ranks.clear()
             self._rank_counter = 0
             self.bucket.records = {}
             self._send_parity_batch(delete_ops)
         else:
             self.ranks.clear()
+            self._rank_to_key.clear()
             self.bucket.records = {}
         self.send(
             data_node(self.file_id, into),
@@ -373,7 +628,7 @@ class RSDataServer(DataServer):
         # Single-record arrival outside a bulk (not used by RS splits,
         # but kept consistent for subclasses / tests).
         rank = self._take_rank()
-        self.ranks[key] = rank
+        self._assign_rank(key, rank)
         self.bucket.put(key, value)
         self._send_parity(self._parity_op("insert", key, rank, value, len(value)))
 
@@ -446,9 +701,10 @@ class RSDataServer(DataServer):
         payload = message.payload
         self.bucket.records = {}
         self.ranks = {}
+        self._rank_to_key = {}
         for key, rank, value in payload["records"]:
             self.bucket.put(key, value)
-            self.ranks[key] = rank
+            self._assign_rank(key, rank)
         self._rank_counter = payload["counter"]
         self._free_ranks = list(payload["free_ranks"])
         heapq.heapify(self._free_ranks)

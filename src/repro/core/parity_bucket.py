@@ -42,6 +42,37 @@ from repro.sim.network import NodeUnavailable, UnknownNode
 from repro.sim.node import Node
 
 
+class StoredParityRecord(ParityRecord):
+    """A :class:`ParityRecord` whose symbols live in a StripeStore row.
+
+    ``symbols`` is rendered from the store on demand instead of being a
+    cached row view: folds write through the store directly, so there is
+    nothing to re-bind after a store reallocation — the hot batch paths
+    skip both the per-op view creation and the whole-bucket refresh a
+    cached binding would force.  Assignments to ``symbols`` are ignored
+    (every store-path assignment is a rebind of the very view the
+    property renders).
+    """
+
+    def __init__(self, rank: int, store: StripeStore):
+        self._store = store
+        self.rank = rank
+        self.keys = {}
+        self.lengths = {}
+
+    @property
+    def symbols(self) -> np.ndarray:
+        store = self._store
+        row = store._row_of.get(self.rank)
+        if row is None:
+            return np.zeros(0, dtype=store.field.symbol_dtype)
+        return store.matrix[row, : store._length[self.rank]]
+
+    @symbols.setter
+    def symbols(self, value: np.ndarray) -> None:
+        pass  # store-backed: the store row *is* the symbol state
+
+
 class ParityServer(Node):
     """One parity bucket of one bucket group."""
 
@@ -103,17 +134,21 @@ class ParityServer(Node):
             return
         needed = self.field.symbol_length_for_bytes(len(delta))
         length = max(needed, len(record.symbols))
-        if self._store.ensure(record.rank, length):
-            self._refresh_views()
+        self._store.ensure(record.rank, length)
         view = self._store.view(record.rank)
         self.field.scale_accumulate(view, coefficient, delta)
-        record.symbols = view
 
     def _refresh_views(self) -> None:
         """Re-bind every record's symbols view after a store reallocation."""
         assert self._store is not None
         for rank, record in self.records.items():
             record.symbols = self._store.view(rank)
+
+    def _new_record(self, rank: int) -> ParityRecord:
+        """A record under the active storage layout (store rows = lazy)."""
+        if self._store is None:
+            return ParityRecord(rank=rank)
+        return StoredParityRecord(rank, self._store)
 
     def _drop_record(self, rank: int) -> None:
         del self.records[rank]
@@ -146,7 +181,7 @@ class ParityServer(Node):
         record = self.records.get(rank)
         created = record is None
         if created:
-            record = ParityRecord(rank=rank)
+            record = self._new_record(rank)
             self.records[rank] = record
 
         coefficient = self.row[pos]
@@ -276,7 +311,7 @@ class ParityServer(Node):
             return False
         seen: set[tuple[int, int]] = set()
         for op in ops:
-            if op.get("seq") is not None or op["op"] != "insert":
+            if op.get("seq") is not None or op.get("op") != "insert":
                 return False
             if not 0 <= op["pos"] < len(self.row):
                 return False  # per-op path raises the proper ValueError
@@ -315,7 +350,7 @@ class ParityServer(Node):
         parity = field.gf_matmul([self.row], stacked)[0]
 
         for r, rank in enumerate(ranks):
-            record = ParityRecord(rank=rank)
+            record = self._new_record(rank)
             stripe = max(
                 field.symbol_length_for_bytes(len(op["delta"]))
                 for op in by_rank[rank]
@@ -323,10 +358,8 @@ class ParityServer(Node):
             if self._store is None:
                 record.symbols = parity[r, :stripe].copy()
             else:
-                if self._store.ensure(rank, stripe):
-                    self._refresh_views()
+                self._store.ensure(rank, stripe)
                 self._store.view(rank)[:] = parity[r, :stripe]
-                record.symbols = self._store.view(rank)
             for op in by_rank[rank]:
                 pos = op["pos"]
                 record.keys[pos] = op["key"]
@@ -336,15 +369,238 @@ class ParityServer(Node):
             self.records[rank] = record
         return len(ops)
 
+    def _expand_block(self, block: dict) -> list[dict]:
+        """Per-op Δ-record dicts equivalent to one columnar block."""
+        action = block["block"]
+        pos = block["pos"]
+        seq0 = block["seq0"]
+        return [
+            {
+                "op": action, "key": key, "rank": rank, "pos": pos,
+                "delta": delta, "length": length, "seq": seq0 + i,
+            }
+            for i, (key, rank, delta, length) in enumerate(
+                zip(block["keys"], block["ranks"],
+                    block["deltas"], block["lengths"])
+            )
+        ]
+
+    def _fold_block(self, block: dict) -> tuple[int, bool]:
+        """Fold one columnar Δ-block; returns (applied, stale).
+
+        The block is a same-position insert/update run with consecutive
+        sequence numbers (``seq0`` .. ``seq0`` + n - 1) and distinct
+        ranks — what a data bucket's vectorized batch apply emits.  On a
+        healthy channel (``seq0`` equals the expectation) the whole
+        block channel-checks in one comparison and folds through one
+        stacked kernel + scatter.  Anything else — retransmissions,
+        gaps, the per-record storage layout, malformed shapes — expands
+        to per-op Δs and takes the exact scalar path, so verdicts,
+        counters and trace events match op-for-op.
+        """
+        pos = block["pos"]
+        ranks = block["ranks"]
+        n = len(ranks)
+        expected = self._expected_seq.get(pos, 1)
+        store = self._store
+        if (
+            store is None
+            or n == 0
+            or block["seq0"] != expected
+            or block["block"] not in ("insert", "update")
+            or not 0 <= pos < len(self.row)
+            or len(set(ranks)) != n
+        ):
+            applied = 0
+            for op in self._expand_block(block):
+                verdict = self._channel_check(op)
+                if verdict == "apply":
+                    self._apply(op)
+                    applied += 1
+                elif verdict == "stale":
+                    return applied, True
+            return applied, False
+        self._expected_seq[pos] = expected + n
+        field = self.field
+        deltas = block["deltas"]
+        if field.symbol_dtype.itemsize == 1:
+            needs = [len(d) for d in deltas]
+        else:
+            needs = [field.symbol_length_for_bytes(len(d)) for d in deltas]
+        stacked = field.stack_payloads(deltas, max(needs))
+        coefficient = self.row[pos]
+        if coefficient == 1:
+            scaled = stacked  # rows are only read below; alias is safe
+        else:
+            scaled = field.mul_matrix(stacked, coefficient)
+        store.scatter_xor(ranks, needs, scaled)
+        action = block["block"]
+        keys = block["keys"]
+        lengths = block["lengths"]
+        records = self.records
+        key_index = self._key_index
+        for i in range(n):
+            rank = ranks[i]
+            record = records.get(rank)
+            if record is None:
+                record = StoredParityRecord(rank, store)
+                records[rank] = record
+            if action == "insert":
+                record.keys[pos] = keys[i]
+                key_index[keys[i]] = (rank, pos)
+            record.lengths[pos] = lengths[i]
+        tracer = self.network.tracer if self.network is not None else None
+        if tracer is not None:
+            seq0 = block["seq0"]
+            for i in range(n):
+                tracer.emit(
+                    "parity.delta", node=self.node_id, pos=pos,
+                    seq=seq0 + i, expected=expected + i,
+                    verdict="apply", op=action,
+                )
+        self.symbol_ops += sum(needs)
+        if coefficient == 1:
+            self.xor_folds += n
+        else:
+            self.general_folds += n
+        return n, False
+
+    def _bulk_foldable(self, ops: list[dict], start: int) -> int:
+        """Length of the one-kernel-foldable run at ``start``.
+
+        A run is sequenced insert/update Δs sharing one (valid) group
+        position — exactly the shape of a coalesced client batch from
+        one data bucket.  Deletes (record-group bookkeeping, possible
+        drop) and unsequenced ops stay on the per-op path, splitting the
+        batch into segments.
+        """
+        pos = ops[start]["pos"]
+        if not 0 <= pos < len(self.row):
+            return 0  # per-op path raises the proper ValueError
+        run = start
+        while run < len(ops):
+            op = ops[run]
+            if (
+                op.get("seq") is None
+                or op["op"] not in ("insert", "update")
+                or op["pos"] != pos
+            ):
+                break
+            run += 1
+        return run - start
+
+    def _bulk_fold(self, ops: list[dict]) -> tuple[int, bool]:
+        """Fold one same-position run with one stacked kernel pass.
+
+        Channel-checks every op first (collecting the appliers, skipping
+        duplicates, stopping at the first stale — the checks only touch
+        ``_expected_seq``, which no fold reads, so check-then-fold is
+        order-equivalent to the scalar interleaving), then scales the
+        whole stacked Δ matrix by the position's coefficient in ONE
+        table gather and folds row by row.  Returns (applied, stale).
+        """
+        pos = ops[0]["pos"]
+        applies: list[dict] = []
+        stale = False
+        for op in ops:
+            verdict = self._channel_check(op)
+            if verdict == "apply":
+                applies.append(op)
+            elif verdict == "stale":
+                stale = True
+                break
+        if not applies:
+            return 0, stale
+        field = self.field
+        coefficient = self.row[pos]
+        needs = [
+            field.symbol_length_for_bytes(len(op["delta"])) for op in applies
+        ]
+        stacked = field.stack_payloads(
+            [op["delta"] for op in applies], max(needs)
+        )
+        if coefficient == 1:
+            scaled = stacked  # rows are only read below; alias is safe
+        else:
+            scaled = field.mul_matrix(stacked, coefficient)
+        ranks = [op["rank"] for op in applies]
+        if self._store is not None and len(set(ranks)) == len(ranks):
+            # Store-backed with distinct ranks (every coalesced client
+            # batch: distinct keys ⇒ distinct ranks): fold the whole run
+            # in ONE fancy-index scatter instead of a per-row loop.
+            # Rows are zero beyond their logical length, so the
+            # full-width XOR is byte-identical to per-row prefix folds.
+            self._store.scatter_xor(ranks, needs, scaled)
+            records, key_index, store = self.records, self._key_index, self._store
+            for op, rank in zip(applies, ranks):
+                record = records.get(rank)
+                if record is None:
+                    record = StoredParityRecord(rank, store)
+                    records[rank] = record
+                if op["op"] == "insert":
+                    record.keys[pos] = op["key"]
+                    record.lengths[pos] = op["length"]
+                    key_index[op["key"]] = (rank, pos)
+                else:  # update
+                    record.lengths[pos] = op["length"]
+            self.symbol_ops += sum(needs)
+            if coefficient == 1:
+                self.xor_folds += len(applies)
+            else:
+                self.general_folds += len(applies)
+            return len(applies), stale
+        for op, row, needed in zip(applies, scaled, needs):
+            rank = op["rank"]
+            record = self.records.get(rank)
+            created = record is None
+            if created:
+                record = self._new_record(rank)
+                self.records[rank] = record
+            try:
+                self._fold_prescaled(record, row, needed)
+            except BaseException:
+                if created:
+                    self._drop_record(rank)
+                raise
+            self._count_fold(coefficient, len(op["delta"]))
+            if op["op"] == "insert":
+                record.keys[pos] = op["key"]
+                record.lengths[pos] = op["length"]
+                self._key_index[op["key"]] = (rank, pos)
+            else:  # update
+                record.lengths[pos] = op["length"]
+        return len(applies), stale
+
+    def _fold_prescaled(
+        self, record: ParityRecord, scaled: np.ndarray, needed: int
+    ) -> None:
+        """Fold one already-scaled Δ row, mirroring :meth:`_fold_into`
+        byte-for-byte (growth rule, store ensure, XOR extent)."""
+        if self._store is None:
+            symbols = record.symbols
+            if needed > len(symbols):
+                grown = np.zeros(needed, dtype=self.field.symbol_dtype)
+                grown[: len(symbols)] = symbols
+                symbols = grown
+            symbols[:needed] ^= scaled[:needed]
+            record.symbols = symbols
+            return
+        length = max(needed, len(record.symbols))
+        self._store.ensure(record.rank, length)
+        view = self._store.view(record.rank)
+        view[:needed] ^= scaled[:needed]
+
     def handle_parity_batch(self, message: Message) -> dict:
-        """Batched Δ-records (splits, merges and encodes ship these).
+        """Batched Δ-records (client batches, splits, merges, encodes).
 
         Whole-group encode batches (fresh bucket, unsequenced inserts)
-        take the 2D bulk path.  Otherwise ops apply one by one: ops in
-        one batch share a channel and are contiguous, so the first stale
-        op means every later one is too — stop and report once.  A
-        trailing ``expected_seqs`` map (coordinator encode paths)
-        re-bases the channels afterwards.
+        take the 2D bulk path.  Sequenced same-position insert/update
+        runs — the coalesced client batches — fold through one stacked
+        kernel per run (:meth:`_bulk_fold`); everything else applies op
+        by op.  Ops in one batch share a channel and are contiguous, so
+        the first stale op means every later one is too — stop and
+        report once.  A trailing ``expected_seqs`` map (coordinator
+        encode paths) re-bases the channels afterwards.
         """
         ops = message.payload["ops"]
         tracer = self.network.tracer if self.network is not None else None
@@ -356,12 +612,25 @@ class ParityServer(Node):
             applied = self._bulk_encode(ops)
         else:
             applied = 0
-            for op in ops:
-                verdict = self._channel_check(op)
-                if verdict == "apply":
-                    self._apply(op)
-                    applied += 1
-                elif verdict == "stale":
+            i = 0
+            while i < len(ops):
+                if "block" in ops[i]:
+                    done, stale = self._fold_block(ops[i])
+                    applied += done
+                    i += 1
+                elif (run := self._bulk_foldable(ops, i)) >= 2:
+                    done, stale = self._bulk_fold(ops[i:i + run])
+                    applied += done
+                    i += run
+                else:
+                    op = ops[i]
+                    verdict = self._channel_check(op)
+                    stale = verdict == "stale"
+                    if verdict == "apply":
+                        self._apply(op)
+                        applied += 1
+                    i += 1
+                if stale:
                     self._report_stale()
                     return {"status": "stale", "applied": applied}
         expected = message.payload.get("expected_seqs")
@@ -442,14 +711,12 @@ class ParityServer(Node):
     def handle_parity_load(self, message: Message) -> None:
         """Bulk-load recovered content into a fresh (spare) parity bucket."""
         snaps = message.payload["records"]
-        self.records = {
-            snap["rank"]: ParityRecord(
-                rank=snap["rank"],
-                keys=dict(snap["keys"]),
-                lengths=dict(snap["lengths"]),
-            )
-            for snap in snaps
-        }
+        self.records = {}
+        for snap in snaps:
+            record = self._new_record(snap["rank"])
+            record.keys = dict(snap["keys"])
+            record.lengths = dict(snap["lengths"])
+            self.records[snap["rank"]] = record
         if self._store is None:
             for snap in snaps:
                 self.records[snap["rank"]].symbols = (
@@ -459,7 +726,6 @@ class ParityServer(Node):
             self._store.bulk_load(
                 [(snap["rank"], snap["parity"]) for snap in snaps]
             )
-            self._refresh_views()
         self._key_index = {
             key: (rank, pos)
             for rank, record in self.records.items()
@@ -507,6 +773,9 @@ class ParityServer(Node):
             "group": self.group,
             "index": self.index,
             "records": len(self.records),
-            "parity_bytes": int(sum(r.symbols.nbytes for r in self.records.values())),
+            "parity_bytes": int(
+                self._store.nbytes() if self._store is not None
+                else sum(r.symbols.nbytes for r in self.records.values())
+            ),
             "stale": self.stale,
         }

@@ -100,6 +100,60 @@ class StripeStore:
             self._length[rank] = length
         return grew
 
+    def scatter_xor(
+        self, ranks: list[int], lengths: list[int], rows: np.ndarray
+    ) -> bool:
+        """Fold one pre-scaled Δ row per rank in a single scatter.
+
+        ``rows`` is a ``(len(ranks) x W)`` matrix whose row *i* is
+        XOR-folded into ``ranks[i]``'s stripe; ``lengths[i]`` is that
+        row's logical symbol length (rows are zero-padded beyond it, so
+        folding the full width is semantically the same as folding the
+        logical prefix).  Ranks must be distinct — duplicate ranks in a
+        fancy-index scatter would silently drop all but one fold.
+
+        Equivalent to ``ensure`` + ``view`` + per-row XOR, with at most
+        one reallocation for the whole batch.  Returns ``True`` when
+        the matrix was reallocated (cached views are stale).
+        """
+        width = int(rows.shape[1])
+        grew = False
+        if width > self.width:
+            new_width = max(8, self.width)
+            while new_width < width:
+                new_width *= 2
+            fresh = np.zeros(
+                (self.matrix.shape[0], new_width), dtype=self.field.symbol_dtype
+            )
+            fresh[:, : self.width] = self.matrix
+            self.matrix = fresh
+            self.generation += 1
+            grew = True
+        fresh_ranks = [r for r in ranks if r not in self._row_of]
+        if len(fresh_ranks) > len(self._free):
+            old_rows = self.matrix.shape[0]
+            new_rows = max(8, 2 * old_rows)
+            while new_rows - old_rows + len(self._free) < len(fresh_ranks):
+                new_rows *= 2
+            fresh = np.zeros(
+                (new_rows, self.width), dtype=self.field.symbol_dtype
+            )
+            fresh[:old_rows] = self.matrix
+            self.matrix = fresh
+            self.generation += 1
+            grew = True
+            self._free.extend(range(new_rows - 1, old_rows - 1, -1))
+        row_of, length_of = self._row_of, self._length
+        for rank in fresh_ranks:
+            row_of[rank] = self._free.pop()
+            length_of[rank] = 0
+        for rank, length in zip(ranks, lengths):
+            if length > length_of[rank]:
+                length_of[rank] = length
+        targets = [row_of[rank] for rank in ranks]
+        self.matrix[targets, :width] ^= rows
+        return grew
+
     def release(self, rank: int) -> None:
         """Drop a rank; its row is zeroed and recycled."""
         row = self._row_of.pop(rank)

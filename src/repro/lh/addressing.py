@@ -94,9 +94,19 @@ def adjust_image(i_image: int, n_image: int, j_server: int, a_server: int,
         n_new = 0
         i_new += 1
     # Never regress: keep whichever image describes the larger file.
-    if n_new + (1 << i_new) * n0 <= n_image + (1 << i_image) * n0:
+    if file_extent(n_new, i_new, n0) <= file_extent(n_image, i_image, n0):
         return i_image, n_image
     return i_new, n_new
+
+
+def file_extent(n: int, i: int, n0: int = 1) -> int:
+    """Bucket count ``M = n + 2^i * N`` of a file (or image) at state (n, i).
+
+    Identity E1 of the paper family — the single place the expected
+    bucket count is derived from a file state.  Client images, the scan
+    termination check and the A3 no-regress comparison all call this.
+    """
+    return n + (1 << i) * n0
 
 
 def bucket_level(m: int, n: int, i: int, n0: int = 1) -> int:
@@ -148,4 +158,4 @@ def max_bucket(n: int, i: int, n0: int = 1) -> int:
     The LH*g file-state recovery algorithm (A6) uses the identity
     ``M = n + N * 2^i`` (equation E1 of the paper family).
     """
-    return n + (1 << i) * n0 - 1
+    return file_extent(n, i, n0) - 1

@@ -39,8 +39,8 @@ class ClientImage:
 
     @property
     def bucket_count_estimate(self) -> int:
-        """How many buckets the client thinks exist."""
-        return self.n + (1 << self.i) * self.n0
+        """How many buckets the client thinks exist (identity E1)."""
+        return addressing.file_extent(self.n, self.i, self.n0)
 
     def reset(self) -> None:
         """Forget everything (models a restarted client)."""

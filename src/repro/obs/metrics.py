@@ -45,6 +45,8 @@ LATENCY_BUCKETS = (
 )
 #: Inbound service-queue depth observed by each delivery.
 QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+#: Ops per scattered sub-batch (one ``ops.batch`` message).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 class Counter:

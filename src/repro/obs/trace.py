@@ -72,6 +72,10 @@ EVENT_TYPES = frozenset(
         "op.retry",
         "op.failed",
         "client.unavailable",
+        # bulk scatter-gather data plane
+        "batch.scatter",
+        "batch.rebin",
+        "batch.fallback",
         # gray-failure tolerance: hedged/degraded reads, deadlines,
         # per-bucket circuit breakers and paced rebuilds
         "op.hedged",

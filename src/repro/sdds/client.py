@@ -14,9 +14,11 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.lh import addressing
 from repro.lh.image import ClientImage
+from repro.obs.metrics import BATCH_SIZE_BUCKETS
 from repro.sim.faults import RetryPolicy
-from repro.sim.messages import Message
+from repro.sim.messages import HEADER_BYTES, Message, estimate_size
 from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.sim.node import Node
 
@@ -50,6 +52,52 @@ class SearchOutcome:
 
 
 @dataclass
+class OpOutcome:
+    """Per-key result of one operation inside a batch.
+
+    ``status`` is ``"ok"`` (mutation applied), ``"found"`` /
+    ``"not_found"`` (search), or ``"failed"`` (the retry ladder ran dry
+    — the batch call surfaces this per key instead of raising).
+    """
+
+    key: int
+    status: str
+    value: Any = None
+    error: str | None = None
+
+
+@dataclass
+class BatchOutcome:
+    """Gathered result of one ``*_many`` call.
+
+    ``outcomes[i]`` corresponds to the i-th submitted operation.
+    ``applied_order`` lists operation indices in the order their effects
+    were confirmed at the buckets — the replay order an oracle must use
+    to reproduce the batch scalar-sequentially (sub-batches apply in
+    call order; ops within a sub-batch in submission order; re-binned
+    and fallback ops later).  ``messages`` counts batch-plane messages
+    (one request + one reply per successful ``ops.batch`` call);
+    fallback scalar traffic is visible in the network's MessageStats.
+    """
+
+    outcomes: list["OpOutcome | None"]
+    applied_order: list[int] = field(default_factory=list)
+    batched_ops: int = 0
+    scalar_ops: int = 0
+    messages: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(o is not None and o.status != "failed"
+                   for o in self.outcomes)
+
+    @property
+    def failed_keys(self) -> list[int]:
+        return [o.key for o in self.outcomes
+                if o is not None and o.status == "failed"]
+
+
+@dataclass
 class ScanResult:
     """Result of one scan (parallel non-key search)."""
 
@@ -63,6 +111,11 @@ class ScanResult:
 class Client(Node):
     """An application's access point to one LH* file."""
 
+    #: bounded image-convergence rounds for a scattered batch before the
+    #: leftovers fall back to the scalar per-op path (A2 forwarding there
+    #: guarantees completion regardless of image staleness)
+    _BATCH_ROUNDS = 8
+
     def __init__(
         self,
         node_id: str,
@@ -71,10 +124,16 @@ class Client(Node):
         retry: RetryPolicy | None = None,
         ack_writes: bool = False,
         coord_replicas: int = 0,
+        batch_ops: bool = False,
+        batch_max_ops: int = 256,
     ):
         super().__init__(node_id)
         self.file_id = file_id
         self.image = ClientImage(n0=n0)
+        #: bulk scatter-gather plane: off ⇒ ``*_many`` degrade to the
+        #: scalar per-op loop with byte-identical message traces
+        self.batch_ops = batch_ops
+        self.batch_max_ops = batch_max_ops
         #: how many standby coordinator replicas exist (the whois pull
         #: path walks <file>.coord.r1 .. .rN when the primary is dark)
         self.coord_replicas = coord_replicas
@@ -112,6 +171,17 @@ class Client(Node):
         subclasses decide what else to do then (LH*RS starts recovery).
         """
         key = payload["key"]
+        self._validate_key(key)
+        target = self._data_node(self.image.address(key))
+        try:
+            self.send(target, kind, payload)
+        except UnknownNode:
+            self._route_via_coordinator(kind, payload)
+        except NodeUnavailable as failure:
+            self.on_unavailable(kind, payload, failure)
+
+    @staticmethod
+    def _validate_key(key: Any) -> None:
         if (
             not isinstance(key, numbers.Integral)
             or isinstance(key, bool)
@@ -121,13 +191,6 @@ class Client(Node):
                 f"keys are non-negative integers (linear hashing domain); "
                 f"got {key!r}"
             )
-        target = self._data_node(self.image.address(key))
-        try:
-            self.send(target, kind, payload)
-        except UnknownNode:
-            self._route_via_coordinator(kind, payload)
-        except NodeUnavailable as failure:
-            self.on_unavailable(kind, payload, failure)
 
     def _route_via_coordinator(self, kind: str, payload: dict) -> None:
         routed = dict(payload)
@@ -337,6 +400,276 @@ class Client(Node):
         raise OperationFailed("search", key, attempts)
 
     # ------------------------------------------------------------------
+    # batched key operations (bulk scatter-gather plane)
+    # ------------------------------------------------------------------
+    def insert_many(self, items) -> BatchOutcome:
+        """Insert many records; one ``ops.batch`` message per addressed
+        bucket instead of one message per record."""
+        return self._run_many(
+            "insert",
+            [{"op": "insert", "key": k, "value": v} for k, v in items],
+        )
+
+    def update_many(self, items) -> BatchOutcome:
+        """Update (upsert) many records, batched like :meth:`insert_many`."""
+        return self._run_many(
+            "update",
+            [{"op": "update", "key": k, "value": v} for k, v in items],
+        )
+
+    def delete_many(self, keys) -> BatchOutcome:
+        """Delete many records, batched like :meth:`insert_many`."""
+        return self._run_many(
+            "delete", [{"op": "delete", "key": k} for k in keys]
+        )
+
+    def search_many(self, keys) -> BatchOutcome:
+        """Search many keys; outcomes carry found/not_found and values."""
+        return self._run_many(
+            "search", [{"op": "search", "key": k} for k in keys]
+        )
+
+    def _run_many(self, kind: str, ops: list[dict]) -> BatchOutcome:
+        """Scatter ``ops`` by the image, gather per-key outcomes.
+
+        With batching off (or a singleton batch) this is exactly the
+        scalar loop — same calls, same messages, byte-identical traces.
+        Batched: bin by image address into one ``ops.batch`` call per
+        target bucket (chunked at ``batch_max_ops``), adjust the image
+        once per sub-batch reply, re-bin refused ("moved") ops for up to
+        ``_BATCH_ROUNDS`` rounds, and run whatever remains — plus any
+        sub-batch whose bucket stayed unreachable — through the scalar
+        per-op path, which handles coordinator routing and recovery.
+        """
+        for op in ops:
+            self._validate_key(op["key"])
+        outcome = BatchOutcome(outcomes=[None] * len(ops))
+        if not self.batch_ops or len(ops) <= 1:
+            for idx, op in enumerate(ops):
+                self._scalar_op(kind, op, idx, outcome)
+            return outcome
+        pending: list[int] = []
+        fallback: list[int] = []
+        for idx, op in enumerate(ops):
+            (fallback if self._batch_route_scalar(kind, op)
+             else pending).append(idx)
+        # Per-op wire size, computed once for the whole run: servers
+        # never mutate client op dicts, so every round and retry reuses
+        # the same objects, and each ops.batch message is sized
+        # arithmetically instead of walking its payload.  A mutation op
+        # sizes to its key strings ("op"+"key"+"value" = 10) plus the
+        # kind, an 8-byte key and the value; key-only ops drop the
+        # "value" term.  Non-bytes values fall back to the estimator.
+        base = 13 + len(kind)
+        op_sizes = [
+            base + (0 if "value" not in op
+                    else 5 + len(op["value"])
+                    if type(op["value"]) is bytes
+                    else estimate_size(op) - base)
+            for op in ops
+        ]
+        # idx -> (refusing bucket, its A2 forward address): applied when
+        # the image still points at the bucket that just said "moved".
+        hints: dict[int, tuple[int, int]] = {}
+        for round_no in range(self._BATCH_ROUNDS):
+            if not pending:
+                break
+            pending, unreachable = self._scatter_round(
+                kind, ops, op_sizes, pending, hints, outcome, round_no
+            )
+            fallback.extend(unreachable)
+        fallback.extend(pending)
+        if fallback:
+            self._trace("batch.fallback", op=kind, ops=len(fallback))
+            for idx in sorted(set(fallback)):
+                self._scalar_op(kind, ops[idx], idx, outcome)
+        net = self.network
+        if net is not None and net.metrics is not None:
+            net.metrics.counter(
+                "batch.ops", "operations submitted via *_many"
+            ).inc(len(ops))
+            if outcome.batched_ops:
+                net.metrics.gauge(
+                    "batch.msgs_per_op",
+                    "batch-plane messages per batched op (last batch)",
+                ).set(outcome.messages / outcome.batched_ops)
+        return outcome
+
+    def _scatter_round(
+        self,
+        kind: str,
+        ops: list[dict],
+        op_sizes: list[int],
+        pending: list[int],
+        hints: dict[int, tuple[int, int]],
+        outcome: BatchOutcome,
+        round_no: int,
+    ) -> tuple[list[int], list[int]]:
+        """One scatter round; returns (re-binned, unreachable) indices."""
+        bins: dict[int, list[int]] = {}
+        for idx in pending:
+            a = self.image.address(ops[idx]["key"])
+            hint = hints.get(idx)
+            if hint is not None and hint[0] == a:
+                # The image did not move past the refusing bucket; take
+                # its A2 forward address instead of knocking again.
+                a = hint[1]
+            bins.setdefault(a, []).append(idx)
+        self._trace(
+            "batch.scatter", op=kind, round=round_no,
+            ops=len(pending), buckets=len(bins),
+        )
+        rebin: list[int] = []
+        unreachable: list[int] = []
+        net = self.network
+        for bucket in sorted(bins):
+            indices = bins[bucket]
+            for start in range(0, len(indices), self.batch_max_ops):
+                chunk = indices[start:start + self.batch_max_ops]
+                if net is not None and net.metrics is not None:
+                    net.metrics.histogram(
+                        "batch.size", BATCH_SIZE_BUCKETS,
+                        "ops per scattered ops.batch message",
+                    ).observe(len(chunk))
+                reply = self._call_batch(
+                    bucket, kind, ops, op_sizes, chunk, outcome
+                )
+                if reply is None:
+                    unreachable.extend(chunk)
+                    continue
+                self.image.adjust(reply["j"], reply["a"])
+                moved_here = 0
+                for idx, res in zip(chunk, reply["results"]):
+                    if type(res) is str:
+                        # Lean reply form: a bare status string, emitted
+                        # by the server's vectorized runs ("applied").
+                        hints.pop(idx, None)
+                        outcome.outcomes[idx] = OpOutcome(
+                            ops[idx]["key"], "ok"
+                        )
+                        outcome.applied_order.append(idx)
+                        outcome.batched_ops += 1
+                        continue
+                    status = res["status"]
+                    if status == "moved":
+                        hints[idx] = (bucket, res["to"])
+                        rebin.append(idx)
+                        moved_here += 1
+                        continue
+                    hints.pop(idx, None)
+                    key = ops[idx]["key"]
+                    if status in ("found", "not_found"):
+                        outcome.outcomes[idx] = OpOutcome(
+                            key, status, value=res.get("value")
+                        )
+                    else:  # applied
+                        outcome.outcomes[idx] = OpOutcome(
+                            key, "ok", error=res.get("error")
+                        )
+                    outcome.applied_order.append(idx)
+                    outcome.batched_ops += 1
+                if moved_here:
+                    self._trace(
+                        "batch.rebin", op=kind, bucket=bucket,
+                        ops=moved_here, round=round_no,
+                    )
+        return rebin, unreachable
+
+    def _call_batch(
+        self,
+        bucket: int,
+        kind: str,
+        ops: list[dict],
+        op_sizes: list[int],
+        chunk: list[int],
+        outcome: BatchOutcome,
+    ) -> dict | None:
+        """One ``ops.batch`` call under the retry/backoff discipline.
+
+        Returns the reply, or None when the bucket is unreachable (the
+        caller falls back to the scalar path, whose coordinator routing
+        and recovery hooks always complete).  ``NodeBusy`` shedding is a
+        ``DeliveryFault`` and lands on the backoff ladder like any other
+        transient fault.
+        """
+        target = self._data_node(bucket)
+        payload = {
+            "ops": [ops[i] for i in chunk],
+            "client": self.node_id,
+        }
+        # Arithmetic wire size of the payload dict: its two key strings
+        # ("ops" + "client" = 9 bytes), the client id, and the op dicts
+        # (sized once in _run_many).  Must equal HEADER_BYTES +
+        # estimate_size(payload) — pinned by a regression test.
+        size = (HEADER_BYTES + 9 + len(self.node_id)
+                + sum(op_sizes[i] for i in chunk))
+        attempts = self.retry.attempts if self.retry else 1
+        for attempt in range(attempts):
+            try:
+                reply = self.call(target, "ops.batch", dict(payload),
+                                  size=size)
+            except UnknownNode:
+                return None
+            except NodeUnavailable as failure:
+                if not self._batch_unavailable(kind, ops[chunk[0]], failure):
+                    return None
+                reply = None
+            except DeliveryFault:
+                reply = None
+            if reply is not None:
+                outcome.messages += 2
+                return reply
+            if attempt + 1 < attempts:
+                self._note_retry("ops.batch", ops[chunk[0]]["key"], attempt)
+                self._wait(attempt)
+        return None
+
+    def _batch_unavailable(self, kind: str, op: dict,
+                           failure: NodeUnavailable) -> bool:
+        """Hook: a batch target's server is down.  Return True to retry
+        the sub-batch (something recovered it), False to fall back to
+        the scalar path.  Plain LH* has no recovery — fall back, where
+        :meth:`on_unavailable` surfaces the failure scalar-style."""
+        return False
+
+    def _batch_route_scalar(self, kind: str, op: dict) -> bool:
+        """Hook: route this op through the scalar path from the start
+        (LH*RS sends open-breaker searches to the hedged/degraded
+        machinery).  Default: batch everything."""
+        return False
+
+    def _scalar_op(self, kind: str, op: dict, idx: int,
+                   outcome: BatchOutcome) -> None:
+        """Run one op through the exact scalar call path, recording the
+        per-key outcome instead of raising :class:`OperationFailed`."""
+        key = op["key"]
+        try:
+            if kind == "search":
+                res = self.search(key)
+                outcome.outcomes[idx] = OpOutcome(
+                    key, "found" if res.found else "not_found",
+                    value=res.value,
+                )
+            else:
+                if kind == "insert":
+                    self.insert(key, op["value"])
+                elif kind == "update":
+                    self.update(key, op["value"])
+                else:
+                    self.delete(key)
+                outcome.outcomes[idx] = OpOutcome(key, "ok")
+            outcome.applied_order.append(idx)
+            outcome.scalar_ops += 1
+        except OperationFailed as exc:
+            outcome.outcomes[idx] = OpOutcome(key, "failed", error=str(exc))
+            outcome.scalar_ops += 1
+
+    def _trace(self, event: str, **attrs: Any) -> None:
+        net = self.network
+        if net is not None and net.tracer is not None:
+            net.tracer.emit(event, **attrs)
+
+    # ------------------------------------------------------------------
     # scans
     # ------------------------------------------------------------------
     def scan(
@@ -401,4 +734,4 @@ class Client(Node):
             return None
         i = min(heard.values())
         n = min(m for m, j in heard.items() if j == i)
-        return n + (1 << i) * self.image.n0
+        return addressing.file_extent(n, i, self.image.n0)

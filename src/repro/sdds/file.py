@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.sdds.client import Client, ScanResult, SearchOutcome
+from repro.sdds.client import BatchOutcome, Client, ScanResult, SearchOutcome
 from repro.sdds.coordinator import Coordinator, SplitPolicy
 from repro.sdds.server import DataServer
 from repro.sim.network import Network
@@ -95,6 +95,18 @@ class LHStarFile:
     def scan(self, predicate: Callable[[int, Any], bool] | None = None,
              deterministic: bool = True) -> ScanResult:
         return self.client.scan(predicate, deterministic)
+
+    def insert_many(self, items) -> BatchOutcome:
+        return self.client.insert_many(items)
+
+    def update_many(self, items) -> BatchOutcome:
+        return self.client.update_many(items)
+
+    def delete_many(self, keys) -> BatchOutcome:
+        return self.client.delete_many(keys)
+
+    def search_many(self, keys) -> BatchOutcome:
+        return self.client.search_many(keys)
 
     # ------------------------------------------------------------------
     # oracle inspection (not messages)

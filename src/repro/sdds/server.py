@@ -13,6 +13,7 @@ message, and bumps its level.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any
 
 from repro.lh import addressing
@@ -214,6 +215,69 @@ class DataServer(Node):
         )
         if payload.get("hops", 0):
             self._send_iam(payload["client"])
+
+    # ------------------------------------------------------------------
+    # batched key operations (bulk scatter-gather plane)
+    # ------------------------------------------------------------------
+    def handle_ops_batch(self, message: Message) -> dict:
+        """One scattered sub-batch: apply every op, reply per-op results.
+
+        Unlike the scalar handlers there is no server-side forwarding —
+        an op this bucket does not own (A2) is refused as ``moved`` with
+        the forward address, and the *client* re-bins it; the reply's
+        (j, a) doubles as the IAM, applied once per sub-batch.  Load
+        reports still fire per op, so a split triggered mid-batch
+        happens at exactly the point the scalar sequence would trigger
+        it — the remaining ops then see the post-split bucket and are
+        refused, landing at the batch boundary.
+        """
+        ops = message.payload["ops"]
+        with self._batch_context(ops):
+            results = self._apply_batch_ops(ops)
+        return {"j": self.level, "a": self.number, "results": results}
+
+    def _batch_context(self, ops: list[dict]):
+        """Hook wrapping one sub-batch apply; LH*RS coalesces Δ-parity
+        inside it (one ``parity.batch`` per parity target per batch)."""
+        return nullcontext()
+
+    def _apply_batch_ops(self, ops: list[dict]) -> list[dict]:
+        """Hook: apply a sub-batch.  Plain LH* applies op by op; LH*RS
+        overrides to vectorize runs of same-kind ops."""
+        return [self._apply_batch_op(op) for op in ops]
+
+    def _apply_batch_op(self, op: dict) -> dict:
+        """Apply one batch op, mirroring the scalar handler's effects
+        (same verify, same mutation primitive, same load reports)."""
+        kind = op["op"]
+        key = op["key"]
+        forward = self._verify(key)
+        if forward is not None:
+            return {"status": "moved", "to": forward}
+        if kind == "search":
+            found = key in self.bucket
+            return {
+                "status": "found" if found else "not_found",
+                "value": self.bucket.records.get(key),
+            }
+        if kind == "insert":
+            self.apply_insert(key, op["value"])
+            self._report_overflow_if_needed()
+            return {"status": "applied"}
+        if kind == "update":
+            found = key in self.bucket
+            self.apply_update(key, op["value"])
+            self._report_overflow_if_needed()
+            if not found:
+                return {"status": "applied",
+                        "error": "update of absent key"}
+            return {"status": "applied"}
+        if kind == "delete":
+            self.apply_delete(key)
+            self._report_overflow_if_needed()
+            self._report_underflow_if_needed()
+            return {"status": "applied"}
+        raise ValueError(f"unknown batch op kind {kind!r}")
 
     # ------------------------------------------------------------------
     # record mutation primitives (overridden by LH*RS to maintain parity)

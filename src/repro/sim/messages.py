@@ -20,24 +20,51 @@ def estimate_size(payload: Any) -> int:
     Counts byte strings at face value, numbers as 8 bytes, strings by
     length, and containers recursively.  Deliberately simple — it feeds a
     latency *model*, not an implementation.
+
+    Implemented with an explicit stack and exact-type dispatch: batch
+    messages carry hundreds of nested op dicts, and this runs once per
+    message on the simulator's hot path.  Subclassed containers fall
+    through to the general checks and size identically to before.
     """
-    if payload is None:
-        return 0
-    if isinstance(payload, (bytes, bytearray)):
-        return len(payload)
-    if isinstance(payload, bool):
-        return 1
-    if isinstance(payload, (int, float)):
-        return 8
-    if isinstance(payload, str):
-        return len(payload)
-    if isinstance(payload, dict):
-        return sum(estimate_size(k) + estimate_size(v) for k, v in payload.items())
-    if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(estimate_size(v) for v in payload)
-    if hasattr(payload, "wire_size"):
-        return int(payload.wire_size())
-    return 16  # opaque object
+    total = 0
+    stack = [payload]
+    while stack:
+        item = stack.pop()
+        kind = type(item)
+        if kind is int or kind is float:
+            total += 8
+        elif kind is str:
+            total += len(item)
+        elif kind is dict:
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif kind is bytes or kind is bytearray:
+            total += len(item)
+        elif kind is list or kind is tuple:
+            stack.extend(item)
+        elif item is None:
+            continue
+        elif kind is bool:
+            total += 1
+        # exact-type misses (subclasses, sets, opaque objects)
+        elif isinstance(item, (bytes, bytearray)):
+            total += len(item)
+        elif isinstance(item, bool):
+            total += 1
+        elif isinstance(item, (int, float)):
+            total += 8
+        elif isinstance(item, str):
+            total += len(item)
+        elif isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+        elif hasattr(item, "wire_size"):
+            total += int(item.wire_size())
+        else:
+            total += 16  # opaque object
+    return total
 
 
 @dataclass

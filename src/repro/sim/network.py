@@ -34,7 +34,7 @@ from repro.sim.stats import MessageStats
 #: and every kind here is safe to retry (mutations are value-idempotent
 #: and Δ-parity is deduped by sequence number).
 DEFAULT_SHEDDABLE_KINDS = frozenset(
-    {"insert", "update", "delete", "search", "parity.update"}
+    {"insert", "update", "delete", "search", "parity.update", "ops.batch"}
 )
 
 
@@ -125,15 +125,22 @@ class ServiceModel:
         service_time: float = 1.0,
         drain_rate: float = 1.0,
         sheddable_kinds=DEFAULT_SHEDDABLE_KINDS,
+        bulk_op_weight: float = 0.0,
     ):
         if link_latency < 0 or service_time < 0:
             raise ValueError("latencies cannot be negative")
         if drain_rate <= 0:
             raise ValueError("drain_rate must be positive")
+        if bulk_op_weight < 0:
+            raise ValueError("bulk_op_weight cannot be negative")
         self.link_latency = link_latency
         self.service_time = service_time
         self.drain_rate = drain_rate
         self.sheddable_kinds = frozenset(sheddable_kinds)
+        #: extra backlog units per op beyond the first in a batch
+        #: message (ops.batch / parity.batch) — 0.0 keeps batch messages
+        #: costing one service time, the pre-batch behaviour
+        self.bulk_op_weight = bulk_op_weight
         #: (sender, recipient) -> base link latency override
         self.link_overrides: dict[tuple[str, str], float] = {}
         #: node id -> base service time override
@@ -535,15 +542,34 @@ class Network:
             plane.slowdown(recipient, self.now) if plane is not None else 1.0
         )
         service.charge(message, self.now, slowdown)
+        if service.bulk_op_weight and message.kind in (
+            "ops.batch", "parity.batch"
+        ):
+            payload = message.payload
+            ops = payload.get("ops") if isinstance(payload, dict) else None
+            if isinstance(ops, list) and len(ops) > 1:
+                # The message charged one service time; the per-op work
+                # beyond the first parks as weighted backlog the queue
+                # term drains — batched throughput is amortized, not free.
+                service.charge_bulk(
+                    recipient,
+                    service.bulk_op_weight * (len(ops) - 1),
+                    self.now,
+                )
         if self._m_queue_depth is not None:
             self._m_queue_depth.observe(depth)
             self._m_queue_max.set(service.max_depth_seen)
 
-    def send(self, sender: str, recipient: str, kind: str, payload: Any = None) -> None:
-        """Fire-and-forget unicast: one message, no reply charged."""
+    def send(self, sender: str, recipient: str, kind: str, payload: Any = None,
+             size: int = 0) -> None:
+        """Fire-and-forget unicast: one message, no reply charged.
+
+        ``size`` optionally carries a sender-precomputed wire size
+        (header included); it must match what the envelope would
+        estimate.  0 estimates as always."""
         if self._depth == 0:
             self._tick()
-        message = Message(sender, recipient, kind, payload)
+        message = Message(sender, recipient, kind, payload, size)
         if self.tracer is not None:
             self.tracer.emit(
                 "msg.send",
@@ -581,11 +607,13 @@ class Network:
             if outcome == "duplicate":
                 plane.counters["duplicated"] += 1
                 self._deliver(message)
-                self._deliver(Message(sender, recipient, kind, payload))
+                self._deliver(Message(sender, recipient, kind, payload,
+                                      message.size))
                 return
         self._deliver(message)
 
-    def call(self, sender: str, recipient: str, kind: str, payload: Any = None) -> Any:
+    def call(self, sender: str, recipient: str, kind: str, payload: Any = None,
+             size: int = 0) -> Any:
         """Request/reply unicast: two messages, returns the handler result.
 
         Under a fault plane the request and the reply can each be lost
@@ -596,7 +624,7 @@ class Network:
         """
         if self._depth == 0:
             self._tick()
-        message = Message(sender, recipient, kind, payload)
+        message = Message(sender, recipient, kind, payload, size)
         if self.tracer is not None:
             self.tracer.emit(
                 "msg.send",
@@ -621,7 +649,8 @@ class Network:
             if outcome == "duplicate":
                 plane.counters["duplicated"] += 1
                 self._deliver(message)
-                result = self._deliver(Message(sender, recipient, kind, payload))
+                result = self._deliver(
+                    Message(sender, recipient, kind, payload, message.size))
             else:
                 result = self._deliver(message)
             reply = Message(recipient, sender, f"{kind}.reply", result)

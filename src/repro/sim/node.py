@@ -45,13 +45,25 @@ class Node:
             raise RuntimeError(f"node {self.node_id!r} is not attached to a network")
         return self.network
 
-    def send(self, recipient: str, kind: str, payload: Any = None) -> None:
-        """Fire-and-forget to another node (1 message)."""
-        self._net().send(self.node_id, recipient, kind, payload)
+    def send(self, recipient: str, kind: str, payload: Any = None,
+             size: int = 0) -> None:
+        """Fire-and-forget to another node (1 message).
 
-    def call(self, recipient: str, kind: str, payload: Any = None) -> Any:
-        """Request/reply to another node (2 messages)."""
-        return self._net().call(self.node_id, recipient, kind, payload)
+        ``size`` optionally pre-computes the wire size (header included)
+        for payloads whose shape the sender knows — batch senders size
+        hundreds of uniform op dicts arithmetically instead of having
+        the envelope walk them.  It must equal what
+        :func:`~repro.sim.messages.estimate_size` would produce; 0 means
+        "estimate for me".
+        """
+        self._net().send(self.node_id, recipient, kind, payload, size=size)
+
+    def call(self, recipient: str, kind: str, payload: Any = None,
+             size: int = 0) -> Any:
+        """Request/reply to another node (2 messages).  ``size`` as in
+        :meth:`send` (applies to the request; the reply is estimated)."""
+        return self._net().call(self.node_id, recipient, kind, payload,
+                                size=size)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.node_id!r})"

@@ -153,3 +153,43 @@ class TestStatusAndIntrospection:
         for key in keys[:100]:
             fresh.search(key)
         assert sum(s.forwards for s in file.data_servers()) > 0
+
+
+class TestScanStaleImage:
+    """Deterministic scans against images the file has moved away from.
+
+    The completeness proof and the fan-out both derive the extent
+    M = n + 2^i·N from one place (``addressing.file_extent``); these
+    pin the behaviours that proof protects."""
+
+    def test_scan_with_stale_oversized_image_after_shrink(self):
+        file = LHStarFile(capacity=8)
+        keys = grow(file, 200)
+        client = file.client
+        for key in keys:
+            client.search(key)  # converge the image on the grown file
+        for _ in range(8):
+            file.coordinator.merge_once()
+        # The image now points past the end of the shrunken file: the
+        # fan-out hits unknown nodes, yet every live bucket replies and
+        # the derived extent must prove completeness from those alone.
+        assert client.image.bucket_count_estimate > file.bucket_count
+        result = client.scan()
+        assert result.complete
+        assert result.expected_buckets == file.bucket_count
+        assert sorted(k for k, _ in result.records) == sorted(keys)
+        assert len(result.records) == len(keys)  # no duplicates
+
+    def test_scan_expected_count_matches_exact_image(self):
+        from repro.lh import addressing
+
+        file = LHStarFile(capacity=8)
+        keys = grow(file, 150)
+        result = file.new_client().scan()
+        assert result.complete
+        state = file.coordinator.state
+        assert result.expected_buckets == file.bucket_count
+        assert file.bucket_count == addressing.file_extent(
+            state.n, state.i, state.n0
+        )
+        assert sorted(k for k, _ in result.records) == sorted(keys)

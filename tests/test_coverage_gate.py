@@ -132,6 +132,9 @@ class TestCli:
             "repro/rs",
             "repro/core",
             "repro/core/journal.py",
+            "repro/sdds",
+            "repro/sdds/client.py",
+            "repro/core/data_bucket.py",
         }
 
     def test_floor_spec_validation(self):

@@ -34,6 +34,11 @@ DEFAULT_FLOORS: dict[str, float] = {
     "repro/rs": 90.0,
     "repro/core": 85.0,
     "repro/core/journal.py": 90.0,
+    # Batch data plane (this PR): the client scatter-gather loop and
+    # the vectorized bucket/parity apply paths must stay exercised.
+    "repro/sdds": 75.0,
+    "repro/sdds/client.py": 72.0,
+    "repro/core/data_bucket.py": 82.0,
 }
 
 
