@@ -8,6 +8,11 @@ availability
     Print the file-availability table P(M, k) for a given p.
 codec
     Quick Reed-Solomon codec throughput measurement on this CPU.
+check
+    Model-check the file: run randomized workloads under fault
+    injection and schedule perturbation, verify every history is
+    linearizable, and shrink any violation to a minimal replayable
+    counterexample.
 """
 
 from __future__ import annotations
@@ -99,6 +104,68 @@ def cmd_codec(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.harness import Counterexample, make_workload, run_scenario
+    from repro.check.mutants import MUTANT_NAMES
+    from repro.check.shrink import shrink_scenario
+
+    if args.replay:
+        example = Counterexample.load(args.replay)
+        print(f"Replaying {args.replay} "
+              f"(mutant={example.mutant or 'none'})...")
+        result = example.replay()
+        print(result.verdict.describe())
+        if result.ok:
+            print("replay PASSED (no violation reproduced)")
+            return 1
+        print("replay reproduced the violation")
+        return 0
+
+    mutant = args.mutant
+    if mutant is not None and mutant not in MUTANT_NAMES:
+        print(f"unknown mutant {mutant!r}; choose from "
+              f"{sorted(MUTANT_NAMES)}")
+        return 2
+
+    start = time.perf_counter()
+    failures = 0
+    for index in range(args.seeds):
+        seed = args.seed_base + index
+        scenario = make_workload(
+            seed=seed,
+            ops=args.ops,
+            keys=args.keys,
+            prefill=args.prefill,
+            crash_rate=args.crash_rate,
+            scheduler=args.scheduler,
+            label=f"check-{seed}",
+        )
+        result = run_scenario(scenario, mutant=mutant)
+        if result.ok:
+            print(f"  seed {seed}: ok "
+                  f"({result.verdict.checked_ops} ops, "
+                  f"{result.verdict.states_explored} states)")
+            continue
+        failures += 1
+        print(f"  seed {seed}: VIOLATION")
+        print(result.verdict.describe())
+        shrunk = scenario
+        if not args.no_shrink:
+            shrunk, stats = shrink_scenario(scenario, mutant=mutant)
+            print(f"  shrunk {stats.initial_steps} -> {stats.final_steps} "
+                  f"steps in {stats.runs} runs")
+            result = run_scenario(shrunk, mutant=mutant)
+        example = Counterexample.from_result(result, mutant=mutant)
+        example.save(args.artifact)
+        print(f"  counterexample written to {args.artifact}")
+        if not args.keep_going:
+            break
+    elapsed = time.perf_counter() - start
+    print(f"{args.seeds if args.keep_going else index + 1} seed(s), "
+          f"{failures} violation(s), {elapsed:.1f}s")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -123,6 +190,33 @@ def main(argv: list[str] | None = None) -> int:
     codec.add_argument("--m", type=int, default=4)
     codec.add_argument("--payload", type=int, default=4096)
     codec.set_defaults(func=cmd_codec)
+
+    check = sub.add_parser(
+        "check", help="linearizability model checking"
+    )
+    check.add_argument("--seeds", type=int, default=50,
+                       help="number of workload seeds to run")
+    check.add_argument("--seed-base", type=int, default=0,
+                       help="first seed (seeds run seed_base..+seeds-1)")
+    check.add_argument("--ops", type=int, default=120)
+    check.add_argument("--keys", type=int, default=24)
+    check.add_argument("--prefill", type=int, default=16)
+    check.add_argument("--crash-rate", type=float, default=0.05)
+    check.add_argument("--scheduler", default="pct",
+                       choices=["none", "fifo", "pct"],
+                       help="delivery-schedule perturbation mode")
+    check.add_argument("--mutant", default=None,
+                       help="enable a validation mutant (self-test of "
+                            "the checker; the run should fail)")
+    check.add_argument("--artifact", default="counterexample.json",
+                       help="where to write the shrunk counterexample")
+    check.add_argument("--no-shrink", action="store_true",
+                       help="dump the raw failing scenario unshrunk")
+    check.add_argument("--keep-going", action="store_true",
+                       help="run all seeds even after a violation")
+    check.add_argument("--replay", metavar="FILE", default=None,
+                       help="replay a saved counterexample instead")
+    check.set_defaults(func=cmd_check)
 
     args = parser.parse_args(argv)
     return args.func(args)

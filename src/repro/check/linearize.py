@@ -1,0 +1,204 @@
+"""Wing–Gong linearizability checking with memoized state hashing.
+
+Given a history of invoke/response intervals (:mod:`repro.check.history`)
+and a sequential model (:mod:`repro.check.model`), decide whether some
+total order of the operations (a) respects real time — an operation
+never linearizes before another that *completed* before it was invoked —
+and (b) is legal for the model, with every completed search seeing
+exactly what it returned.  Pending (ambiguous) operations are free
+radicals: the search may linearize them anywhere after their invocation
+or drop them entirely, the two fates of a timed-out request.
+
+The search is the classic Wing–Gong worklist: repeatedly pick a
+*minimal* remaining operation (none still-remaining completed op
+finished before its invocation), apply it to the model, recurse, and
+backtrack on dead ends.  Two standard refinements keep it tractable:
+
+* **Memoized state hashing** — a ``(remaining-ops, model-state)`` pair
+  fully determines feasibility of the rest of the search, so each pair
+  is explored once (the Lowe/Horn–Kroening optimization).
+* **P-composition** — :func:`check_history` partitions the history per
+  key and checks each sub-history against the single-key register
+  model.  Sound for dictionaries: operations on distinct keys commute
+  in any sequential witness, so the conjunction of per-key verdicts
+  equals the whole-history verdict (pinned by a property test against
+  :class:`~repro.check.model.DictModel`).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.check.history import OpRecord
+from repro.check.model import INCOMPATIBLE, DictModel, KeyModel
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The checker gave up before deciding (state budget exhausted)."""
+
+
+@dataclass
+class KeyVerdict:
+    """Outcome of checking one (sub-)history."""
+
+    ok: bool
+    key: int | None = None
+    decided: bool = True
+    reason: str = ""
+    #: a legal total order (op_ids) when ok; pending ops that never
+    #: linearized are simply absent from it
+    witness: list[int] = field(default_factory=list)
+    #: the completed ops no extension could place, when not ok
+    stuck: list[OpRecord] = field(default_factory=list)
+    states_explored: int = 0
+
+
+@dataclass
+class Verdict:
+    """Aggregate verdict over a whole history."""
+
+    ok: bool
+    failures: list[KeyVerdict] = field(default_factory=list)
+    checked_ops: int = 0
+    keys_checked: int = 0
+    states_explored: int = 0
+
+    @property
+    def failed_keys(self) -> list[int]:
+        return [v.key for v in self.failures if v.key is not None]
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"linearizable: {self.checked_ops} ops over "
+                f"{self.keys_checked} keys "
+                f"({self.states_explored} states explored)"
+            )
+        lines = [
+            f"NOT linearizable: {len(self.failures)} key(s) failed "
+            f"of {self.keys_checked}"
+        ]
+        for verdict in self.failures:
+            ops = ", ".join(
+                f"#{op.op_id} {op.kind}({op.key})={op.status}"
+                + (f"->{op.result!r}" if op.kind == "search" else "")
+                for op in verdict.stuck[:6]
+            )
+            lines.append(
+                f"  key {verdict.key}: {verdict.reason} [stuck: {ops}]"
+            )
+        return "\n".join(lines)
+
+
+def linearize(
+    ops: list[OpRecord],
+    model=KeyModel,
+    max_states: int = 500_000,
+) -> KeyVerdict:
+    """Check one history against one sequential model."""
+    ordered = sorted(ops, key=lambda o: o.invoke)
+    n = len(ordered)
+    if n == 0:
+        return KeyVerdict(ok=True)
+
+    seen: set[tuple[frozenset, object]] = set()
+    explored = 0
+    # Fewest remaining completed ops any branch reached, for diagnostics.
+    best_stuck: list[int] = [i for i in range(n) if ordered[i].completed]
+
+    limit = sys.getrecursionlimit()
+    if n + 200 > limit:
+        sys.setrecursionlimit(n + 400)
+
+    def search(remaining: frozenset, state) -> list[int] | None:
+        nonlocal explored, best_stuck
+        mark = (remaining, state)
+        if mark in seen:
+            return None
+        seen.add(mark)
+        explored += 1
+        if explored > max_states:
+            raise SearchBudgetExceeded(
+                f"gave up after {max_states} states over {n} ops"
+            )
+        completed_left = [i for i in remaining if ordered[i].completed]
+        if not completed_left:
+            return []  # pending leftovers may linger forever
+        if len(completed_left) < len(best_stuck):
+            best_stuck = completed_left
+        min_resp = min(ordered[i].response for i in completed_left)
+        for i in sorted(remaining):
+            op = ordered[i]
+            # Minimality: an op already invoked after another remaining
+            # op *completed* cannot linearize ahead of it.
+            if op.invoke > min_resp:
+                continue
+            nxt = model.apply(state, op)
+            if nxt is INCOMPATIBLE:
+                continue
+            tail = search(remaining - {i}, nxt)
+            if tail is not None:
+                return [op.op_id] + tail
+        return None
+
+    try:
+        witness = search(frozenset(range(n)), model.initial)
+    except SearchBudgetExceeded as err:
+        return KeyVerdict(
+            ok=False, decided=False, reason=str(err),
+            states_explored=explored,
+        )
+    finally:
+        if sys.getrecursionlimit() != limit:
+            sys.setrecursionlimit(limit)
+    if witness is not None:
+        return KeyVerdict(ok=True, witness=witness, states_explored=explored)
+    return KeyVerdict(
+        ok=False,
+        reason="no legal sequential witness",
+        stuck=[ordered[i] for i in best_stuck],
+        states_explored=explored,
+    )
+
+
+def check_history(
+    records: list[OpRecord],
+    per_key: bool = True,
+    max_states: int = 500_000,
+) -> Verdict:
+    """Check a full history; per-key decomposition by default.
+
+    ``per_key=False`` runs the whole history against the dictionary
+    model in one search — exponentially heavier, only sensible for the
+    small cases the equivalence property test exercises.
+    """
+    checked = sum(1 for r in records if r.completed)
+    if not per_key:
+        verdict = linearize(records, DictModel, max_states=max_states)
+        keys = len({r.key for r in records})
+        return Verdict(
+            ok=verdict.ok,
+            failures=[] if verdict.ok else [verdict],
+            checked_ops=checked,
+            keys_checked=keys,
+            states_explored=verdict.states_explored,
+        )
+    keyed: dict[int, list[OpRecord]] = {}
+    for record in records:
+        keyed.setdefault(record.key, []).append(record)
+    failures = []
+    states = 0
+    for key in sorted(keyed):
+        verdict = linearize(keyed[key], KeyModel, max_states=max_states)
+        verdict.key = key
+        states += verdict.states_explored
+        if not verdict.ok:
+            failures.append(verdict)
+    return Verdict(
+        ok=not failures,
+        failures=failures,
+        checked_ops=checked,
+        keys_checked=len(keyed),
+        states_explored=states,
+    )

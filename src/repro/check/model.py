@@ -1,0 +1,110 @@
+"""Sequential reference models of an LH*RS file.
+
+The file's *observable* contract — what any linearizable execution must
+look like to clients — is a plain dictionary: ``insert`` and ``update``
+are both upserts (the bucket falls through to the other on a key
+mismatch, pinned by the data-server tests), ``delete`` is idempotent,
+``search`` returns the current mapping.  Splits, merges, availability
+raises, degraded reads and bucket recoveries are all *internal*: a
+correct implementation keeps them invisible, which is exactly what the
+checker verifies by never modelling them.
+
+Two interchangeable models feed the Wing–Gong checker:
+
+* :class:`KeyModel` — a single key's register (state: a value or
+  :data:`ABSENT`).  The per-key decomposition is sound because a
+  dictionary is *P-compositional*: operations on distinct keys commute
+  in every sequential witness, so a history is linearizable iff each
+  per-key sub-history is (Herlihy & Wing locality, applied per key).
+* :class:`DictModel` — the whole key→value map.  Exponentially more
+  expensive (its states don't collapse per key), kept for small
+  histories and for the property test pinning that both models agree.
+
+States are immutable and hashable — the checker memoizes on
+``(remaining-ops, state)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.check.history import OpRecord
+
+
+class _Absent:
+    """Sentinel: the key holds no record (distinct from value None)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ABSENT"
+
+
+ABSENT = _Absent()
+
+#: Sentinel returned by ``apply`` when the recorded outcome is
+#: impossible from the given state (the search saw something else).
+INCOMPATIBLE = object()
+
+
+class KeyModel:
+    """Sequential register semantics for one key."""
+
+    initial: Any = ABSENT
+
+    @staticmethod
+    def apply(state: Any, op: OpRecord) -> Any:
+        """Next state after ``op``, or :data:`INCOMPATIBLE`.
+
+        Mutations always apply (insert/update are upserts, delete is
+        idempotent); only a completed ``search`` constrains the
+        placement, by demanding the state it observed.
+        """
+        kind = op.kind
+        if kind in ("insert", "update"):
+            return op.value
+        if kind == "delete":
+            return ABSENT
+        # search: the recorded outcome must match the current state
+        if op.status == "found":
+            if state is ABSENT or state != op.result:
+                return INCOMPATIBLE
+        elif op.status == "not_found":
+            if state is not ABSENT:
+                return INCOMPATIBLE
+        return state
+
+
+class DictModel:
+    """Sequential dictionary semantics for the whole file.
+
+    State is a sorted tuple of ``(key, value)`` pairs — immutable and
+    hashable, cheap enough for the ≤ ~8-op histories this model is
+    meant for.
+    """
+
+    initial: tuple = ()
+
+    @staticmethod
+    def apply(state: tuple, op: OpRecord) -> Any:
+        kind = op.kind
+        key = op.key
+        if kind in ("insert", "update"):
+            items = tuple(
+                (k, v) for k, v in state if k != key
+            ) + ((key, op.value),)
+            return tuple(sorted(items, key=lambda kv: kv[0]))
+        if kind == "delete":
+            return tuple((k, v) for k, v in state if k != key)
+        current = ABSENT
+        for k, v in state:
+            if k == key:
+                current = v
+                break
+        if op.status == "found":
+            if current is ABSENT or current != op.result:
+                return INCOMPATIBLE
+        elif op.status == "not_found":
+            if current is not ABSENT:
+                return INCOMPATIBLE
+        return state

@@ -1,0 +1,84 @@
+"""Validation mutants: deliberately-broken variants behind a test flag.
+
+A model checker that has never caught a bug proves nothing — the
+classic trap of verification tooling that silently verifies vacuously.
+This module is the antidote: three seeded bugs, each a *plausible*
+LH*RS implementation error in a path the linearizability harness is
+supposed to police, each off unless a test switches it on:
+
+``stale_degraded_read``
+    The coordinator's record-recovery path caches the first value it
+    reconstructs per key and serves the cached copy forever after — a
+    memoization "optimization" that returns stale data once the record
+    is updated between two degraded reads.
+
+``drop_parity_seq``
+    The data bucket silently drops every second ``update`` Δ-parity
+    record *and rolls its sequence counter back*, so the parity channel
+    never sees a gap (the self-reporting ``report.stale`` machinery
+    stays blind).  Parity decodes to a stale value after the next
+    bucket loss.
+
+``double_apply_delete``
+    The parity bucket folds a ``delete`` Δ twice.  GF(2) folding is
+    self-inverse, so the second fold re-adds the deleted payload into
+    the parity symbols — corrupting every later reconstruction of the
+    record group's surviving members.
+
+The hooks live in the product code (``core/recovery.py``,
+``core/data_bucket.py``, ``core/parity_bucket.py``) as a single
+``name in mutants.ACTIVE`` membership test — one set lookup against an
+(almost always empty) set, so production runs pay nothing measurable.
+This module imports nothing from ``repro.core``; the dependency points
+one way only.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: The registered mutant names; enabling anything else is a test bug.
+MUTANT_NAMES = frozenset(
+    {"stale_degraded_read", "drop_parity_seq", "double_apply_delete"}
+)
+
+#: Currently-enabled mutants.  Product hooks test membership directly
+#: (``"..." in mutants.ACTIVE``) — cheap enough for hot paths.
+ACTIVE: set[str] = set()
+
+
+def enable(name: str) -> None:
+    """Switch one mutant on (until :func:`disable` / :func:`disable_all`)."""
+    if name not in MUTANT_NAMES:
+        raise ValueError(
+            f"unknown mutant {name!r}; registered: {sorted(MUTANT_NAMES)}"
+        )
+    ACTIVE.add(name)
+
+
+def disable(name: str) -> None:
+    """Switch one mutant off (no-op when it was off)."""
+    ACTIVE.discard(name)
+
+
+def disable_all() -> None:
+    """Switch every mutant off (test teardown)."""
+    ACTIVE.clear()
+
+
+def is_active(name: str) -> bool:
+    return name in ACTIVE
+
+
+@contextmanager
+def enabled(name: str | None):
+    """Scope one mutant to a ``with`` block (None = no mutant, so call
+    sites can pass an optional name through unconditionally)."""
+    if name is None:
+        yield
+        return
+    enable(name)
+    try:
+        yield
+    finally:
+        disable(name)

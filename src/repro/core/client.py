@@ -153,11 +153,15 @@ class RSClient(Client):
     # ------------------------------------------------------------------
     # deadline/hedged reads (gray failures: the bucket is slow)
     # ------------------------------------------------------------------
-    def search(self, key: int) -> SearchOutcome:
+    def _search_impl(self, key: int) -> SearchOutcome:
+        # Overrides the scalar ladder *inside* the base class's
+        # recording wrapper: whatever path serves the read — primary,
+        # hedge or breaker short-circuit — the recorded outcome is the
+        # one the application saw.
         policy = self.deadline
         net = self.network
         if policy is None or net is None or net.service is None:
-            return super().search(key)
+            return super()._search_impl(key)
 
         bucket = self.image.address(key)
         breaker = self._breakers.get(bucket)
@@ -177,7 +181,7 @@ class RSClient(Client):
             # our chances with the primary.
 
         start = net.virtual_time
-        outcome = super().search(key)
+        outcome = super()._search_impl(key)
         elapsed = net.virtual_time - start
 
         effective = elapsed

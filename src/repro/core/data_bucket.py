@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.check import mutants
 from repro.core.group import data_node, group_of, position_of
 from repro.lh import addressing
 from repro.sdds.server import DataServer
@@ -180,6 +181,18 @@ class RSDataServer(DataServer):
         }
 
     def _send_parity(self, op: dict) -> None:
+        if "drop_parity_seq" in mutants.ACTIVE and op["op"] == "update":
+            # Validation mutant: silently drop every second update Δ
+            # *and roll the sequence counter back*, so the channel sees
+            # no gap — the self-reporting report.stale machinery stays
+            # blind and parity silently decodes stale after the next
+            # bucket loss (tests/check/test_mutants.py).
+            self._mutant_update_deltas = (
+                getattr(self, "_mutant_update_deltas", 0) + 1
+            )
+            if self._mutant_update_deltas % 2 == 0:
+                self._parity_seq -= 1
+                return
         if self._coalesce_depth:
             # Client-batch coalescing: hold every Δ (no size-triggered
             # flush) and ship one parity.batch per target at batch end.

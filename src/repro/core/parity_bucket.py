@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import mutants
 from repro.core.records import ParityRecord
 from repro.core.stripe_store import StripeStore
 from repro.gf.field import GF
@@ -206,6 +207,13 @@ class ParityServer(Node):
             record.keys.pop(pos, None)
             record.lengths.pop(pos, None)
             self._key_index.pop(op["key"], None)
+            if "double_apply_delete" in mutants.ACTIVE and record.keys:
+                # Validation mutant: fold the delete Δ a second time.
+                # GF(2) folding is self-inverse, so the second fold
+                # re-adds the deleted payload into the parity symbols,
+                # corrupting every later reconstruction of the rank's
+                # surviving members (tests/check/test_mutants.py).
+                self._fold_into(record, coefficient, op["delta"])
             if not record.keys:
                 # All members gone: the accumulated deltas cancel exactly.
                 self._drop_record(rank)

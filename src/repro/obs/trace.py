@@ -83,6 +83,10 @@ EVENT_TYPES = frozenset(
         "breaker.open",
         "breaker.close",
         "recovery.paced",
+        # model-checking schedulers (repro.check): a matured batch was
+        # deferred or delivered out of the legacy pump order
+        "sched.defer",
+        "sched.reorder",
         # coordinator HA: journal, checkpoints, lease and takeover
         "coord.journal",
         "coord.checkpoint",

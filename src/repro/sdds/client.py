@@ -150,6 +150,19 @@ class Client(Node):
         #: stable per-sender salt decorrelating jittered backoff (see
         #: RetryPolicy.delay; inert on the default no-jitter path)
         self._retry_salt = zlib.crc32(node_id.encode())
+        #: model-checking history recorder (repro.check; None = off).
+        #: Public entry points record invoke/response intervals; an
+        #: OperationFailed leaves the interval open — the ambiguous,
+        #: may-or-may-not-have-applied case the checker must model.
+        self.recorder = None
+        self._recorder_pause = 0
+
+    def _active_recorder(self):
+        """The recorder, unless recording is off or suspended (batch
+        internals re-enter the scalar ops they already recorded)."""
+        if self.recorder is not None and not self._recorder_pause:
+            return self.recorder
+        return None
 
     # ------------------------------------------------------------------
     def _data_node(self, m: int) -> str:
@@ -320,6 +333,22 @@ class Client(Node):
             net.tracer.emit("op.failed", op=kind, key=key, attempts=attempts)
 
     def _mutate(self, kind: str, payload: dict) -> None:
+        """Record the interval around :meth:`_mutate_inner` (no-op
+        without a recorder installed)."""
+        recorder = self._active_recorder()
+        if recorder is None:
+            return self._mutate_inner(kind, payload)
+        entry = recorder.invoke(
+            self.node_id, kind, payload["key"], payload.get("value")
+        )
+        try:
+            self._mutate_inner(kind, payload)
+        except OperationFailed:
+            recorder.ambiguous(entry)
+            raise
+        recorder.complete(entry, "ok")
+
+    def _mutate_inner(self, kind: str, payload: dict) -> None:
         """One mutation under the retry/ack discipline.
 
         Without acks a clean send is trusted (a silently dropped message
@@ -373,6 +402,30 @@ class Client(Node):
     def search(self, key: int) -> SearchOutcome:
         """Key search: request + record back (2 messages when the image
         is accurate; at most 4 plus one IAM otherwise).
+
+        Recording (``self.recorder``) brackets :meth:`_search_impl`,
+        which subclasses override — the hedged/degraded LH*RS read
+        machinery included, so the recorded outcome is the one the
+        application saw, whichever path served it.
+        """
+        recorder = self._active_recorder()
+        if recorder is None:
+            return self._search_impl(key)
+        entry = recorder.invoke(self.node_id, "search", key)
+        try:
+            outcome = self._search_impl(key)
+        except OperationFailed:
+            recorder.ambiguous(entry)
+            raise
+        recorder.complete(
+            entry,
+            "found" if outcome.found else "not_found",
+            outcome.value,
+        )
+        return outcome
+
+    def _search_impl(self, key: int) -> SearchOutcome:
+        """The actual search ladder; see :meth:`search`.
 
         Under a retry policy an unanswered search — its request or reply
         lost — is retried after a backoff; one request id spans the
@@ -430,6 +483,45 @@ class Client(Node):
         )
 
     def _run_many(self, kind: str, ops: list[dict]) -> BatchOutcome:
+        """Record the batch, then run it (no-op without a recorder).
+
+        Every op's interval opens *before* the batch executes and stays
+        open across it — ops inside one batch genuinely overlap, and
+        the scatter plane may apply them in any order.  Recording is
+        suspended for the duration so the scalar fallback path does not
+        double-record; outcomes close the intervals afterwards, with a
+        ``failed``/missing outcome left pending (ambiguous): its
+        sub-batch may have applied server-side before the reply or ack
+        was lost.
+        """
+        recorder = self._active_recorder()
+        if recorder is None:
+            return self._run_many_inner(kind, ops)
+        for op in ops:
+            self._validate_key(op["key"])
+        entries = [
+            recorder.invoke(
+                self.node_id, op["op"], op["key"], op.get("value")
+            )
+            for op in ops
+        ]
+        self._recorder_pause += 1
+        try:
+            outcome = self._run_many_inner(kind, ops)
+        finally:
+            self._recorder_pause -= 1
+        for entry, op_outcome in zip(entries, outcome.outcomes):
+            if op_outcome is None or op_outcome.status == "failed":
+                recorder.ambiguous(entry)
+            elif op_outcome.status in ("found", "not_found"):
+                recorder.complete(
+                    entry, op_outcome.status, op_outcome.value
+                )
+            else:
+                recorder.complete(entry, "ok")
+        return outcome
+
+    def _run_many_inner(self, kind: str, ops: list[dict]) -> BatchOutcome:
         """Scatter ``ops`` by the image, gather per-key outcomes.
 
         With batching off (or a singleton batch) this is exactly the

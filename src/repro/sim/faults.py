@@ -363,6 +363,23 @@ class FaultPlane:
         queue.append((release_at, message))
         self.counters["delayed"] += 1
 
+    def requeue(self, message: "Message", release_at: float) -> None:
+        """Re-hold an already-matured message (scheduler deferral).
+
+        Same queue discipline as :meth:`hold`, but counted separately:
+        a deferral is a *scheduling* decision, not a new injected fault.
+        """
+        self.hold(message, release_at)
+        self.counters["delayed"] -= 1
+        self.counters["deferred"] += 1
+
+    def held_count(self, sender: str, recipient: str) -> int:
+        """Messages currently held on one channel (schedulers consult
+        this: a channel with held traffic must not be deferred past it,
+        or per-channel FIFO would break)."""
+        queue = self._held.get((sender, recipient))
+        return len(queue) if queue else 0
+
     def release_due(self, now: float) -> list["Message"]:
         """Matured messages, globally ordered by maturity, FIFO per channel."""
         released: list["Message"] = []

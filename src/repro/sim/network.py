@@ -243,6 +243,9 @@ class Network:
         #: latency/queue plane (None = latency-free, zero overhead)
         self.service = None
         self._clock_listeners: list[Callable[[float], None]] = []
+        #: delivery scheduler hook for matured delayed messages (None =
+        #: the fixed legacy order; see repro.check.scheduler)
+        self.scheduler = None
         #: structured event tracer (None = tracing off, zero overhead)
         self.tracer = None
         #: metrics registry (None = metrics off)
@@ -314,6 +317,20 @@ class Network:
         self.fault_plane = plane
         if plane is not None:
             plane.tracer = self.tracer
+
+    def install_scheduler(self, scheduler) -> None:
+        """Attach a delivery :class:`~repro.check.scheduler.Scheduler`
+        (None removes).
+
+        The scheduler decides the delivery order of each matured batch
+        in :meth:`_pump` — the model checker's systematic-exploration
+        hook.  With none installed (or the FIFO scheduler) the pump
+        delivers in the fixed legacy order, byte-for-byte (pinned by
+        the determinism tests).
+        """
+        self.scheduler = scheduler
+        if scheduler is not None:
+            scheduler.bind(self)
 
     def install_service_model(self, model) -> None:
         """Attach a :class:`ServiceModel` (None removes).
@@ -450,7 +467,10 @@ class Network:
         plane = self.fault_plane
         if plane is None:
             return
-        for message in plane.release_due(self.now):
+        due = plane.release_due(self.now)
+        if due and self.scheduler is not None:
+            due = self.scheduler.schedule(due, self)
+        for message in due:
             if self.tracer is not None:
                 self.tracer.emit(
                     "msg.release", to=message.recipient, kind=message.kind

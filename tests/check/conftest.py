@@ -1,0 +1,38 @@
+"""Shared helpers for the model-checking harness tests."""
+
+import pytest
+
+from repro.check import mutants
+from repro.check.history import OpRecord
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_mutants():
+    """Every test must leave the mutant registry empty — a leaked
+    mutant would silently poison every later product test."""
+    assert not mutants.ACTIVE
+    yield
+    assert not mutants.ACTIVE, f"leaked mutants: {mutants.ACTIVE}"
+
+
+def op(
+    op_id: int,
+    kind: str,
+    key: int,
+    invoke: int,
+    response: int | None = None,
+    value=None,
+    status: str | None = None,
+    result=None,
+) -> OpRecord:
+    """Terse OpRecord builder: ``response=None`` makes a pending op,
+    otherwise mutations default to ``"ok"`` and searches must pass
+    ``status`` explicitly."""
+    if response is None:
+        status = "pending"
+    elif status is None:
+        status = "ok"
+    return OpRecord(
+        op_id=op_id, client="c", kind=kind, key=key, value=value,
+        invoke=invoke, response=response, status=status, result=result,
+    )

@@ -1,0 +1,172 @@
+"""Ambiguous-outcome semantics: timed-out operations may have applied
+or not, hedged degraded reads record what the application saw, and
+batches complete partially — the checker must accept every legal fate
+and still reject genuine violations around them."""
+
+from repro.check.harness import Scenario, run_scenario
+from repro.check.history import HistoryRecorder
+from repro.check.linearize import check_history, linearize
+from repro.core import LHRSConfig, LHRSFile
+from repro.core.group import data_node
+from repro.sim import FaultPlane
+from repro.sim.rng import make_rng
+from tests.check.conftest import op
+
+
+class TestAmbiguityInTheChecker:
+    def test_lost_ack_read_either_way(self):
+        # A pending insert (the op.ack may have been lost) permits both
+        # futures: a later search may find the value or miss it.
+        applied = [
+            op(1, "insert", 0, 1, value="a"),  # pending
+            op(2, "search", 0, 2, 3, status="found", result="a"),
+        ]
+        dropped = [
+            op(1, "insert", 0, 1, value="a"),  # pending
+            op(2, "search", 0, 2, 3, status="not_found"),
+        ]
+        assert linearize(applied).ok
+        assert linearize(dropped).ok
+
+    def test_pending_op_may_apply_late(self):
+        # The pending delete's interval is [3, inf): it may linearize
+        # between the two searches, explaining miss-then... and a
+        # found-after-miss needs a *writer*, which only the pending
+        # insert-before can no longer supply — rejected.
+        legal = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "delete", 0, 3),  # pending
+            op(3, "search", 0, 4, 5, status="found", result="a"),
+            op(4, "search", 0, 6, 7, status="not_found"),
+        ]
+        assert linearize(legal).ok
+        illegal = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "delete", 0, 3),  # pending
+            op(3, "search", 0, 4, 5, status="not_found"),
+            op(4, "search", 0, 6, 7, status="found", result="a"),
+        ]
+        assert not linearize(illegal).ok
+
+    def test_pending_ops_cannot_excuse_a_stale_read(self):
+        # Ambiguity is not a free pass: a search that saw a value no
+        # (possibly-applied) op could have written is still a bug.
+        ops = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "update", 0, 3, value="b"),  # pending
+            op(3, "search", 0, 4, 5, status="found", result="c"),
+        ]
+        assert not linearize(ops).ok
+
+
+class TestAmbiguityEndToEnd:
+    def test_blackholed_scalar_ops_are_recorded_pending(self):
+        scenario = Scenario(
+            seed=1,
+            fault_rules=[{"kinds": ["insert"], "drop": 1.0}],
+            ops=[["insert", 5, "v5"], ["search", 5]],
+        )
+        result = run_scenario(scenario)
+        assert result.ok
+        statuses = [(r.kind, r.status) for r in result.history]
+        assert statuses == [("insert", "pending"), ("search", "not_found")]
+
+    def test_batch_partial_outcomes(self):
+        # Black-hole one data bucket: batch members bound for it fall
+        # back to the scalar path, exhaust retries and stay ambiguous;
+        # members on healthy buckets complete normally — one batch,
+        # mixed fates, still linearizable.
+        scenario = Scenario(
+            seed=5,
+            config={"retry_attempts": 2},
+            fault_rules=[{"recipient": "f.d1", "drop": 1.0}],
+            ops=[
+                ["batch", "insert", [[k, f"x{k}"] for k in range(8)]],
+                ["search", 2],
+                ["search", 1],
+            ],
+        )
+        result = run_scenario(scenario)
+        assert result.ok, result.verdict.describe()
+        inserts = [r for r in result.history if r.kind == "insert"]
+        assert len(inserts) == 8  # every member invoked up front
+        pending = {r.key for r in inserts if r.status == "pending"}
+        completed = {r.key for r in inserts if r.status == "ok"}
+        assert pending and completed  # genuinely partial
+        assert pending == {1, 5}  # keys addressed to the dark bucket
+        searches = {r.key: r for r in result.history if r.kind == "search"}
+        assert searches[2].status == "found"
+        assert searches[1].status == "pending"
+
+    def test_overloaded_batch_is_fully_ambiguous_not_wrong(self):
+        scenario = Scenario(
+            seed=3,
+            fault_rules=[
+                {"kinds": ["ops.batch"], "drop": 1.0},
+                {"kinds": ["insert"], "drop": 1.0},
+            ],
+            ops=[
+                ["batch", "insert", [[10, "a"], [11, "b"], [12, "c"]]],
+                ["search", 10],
+            ],
+        )
+        result = run_scenario(scenario)
+        assert result.ok
+        inserts = [r for r in result.history if r.kind == "insert"]
+        assert all(r.status == "pending" for r in inserts)
+
+
+class TestHedgedDegradedReads:
+    def make_straggler_file(self, records=40, straggle=50.0):
+        config = LHRSConfig(
+            group_size=4, availability=1, bucket_capacity=8,
+            client_acks=True, read_deadline=24.0,
+        )
+        file = LHRSFile(config)
+        file.enable_service_model(link_latency=0.25, service_time=1.0)
+        plane = FaultPlane(rng=make_rng(5))
+        file.network.install_fault_plane(plane)
+        recorder = HistoryRecorder()
+        file.client.recorder = recorder  # before any op: full history
+        oracle = {}
+        for key in range(records):
+            value = b"g%d" % key
+            file.insert(key, value)
+            oracle[key] = value
+        victim = max(
+            range(file.bucket_count),
+            key=lambda b: sum(
+                1 for k in oracle if file.find_bucket_of(k) == b
+            ),
+        )
+        plane.add_slow_rule(node=data_node(file.file_id, victim),
+                            factor=straggle)
+        return file, recorder, oracle
+
+    def test_hedged_reads_record_the_served_outcome(self):
+        file, recorder, oracle = self.make_straggler_file()
+        for _ in range(3):
+            for key in oracle:
+                outcome = file.search(key)
+                assert outcome.found and outcome.value == oracle[key]
+        client = file.client
+        assert client.hedged_reads > 0        # the hedge path fired
+        assert client.degraded_fallbacks > 0  # served via read.degraded
+        searches = [r for r in recorder.records if r.kind == "search"]
+        assert len(searches) == 3 * len(oracle)
+        # every search completed (hedging is not ambiguity: the client
+        # got a definite answer) and recorded the value the app saw
+        assert all(r.status == "found" for r in searches)
+        assert all(r.result == oracle[r.key] for r in searches)
+
+    def test_hedged_history_is_linearizable(self):
+        file, recorder, oracle = self.make_straggler_file(records=24)
+        for key in list(oracle)[:8]:
+            file.update(key, b"u%d" % key)
+            oracle[key] = b"u%d" % key
+        for _ in range(2):
+            for key in oracle:
+                file.search(key)
+        verdict = check_history(recorder.records)
+        assert verdict.ok, verdict.describe()
+        assert file.client.hedged_reads + file.client.degraded_fallbacks > 0

@@ -1,0 +1,57 @@
+"""Determinism pin: installing the FIFO scheduler must be byte-for-byte
+invisible.
+
+The scheduler hook sits on the network's delayed-delivery hot path; the
+cheapest way for it to rot is to perturb the legacy delivery order even
+when no perturbation was asked for.  This pin runs the same fixed-seed
+chaos workload — fault rules with delays, crash/restore windows, batch
+traffic — once with no scheduler and once with ``FifoScheduler``
+installed, and demands *identical everything*: the serialized trace,
+the recorded history, and the verdict.  Any divergence means the hook
+changed semantics, which would silently invalidate every baseline run.
+"""
+
+from dataclasses import replace
+
+from repro.check.harness import make_workload, run_scenario
+
+
+def run_pair(seed: int):
+    baseline = make_workload(seed=seed, ops=60, keys=12, prefill=10,
+                             scheduler=None)
+    pinned = replace(baseline, scheduler={"mode": "fifo"})
+    return (
+        run_scenario(baseline, trace_capacity=None),
+        run_scenario(pinned, trace_capacity=None),
+    )
+
+
+def test_fifo_scheduler_is_byte_identical_to_no_scheduler():
+    for seed in (0, 7):
+        bare, fifo = run_pair(seed)
+        assert bare.tracer.to_jsonl() == fifo.tracer.to_jsonl(), (
+            f"seed {seed}: FIFO scheduler perturbed the trace"
+        )
+        assert [r.to_dict() for r in bare.history] == [
+            r.to_dict() for r in fifo.history
+        ]
+        assert bare.ok and fifo.ok
+
+
+def test_pct_scheduler_actually_changes_the_schedule():
+    # The counterpart guard: if PCT were also byte-identical, the
+    # perturbation would be dead code and the sweep vacuous.
+    baseline = make_workload(seed=3, ops=80, keys=12, prefill=10,
+                             scheduler=None)
+    perturbed = replace(baseline, scheduler={"mode": "pct", "seed": 3})
+    bare = run_scenario(baseline, trace_capacity=None)
+    pct = run_scenario(perturbed, trace_capacity=None)
+    assert bare.ok and pct.ok
+    assert bare.tracer.to_jsonl() != pct.tracer.to_jsonl()
+
+
+def test_pct_runs_are_reproducible():
+    scenario = make_workload(seed=11, ops=60, keys=12, prefill=10)
+    first = run_scenario(scenario, trace_capacity=None)
+    second = run_scenario(scenario, trace_capacity=None)
+    assert first.tracer.to_jsonl() == second.tracer.to_jsonl()

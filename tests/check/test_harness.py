@@ -1,0 +1,103 @@
+"""Scenario running: determinism, recording coverage, counterexample
+round-trips, and the end-to-end clean sweep the CI smoke mirrors."""
+
+from repro.check.harness import (
+    Counterexample,
+    Scenario,
+    make_workload,
+    run_scenario,
+)
+
+
+class TestRunScenario:
+    def test_clean_workload_is_linearizable(self):
+        scenario = make_workload(seed=1, ops=60, keys=12, prefill=12)
+        result = run_scenario(scenario)
+        assert result.ok, result.verdict.describe()
+        assert result.errors == []
+        # prefill + every client step is in the history
+        assert len(result.history) >= scenario.client_op_count() + 12
+        assert result.verdict.checked_ops > 0
+
+    def test_runs_are_deterministic(self):
+        scenario = make_workload(seed=5, ops=50, keys=10, prefill=8)
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert [r.to_dict() for r in first.history] == [
+            r.to_dict() for r in second.history
+        ]
+        assert first.verdict.ok == second.verdict.ok
+        assert first.tracer.to_jsonl() == second.tracer.to_jsonl()
+
+    def test_workload_generation_is_deterministic(self):
+        assert make_workload(seed=9).to_dict() == make_workload(seed=9).to_dict()
+        assert make_workload(seed=9).ops != make_workload(seed=10).ops
+
+    def test_unknown_step_is_noted_not_raised(self):
+        result = run_scenario(Scenario(seed=0, ops=[["warp", 3]]))
+        assert result.ok
+        assert len(result.errors) == 1 and "warp" in result.errors[0]
+
+    def test_crash_without_restore_stays_evaluable(self):
+        # Shrinking routinely strips restores; the run must still
+        # produce a verdict over whatever history was recorded.
+        scenario = Scenario(
+            seed=2, prefill=4,
+            ops=[["crash", "f.d1"], ["search", 1], ["search", 2]],
+        )
+        result = run_scenario(scenario)
+        assert result.verdict.keys_checked >= 2
+
+    def test_pct_seeds_stay_clean(self):
+        # The miniature version of the CI model-check sweep.
+        for seed in range(8):
+            scenario = make_workload(seed=seed, ops=40, keys=10, prefill=8)
+            result = run_scenario(scenario)
+            assert result.ok, (
+                f"seed {seed}: {result.verdict.describe()}"
+            )
+
+
+class TestScenarioRoundTrip:
+    def test_dict_round_trip(self):
+        scenario = make_workload(seed=3, ops=20)
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_client_op_count_skips_control_steps(self):
+        scenario = Scenario(ops=[
+            ["insert", 1, "a"], ["crash", "f.d0"], ["advance", 2.0],
+            ["restore", "f.d0"], ["search", 1],
+        ])
+        assert scenario.client_op_count() == 2
+
+
+class TestCounterexample:
+    def test_save_load_replay(self, tmp_path):
+        scenario = make_workload(
+            seed=2, ops=70, keys=8, prefill=12, crash_rate=0.10
+        )
+        result = run_scenario(scenario, mutant="drop_parity_seq")
+        assert not result.ok  # pinned by test_mutants; guard the fixture
+        example = Counterexample.from_result(result, mutant="drop_parity_seq")
+        path = tmp_path / "ce.json"
+        example.save(str(path))
+
+        loaded = Counterexample.load(str(path))
+        assert loaded.mutant == "drop_parity_seq"
+        assert loaded.scenario == scenario.to_dict()
+        assert loaded.failure["failed_keys"] == result.verdict.failed_keys
+        assert loaded.history == [r.to_dict() for r in result.history]
+        assert loaded.trace_tail  # the evidence rides along
+
+        replayed = loaded.replay()
+        assert not replayed.ok
+        assert replayed.verdict.failed_keys == result.verdict.failed_keys
+
+    def test_same_scenario_without_mutant_passes(self):
+        # The failing scenario only fails *because* of the mutant: the
+        # same run against the real implementation is linearizable.
+        scenario = make_workload(
+            seed=2, ops=70, keys=8, prefill=12, crash_rate=0.10
+        )
+        assert run_scenario(scenario).ok

@@ -1,0 +1,142 @@
+"""Unit tests for the Wing–Gong linearizability checker."""
+
+import pytest
+
+from repro.check.history import HistoryRecorder
+from repro.check.linearize import check_history, linearize
+from repro.check.model import DictModel
+from tests.check.conftest import op
+
+
+class TestLinearize:
+    def test_empty_history_is_linearizable(self):
+        verdict = linearize([])
+        assert verdict.ok and verdict.witness == []
+
+    def test_sequential_history_accepted_with_witness(self):
+        ops = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "search", 0, 3, 4, status="found", result="a"),
+            op(3, "delete", 0, 5, 6),
+            op(4, "search", 0, 7, 8, status="not_found"),
+        ]
+        verdict = linearize(ops)
+        assert verdict.ok
+        assert verdict.witness == [1, 2, 3, 4]
+
+    def test_stale_read_after_completed_update_rejected(self):
+        # update completed strictly before the search was invoked, so
+        # real-time order forbids the search from seeing the old value.
+        ops = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "update", 0, 3, 4, value="b"),
+            op(3, "search", 0, 5, 6, status="found", result="a"),
+        ]
+        verdict = linearize(ops)
+        assert not verdict.ok
+        assert verdict.decided
+        assert verdict.stuck  # the unplaceable ops are named
+
+    def test_overlapping_reads_may_straddle_a_write(self):
+        # Two searches concurrent with one update may see old and new —
+        # in either order relative to each other.
+        ops = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "update", 0, 3, 8, value="b"),
+            op(3, "search", 0, 4, 5, status="found", result="b"),
+            op(4, "search", 0, 6, 7, status="found", result="a"),
+        ]
+        assert not linearize(ops).ok  # b then a needs the write undone
+        ops[2], ops[3] = (
+            op(3, "search", 0, 4, 5, status="found", result="a"),
+            op(4, "search", 0, 6, 7, status="found", result="b"),
+        )
+        assert linearize(ops).ok  # a then b: update linearizes between
+
+    def test_memoization_collapses_equivalent_interleavings(self):
+        # Many concurrent idempotent deletes: factorial interleavings,
+        # but the (remaining, state) memo keeps the search polynomial.
+        ops = [op(i + 1, "delete", 0, 1, 20 + i) for i in range(10)]
+        verdict = linearize(ops)
+        assert verdict.ok
+        assert verdict.states_explored < 2**10
+
+    def test_budget_exhaustion_is_undecided_not_ok(self):
+        ops = [
+            op(i + 1, "insert", 0, 1, 20 + i, value=f"v{i}")
+            for i in range(8)
+        ]
+        verdict = linearize(ops, max_states=3)
+        assert not verdict.ok
+        assert not verdict.decided
+        assert "gave up" in verdict.reason
+
+
+class TestCheckHistory:
+    def test_per_key_partition_and_failed_keys(self):
+        ops = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "insert", 1, 3, 4, value="x"),
+            op(3, "search", 0, 5, 6, status="found", result="a"),
+            op(4, "search", 1, 7, 8, status="found", result="WRONG"),
+        ]
+        verdict = check_history(ops)
+        assert not verdict.ok
+        assert verdict.failed_keys == [1]
+        assert verdict.keys_checked == 2
+        assert verdict.checked_ops == 4
+        assert "NOT linearizable" in verdict.describe()
+
+    def test_whole_history_mode_agrees(self):
+        ops = [
+            op(1, "insert", 0, 1, 2, value="a"),
+            op(2, "insert", 1, 3, 4, value="x"),
+            op(3, "search", 0, 5, 6, status="found", result="a"),
+        ]
+        assert check_history(ops, per_key=False).ok
+        ops.append(op(4, "search", 1, 7, 8, status="not_found"))
+        assert not check_history(ops, per_key=False).ok
+
+    def test_describe_mentions_every_failed_key(self):
+        ops = [
+            op(1, "search", 0, 1, 2, status="found", result="ghost"),
+            op(2, "search", 3, 3, 4, status="found", result="ghost"),
+        ]
+        verdict = check_history(ops)
+        text = verdict.describe()
+        assert "key 0" in text and "key 3" in text
+
+    def test_recorder_feeds_the_checker(self):
+        recorder = HistoryRecorder()
+        entry = recorder.invoke("c", "insert", 7, value="a")
+        recorder.complete(entry, "ok")
+        probe = recorder.invoke("c", "search", 7)
+        recorder.complete(probe, "found", result="a")
+        lost = recorder.invoke("c", "delete", 7)
+        recorder.ambiguous(lost)
+        assert recorder.completed_ops == 2
+        assert recorder.ambiguous_ops == 1
+        assert check_history(recorder.records).ok
+        assert set(recorder.by_key()) == {7}
+
+    def test_recorder_rejects_bogus_completion_status(self):
+        recorder = HistoryRecorder()
+        entry = recorder.invoke("c", "insert", 1, value="a")
+        with pytest.raises(ValueError):
+            recorder.complete(entry, "pending")
+
+    def test_oprecord_bytes_roundtrip(self):
+        from repro.check.history import OpRecord
+
+        rec = op(1, "search", 0, 1, 2, status="found", result=b"\x00\xff")
+        back = OpRecord.from_dict(rec.to_dict())
+        assert back.result == b"\x00\xff"
+        assert back == rec
+
+
+def test_dict_model_search_budget_applies():
+    ops = [
+        op(i + 1, "insert", i, 1, 20 + i, value="v") for i in range(8)
+    ]
+    verdict = linearize(ops, DictModel, max_states=3)
+    assert not verdict.ok and not verdict.decided

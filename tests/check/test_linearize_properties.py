@@ -1,0 +1,104 @@
+"""Property tests for the checker: soundness, completeness on
+sequential executions, and the per-key ≡ whole-history equivalence the
+P-composition optimization rests on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.history import OpRecord
+from repro.check.linearize import check_history
+
+KINDS = ("insert", "update", "delete", "search")
+
+
+@st.composite
+def sequential_histories(draw):
+    """A history produced by *actually running* the ops against a dict,
+    one at a time — linearizable by construction."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    state: dict[int, str] = {}
+    records, tick = [], 0
+    for i in range(n):
+        kind = draw(st.sampled_from(KINDS))
+        key = draw(st.integers(min_value=0, max_value=2))
+        invoke, response = tick + 1, tick + 2
+        tick += 2
+        value = result = None
+        if kind in ("insert", "update"):
+            value = draw(st.sampled_from(["a", "b", "c"]))
+            state[key] = value
+            status = "ok"
+        elif kind == "delete":
+            state.pop(key, None)
+            status = "ok"
+        elif key in state:
+            status, result = "found", state[key]
+        else:
+            status = "not_found"
+        records.append(OpRecord(
+            op_id=i + 1, client="c", kind=kind, key=key, value=value,
+            invoke=invoke, response=response, status=status, result=result,
+        ))
+    return records
+
+
+@st.composite
+def arbitrary_histories(draw):
+    """Small histories with arbitrary overlap (including pending ops)
+    and arbitrary — possibly impossible — search outcomes."""
+    n = draw(st.integers(min_value=0, max_value=5))
+    records = []
+    for i in range(n):
+        kind = draw(st.sampled_from(KINDS))
+        key = draw(st.integers(min_value=0, max_value=1))
+        invoke = draw(st.integers(min_value=0, max_value=8))
+        pending = draw(st.booleans())
+        response = None if pending else invoke + 1 + draw(
+            st.integers(min_value=0, max_value=4)
+        )
+        value = result = None
+        status = "pending"
+        if kind in ("insert", "update"):
+            value = draw(st.sampled_from(["a", "b"]))
+            if not pending:
+                status = "ok"
+        elif kind == "delete":
+            if not pending:
+                status = "ok"
+        elif not pending:
+            status = draw(st.sampled_from(["found", "not_found"]))
+            if status == "found":
+                result = draw(st.sampled_from(["a", "b"]))
+        records.append(OpRecord(
+            op_id=i + 1, client="c", kind=kind, key=key, value=value,
+            invoke=invoke, response=response, status=status, result=result,
+        ))
+    return records
+
+
+@given(sequential_histories())
+def test_sequential_executions_are_accepted(records):
+    assert check_history(records).ok
+    assert check_history(records, per_key=False).ok
+
+
+@given(sequential_histories(), st.data())
+def test_corrupted_search_result_is_rejected(records, data):
+    hits = [r for r in records if r.status == "found"]
+    if not hits:
+        return  # nothing to corrupt in this draw
+    victim = data.draw(st.sampled_from(hits))
+    victim.result = "NEVER-WRITTEN"  # no generator emits this value
+    assert not check_history(records).ok
+    assert not check_history(records, per_key=False).ok
+
+
+@settings(max_examples=200)
+@given(arbitrary_histories())
+def test_per_key_equals_whole_history_verdict(records):
+    """P-composition: the conjunction of per-key verdicts must equal
+    the whole-history dictionary-model verdict on every history."""
+    assert (
+        check_history(records, per_key=True).ok
+        == check_history(records, per_key=False).ok
+    )

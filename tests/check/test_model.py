@@ -1,0 +1,75 @@
+"""Unit tests for the sequential reference models."""
+
+from repro.check.model import ABSENT, INCOMPATIBLE, DictModel, KeyModel
+from tests.check.conftest import op
+
+
+class TestKeyModel:
+    def test_insert_and_update_are_upserts(self):
+        state = KeyModel.initial
+        assert state is ABSENT
+        state = KeyModel.apply(state, op(1, "update", 0, 1, 2, value="a"))
+        assert state == "a"  # update on absent key still writes
+        state = KeyModel.apply(state, op(2, "insert", 0, 3, 4, value="b"))
+        assert state == "b"  # insert on present key overwrites
+
+    def test_delete_is_idempotent(self):
+        state = KeyModel.apply(KeyModel.initial, op(1, "delete", 0, 1, 2))
+        assert state is ABSENT
+        assert KeyModel.apply(state, op(2, "delete", 0, 3, 4)) is ABSENT
+
+    def test_search_found_requires_exact_value(self):
+        good = op(1, "search", 0, 1, 2, status="found", result="a")
+        bad = op(2, "search", 0, 3, 4, status="found", result="b")
+        assert KeyModel.apply("a", good) == "a"
+        assert KeyModel.apply("a", bad) is INCOMPATIBLE
+        assert KeyModel.apply(ABSENT, good) is INCOMPATIBLE
+
+    def test_search_not_found_requires_absence(self):
+        miss = op(1, "search", 0, 1, 2, status="not_found")
+        assert KeyModel.apply(ABSENT, miss) is ABSENT
+        assert KeyModel.apply("a", miss) is INCOMPATIBLE
+
+    def test_pending_search_never_constrains(self):
+        ghost = op(1, "search", 0, 1)  # pending: no observed outcome
+        assert KeyModel.apply("a", ghost) == "a"
+        assert KeyModel.apply(ABSENT, ghost) is ABSENT
+
+    def test_found_none_value_is_distinct_from_absent(self):
+        # A record can legitimately hold value None; the model must not
+        # confuse it with key absence.
+        state = KeyModel.apply(ABSENT, op(1, "insert", 0, 1, 2, value=None))
+        assert state is None
+        seen = op(2, "search", 0, 3, 4, status="found", result=None)
+        assert KeyModel.apply(state, seen) is None
+        assert KeyModel.apply(ABSENT, seen) is INCOMPATIBLE
+
+
+class TestDictModel:
+    def test_state_is_sorted_and_hashable(self):
+        state = DictModel.initial
+        state = DictModel.apply(state, op(1, "insert", 2, 1, 2, value="b"))
+        state = DictModel.apply(state, op(2, "insert", 1, 3, 4, value="a"))
+        assert state == ((1, "a"), (2, "b"))
+        hash(state)  # memoization requires hashability
+
+    def test_upsert_replaces_in_place(self):
+        state = ((1, "a"), (2, "b"))
+        state = DictModel.apply(state, op(1, "update", 1, 1, 2, value="z"))
+        assert state == ((1, "z"), (2, "b"))
+
+    def test_delete_removes_only_its_key(self):
+        state = ((1, "a"), (2, "b"))
+        assert DictModel.apply(state, op(1, "delete", 1, 1, 2)) == ((2, "b"),)
+        assert DictModel.apply((), op(2, "delete", 5, 3, 4)) == ()
+
+    def test_search_constrains_per_key(self):
+        state = ((1, "a"),)
+        hit = op(1, "search", 1, 1, 2, status="found", result="a")
+        stale = op(2, "search", 1, 3, 4, status="found", result="x")
+        miss = op(3, "search", 2, 5, 6, status="not_found")
+        assert DictModel.apply(state, hit) == state
+        assert DictModel.apply(state, stale) is INCOMPATIBLE
+        assert DictModel.apply(state, miss) == state
+        present = op(4, "search", 1, 7, 8, status="not_found")
+        assert DictModel.apply(state, present) is INCOMPATIBLE

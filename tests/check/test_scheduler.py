@@ -1,0 +1,177 @@
+"""Unit tests for the delivery schedulers and the bounded-DFS explorer."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.scheduler import (
+    DFSScheduler,
+    FifoScheduler,
+    PCTScheduler,
+    build_scheduler,
+    explore,
+)
+from repro.sim.messages import Message
+
+
+def batch(*channels: str) -> list[Message]:
+    """One matured batch: a message per listed sender (all to "dst")."""
+    return [Message(sender=s, recipient="dst", kind="op.ack") for s in channels]
+
+
+NET = SimpleNamespace(fault_plane=None, tracer=None, now=0.0)
+
+
+class FakePlane:
+    """Just enough FaultPlane for the PCT defer branch."""
+
+    def __init__(self, held: int = 0):
+        self.held = held
+        self.requeued: list[tuple[Message, float]] = []
+
+    def held_count(self, sender, recipient):
+        return self.held
+
+    def requeue(self, message, release_at):
+        self.requeued.append((message, release_at))
+
+
+class TestFifo:
+    def test_returns_the_batch_untouched(self):
+        due = batch("a", "b", "c")
+        assert FifoScheduler().schedule(due, NET) is due
+
+
+class TestPCT:
+    def order(self, scheduler, batches):
+        out = []
+        for due in batches:
+            out.append([
+                m.sender for m in scheduler.schedule(due, NET)
+            ])
+        return out
+
+    def test_same_seed_same_schedule(self):
+        batches = [batch("a", "b", "c", "d") for _ in range(30)]
+        first = self.order(PCTScheduler(seed=7, defer_probability=0.0),
+                           batches)
+        second = self.order(PCTScheduler(seed=7, defer_probability=0.0),
+                            batches)
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        batches = [batch("a", "b", "c", "d", "e", "f") for _ in range(50)]
+        assert (
+            self.order(PCTScheduler(seed=0, defer_probability=0.0), batches)
+            != self.order(PCTScheduler(seed=1, defer_probability=0.0),
+                          batches)
+        )
+
+    def test_actually_reorders_sometimes(self):
+        scheduler = PCTScheduler(seed=3, defer_probability=0.0)
+        self.order(scheduler,
+                   [batch("a", "b", "c", "d", "e") for _ in range(50)])
+        assert scheduler.reorderings > 0
+
+    def test_per_channel_fifo_is_preserved(self):
+        scheduler = PCTScheduler(seed=11, defer_probability=0.0)
+        due = batch("a", "b", "a", "b", "a")
+        for message, tag in zip(due, ("a1", "b1", "a2", "b2", "a3")):
+            message.payload = tag
+        out = scheduler.schedule(due, NET)
+        a_tags = [m.payload for m in out if m.sender == "a"]
+        b_tags = [m.payload for m in out if m.sender == "b"]
+        assert a_tags == ["a1", "a2", "a3"]
+        assert b_tags == ["b1", "b2"]
+
+    def test_defers_whole_channels_via_the_plane(self):
+        plane = FakePlane(held=0)
+        net = SimpleNamespace(fault_plane=plane, tracer=None, now=10.0)
+        scheduler = PCTScheduler(seed=1, defer_probability=0.9,
+                                 defer_window=3.0)
+        out = scheduler.schedule(batch("a", "a", "b"), net)
+        assert scheduler.deferrals > 0
+        assert plane.requeued
+        for _, release_at in plane.requeued:
+            assert 10.0 < release_at <= 10.0 + 1.0 + 3.0
+        # deferred messages left the batch entirely
+        assert len(out) + len(plane.requeued) == 3
+
+    def test_never_defers_a_channel_with_held_traffic(self):
+        plane = FakePlane(held=2)  # unmatured messages queued behind
+        net = SimpleNamespace(fault_plane=plane, tracer=None, now=0.0)
+        scheduler = PCTScheduler(seed=1, defer_probability=0.99)
+        out = scheduler.schedule(batch("a", "b"), net)
+        assert not plane.requeued and len(out) == 2
+
+    def test_defer_probability_validated(self):
+        with pytest.raises(ValueError):
+            PCTScheduler(defer_probability=1.0)
+
+
+class TestDFS:
+    def test_choices_pick_the_interleaving(self):
+        due = batch("a", "b")
+        default = DFSScheduler().schedule(due, NET)
+        assert [m.sender for m in default] == ["a", "b"]
+        flipped = DFSScheduler(choices=[1]).schedule(batch("a", "b"), NET)
+        assert [m.sender for m in flipped] == ["b", "a"]
+
+    def test_decisions_recorded_only_at_real_branches(self):
+        scheduler = DFSScheduler()
+        scheduler.schedule(batch("a", "a", "a"), NET)  # one live channel
+        assert scheduler.decisions == []
+        scheduler.schedule(batch("a", "b"), NET)
+        assert scheduler.decisions == [(0, 2)]
+        assert scheduler.describe() == {"mode": "dfs", "choices": [0]}
+
+    def test_per_channel_fifo_under_any_choices(self):
+        due = batch("a", "b", "a", "b")
+        for message, tag in zip(due, ("a1", "b1", "a2", "b2")):
+            message.payload = tag
+        out = DFSScheduler(choices=[1, 1, 0, 0]).schedule(due, NET)
+        assert [m.payload for m in out if m.sender == "a"] == ["a1", "a2"]
+        assert [m.payload for m in out if m.sender == "b"] == ["b1", "b2"]
+
+
+class TestExplore:
+    def run_factory(self, bad_first_sender=None):
+        def run(scheduler):
+            out = scheduler.schedule(batch("a", "b", "c"), NET)
+            return out[0].sender != bad_first_sender
+        return run
+
+    def test_clean_tree_is_enumerated_completely(self):
+        result = explore(self.run_factory(None))
+        assert result.ok and result.complete
+        # 3 first picks x 2 second picks = 6 total interleavings
+        assert result.runs == 6
+
+    def test_failing_schedule_is_found_and_replayable(self):
+        result = explore(self.run_factory("c"))
+        assert not result.ok
+        assert result.schedule is not None
+        replay = DFSScheduler(result.schedule)
+        out = replay.schedule(batch("a", "b", "c"), NET)
+        assert out[0].sender == "c"
+
+    def test_run_budget_bounds_the_search(self):
+        result = explore(self.run_factory(None), max_runs=2)
+        assert result.ok and not result.complete and result.runs == 2
+
+
+class TestBuildScheduler:
+    def test_round_trips_every_mode(self):
+        assert build_scheduler(None) is None
+        assert build_scheduler({"mode": "none"}) is None
+        assert isinstance(build_scheduler({"mode": "fifo"}), FifoScheduler)
+        pct = build_scheduler({"mode": "pct", "seed": 9,
+                               "defer_probability": 0.2})
+        assert isinstance(pct, PCTScheduler) and pct.seed == 9
+        assert build_scheduler(pct.describe()).describe() == pct.describe()
+        dfs = build_scheduler({"mode": "dfs", "choices": [1, 0]})
+        assert isinstance(dfs, DFSScheduler) and dfs.choices == [1, 0]
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            build_scheduler({"mode": "chaotic-good"})

@@ -1,0 +1,103 @@
+"""Unit tests for ddmin and the scenario shrinker (against synthetic
+failure predicates — the real-run path is covered by test_mutants)."""
+
+import pytest
+
+from repro.check.harness import Scenario
+from repro.check.shrink import ShrinkStats, ddmin, shrink_scenario
+
+
+def fresh_stats(budget: int = 400) -> ShrinkStats:
+    return ShrinkStats(budget=budget)
+
+
+class TestDdmin:
+    def test_single_culprit_is_isolated(self):
+        items = list(range(20))
+        result = ddmin(items, lambda s: 7 in s, fresh_stats())
+        assert result == [7]
+
+    def test_interacting_pair_is_kept(self):
+        items = list(range(20))
+        result = ddmin(
+            items, lambda s: 3 in s and 11 in s, fresh_stats()
+        )
+        assert sorted(result) == [3, 11]
+
+    def test_order_is_preserved(self):
+        items = ["a", "b", "c", "d", "e"]
+        result = ddmin(
+            items, lambda s: "b" in s and "d" in s, fresh_stats()
+        )
+        assert result == ["b", "d"]
+
+    def test_vacuous_failure_shrinks_to_empty(self):
+        assert ddmin(list(range(8)), lambda s: True, fresh_stats()) == []
+
+    def test_budget_stops_the_loop(self):
+        stats = fresh_stats(budget=1)
+        result = ddmin(list(range(16)), lambda s: 5 in s, stats)
+        assert 5 in result  # never returns a passing subset
+        assert stats.exhausted
+
+    def test_nothing_removable_terminates(self):
+        items = [0, 1, 2, 3]
+        result = ddmin(items, lambda s: len(s) == 4, fresh_stats())
+        assert result == items
+
+
+class TestShrinkScenario:
+    def test_rejects_a_passing_scenario(self):
+        scenario = Scenario(ops=[["insert", 1, "a"]])
+        with pytest.raises(ValueError):
+            shrink_scenario(scenario, fails=lambda s: False)
+
+    def test_shrinks_to_the_failing_core(self):
+        scenario = Scenario(
+            seed=4,
+            prefill=16,
+            scheduler={"mode": "pct", "seed": 4},
+            fault_rules=[{"kinds": ["op.ack"], "drop": 0.1},
+                         {"kinds": ["iam"], "delay": 0.2}],
+            ops=(
+                [["insert", k, f"v{k}"] for k in range(10)]
+                + [["delete", 5]]
+                + [["search", k] for k in range(10)]
+            ),
+        )
+
+        def fails(candidate: Scenario) -> bool:
+            return any(
+                step[0] == "delete" and step[1] == 5
+                for step in candidate.ops
+            )
+
+        shrunk, stats = shrink_scenario(scenario, fails=fails)
+        assert shrunk.ops == [["delete", 5]]
+        assert shrunk.scheduler is None       # pass 1 dropped it
+        assert shrunk.fault_rules == []       # pass 3 emptied the script
+        assert shrunk.prefill == 0            # pass 4 halved it away
+        assert stats.initial_steps == 21
+        assert stats.final_steps == 1
+        assert 0 < stats.runs <= stats.budget
+
+    def test_scheduler_kept_when_failure_needs_it(self):
+        scenario = Scenario(
+            scheduler={"mode": "pct", "seed": 1},
+            ops=[["insert", 1, "a"], ["search", 1]],
+        )
+
+        def fails(candidate: Scenario) -> bool:
+            return candidate.scheduler is not None and bool(candidate.ops)
+
+        shrunk, _ = shrink_scenario(scenario, fails=fails)
+        assert shrunk.scheduler == {"mode": "pct", "seed": 1}
+        assert len(shrunk.ops) == 1
+
+    def test_budget_is_respected(self):
+        scenario = Scenario(ops=[["search", k] for k in range(30)])
+        shrunk, stats = shrink_scenario(
+            scenario, budget=5, fails=lambda s: True
+        )
+        assert stats.runs <= 5 + 1  # the final pass may start one probe
+        assert stats.exhausted

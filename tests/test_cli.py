@@ -22,6 +22,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "MB/s" in out
 
+    def test_check_clean_sweep(self, capsys):
+        assert main([
+            "check", "--seeds", "3", "--ops", "40", "--keys", "10",
+            "--prefill", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_check_mutant_writes_counterexample(self, tmp_path, capsys):
+        artifact = tmp_path / "ce.json"
+        status = main([
+            "check", "--seeds", "5", "--seed-base", "2",
+            "--ops", "70", "--keys", "8", "--prefill", "12",
+            "--crash-rate", "0.10",
+            "--mutant", "drop_parity_seq",
+            "--artifact", str(artifact),
+        ])
+        assert status == 1
+        assert artifact.exists()
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "shrunk" in out
+
+        assert main(["check", "--replay", str(artifact)]) == 0
+        assert "reproduced the violation" in capsys.readouterr().out
+
+    def test_check_unknown_mutant(self, capsys):
+        assert main(["check", "--mutant", "gremlins"]) == 2
+        assert "unknown mutant" in capsys.readouterr().out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -135,6 +135,7 @@ class TestCli:
             "repro/sdds",
             "repro/sdds/client.py",
             "repro/core/data_bucket.py",
+            "repro/check",
         }
 
     def test_floor_spec_validation(self):
