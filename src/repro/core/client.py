@@ -97,7 +97,17 @@ class RSClient(Client):
         Goes through the failover-aware send: when the coordinator died
         too, the whois pull path waits out the standby lease and the
         report lands on the new primary instead.
+
+        A *fenced* refusal (the bucket restarted from disk and is
+        mid-catch-up, not dead — durable storage plane) is forwarded
+        with the distinction intact: the coordinator must not treat an
+        epoch-fenced bucket as a fresh loss, and the trace stream keeps
+        the two failure shapes apart.
         """
+        # The marker is added only when set: report payloads and trace
+        # attrs stay byte-identical to the pre-durability plane whenever
+        # no fencing is involved.
+        extra = {"fenced": True} if getattr(failure, "fenced", False) else {}
         net = self.network
         if net is not None and net.tracer is not None:
             net.tracer.emit(
@@ -105,10 +115,11 @@ class RSClient(Client):
                 node=failure.node_id,
                 op=kind,
                 key=payload.get("key"),
+                **extra,
             )
         self._coord_send(
             "report.unavailable",
-            {"kind": kind, "op": payload, "node": failure.node_id},
+            {"kind": kind, "op": payload, "node": failure.node_id, **extra},
         )
 
     # ------------------------------------------------------------------

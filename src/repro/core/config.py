@@ -195,6 +195,32 @@ class LHRSConfig:
         batch messages costing one service time like any other message —
         the pre-batch costing — while a positive weight models per-op
         server work so E20 can report honest batched latency.
+    durability:
+        Give every data and parity bucket a local
+        :class:`~repro.store.SimDisk` with a checksummed write-ahead
+        log and periodic checkpoints (``repro.store``).  A crashed
+        bucket that is *restored* (rather than replaced) then replays
+        its durable prefix, rejoins through the coordinator's fencing
+        handshake and fetches only the missed Δ tail from its peers —
+        falling back to the full RS rebuild when the log is torn,
+        rotted or too stale.  Off by default: with the knob off no
+        disk exists, restores keep their legacy silent-rebirth
+        semantics and every message trace is byte-identical to the
+        non-durable code.
+    wal_fsync_interval:
+        WAL appends between fsync barriers.  1 (default) is strict
+        durability: every logged mutation is on disk before the Δ
+        fan-out.  Larger values amortize fsyncs at the price of a
+        staleness window — a crash loses up to interval-1 logged
+        mutations, which is exactly the tail delta catch-up refetches.
+    durability_checkpoint_interval:
+        WAL appends between local checkpoints (atomic whole-state
+        replace + log truncate).  Bounds replay work and log growth.
+    delta_log_capacity:
+        Ring-buffer bound on the in-memory Δ tail each server keeps
+        for peers catching up (``wal.tail`` / ``delta.tail``).  A
+        restarted bucket whose staleness exceeds the ring falls back
+        to the full rebuild.
     """
 
     group_size: int = 4
@@ -234,6 +260,10 @@ class LHRSConfig:
     batch_ops: bool = False
     batch_max_ops: int = 256
     batch_bulk_weight: float = 0.0
+    durability: bool = False
+    wal_fsync_interval: int = 1
+    durability_checkpoint_interval: int = 128
+    delta_log_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.group_size < 1:
@@ -273,6 +303,12 @@ class LHRSConfig:
             raise ValueError("batch_max_ops must be >= 1")
         if self.batch_bulk_weight < 0:
             raise ValueError("batch_bulk_weight cannot be negative")
+        if self.wal_fsync_interval < 1:
+            raise ValueError("wal_fsync_interval must be >= 1")
+        if self.durability_checkpoint_interval < 1:
+            raise ValueError("durability_checkpoint_interval must be >= 1")
+        if self.delta_log_capacity < 1:
+            raise ValueError("delta_log_capacity must be >= 1")
         self.deadline_policy  # validate the SLO knobs (DeadlinePolicy raises)
         self.retry_policy  # validate the retry knobs (RetryPolicy raises)
         limit = (1 << self.field_width) - self.group_size

@@ -137,6 +137,11 @@ class RSCoordinator(Coordinator):
         self.crash_log: list[str] = []
         #: intents rolled forward (or aborted) by adopt_journal_state
         self.takeover_resumes: list[dict] = []
+        #: per-bucket incarnation fence (durability mode): bumped every
+        #: time a spare is installed under a bucket's logical address, so
+        #: a restarted server whose disk predates the rebuild can never
+        #: catch up into a file that already replaced it
+        self._bucket_epochs: dict[str, int] = {}
         self._appends_since_checkpoint = 0
         self._last_beat_sent = float("-inf")
         self._hb_busy = False
@@ -613,6 +618,9 @@ class RSCoordinator(Coordinator):
             stripe_store=self.config.parity_stripe_store,
         )
         server.inbound_queue_limit = self.config.bucket_queue_limit
+        if self.config.durability:
+            server.epoch = self._bucket_epochs.get(server.node_id, 0)
+            server.enable_durability(self.config)
         return server
 
     def make_server(self, number: int, level: int) -> RSDataServer:
@@ -637,7 +645,16 @@ class RSCoordinator(Coordinator):
             parity_ack=self.config.parity_ack,
         )
         server.inbound_queue_limit = self.config.bucket_queue_limit
+        if self.config.durability:
+            server.epoch = self._bucket_epochs.get(server.node_id, 0)
+            server.enable_durability(self.config)
         return server
+
+    def bump_epoch(self, node_id: str) -> int:
+        """Advance a bucket address's incarnation (spare install fence)."""
+        epoch = self._bucket_epochs.get(node_id, 0) + 1
+        self._bucket_epochs[node_id] = epoch
+        return epoch
 
     # ------------------------------------------------------------------
     # growth hooks
@@ -1081,7 +1098,16 @@ class RSCoordinator(Coordinator):
 
     def handle_rejoin(self, message: Message) -> dict:
         """Self-detected recovery (§2.5.4-style): a restarted server asks
-        whether it still carries its bucket or was replaced meanwhile."""
+        whether it still carries its bucket or was replaced meanwhile.
+
+        A payload carrying an ``epoch`` is the durable-storage handshake
+        (docs/durability.md): the server replayed its WAL, is fenced, and
+        asks to be caught up from the missed Δ tail.  The coordinator
+        admits it only when its incarnation matches (no spare was
+        installed under the address meanwhile) and the local replay was
+        clean; otherwise — or when the delta tail is no longer covered —
+        it falls back to a full RS rebuild onto a spare.  Payloads
+        without ``epoch`` keep the legacy answer-only behavior."""
         node_id = message.payload["node"]
         parsed = parse_node_id(self.file_id, node_id)
         if parsed is None:
@@ -1089,5 +1115,45 @@ class RSCoordinator(Coordinator):
         current = self._net().nodes.get(node_id)
         sender = self._net().nodes.get(message.sender)
         if current is not None and current is sender:
+            if "epoch" in message.payload:
+                return self._rejoin_durable(parsed, message.payload)
             return {"role": "current"}
         return {"role": "spare", "replacement": node_id}
+
+    def _rejoin_durable(self, parsed, payload: dict) -> dict:
+        node_id = payload["node"]
+        expected = self._bucket_epochs.get(node_id, 0)
+        if payload["epoch"] != expected or not payload.get("clean", False):
+            return self._rejoin_rebuild(node_id)
+        try:
+            if parsed[0] == "data":
+                caught = self.recovery.catch_up_data(parsed[1], payload)
+            else:
+                caught = self.recovery.catch_up_parity(
+                    parsed[1], parsed[2], payload
+                )
+        except (RecoveryError, NodeUnavailable, UnknownNode, DeliveryFault):
+            caught = False
+        if not caught:
+            return self._rejoin_rebuild(node_id)
+        return {"role": "caught-up"}
+
+    def _rejoin_rebuild(self, node_id: str) -> dict:
+        """Delta catch-up refused or impossible: full rebuild fallback."""
+        net = self._net()
+        if net.tracer is not None:
+            net.tracer.emit("catchup.fallback", node=node_id)
+        if net.metrics is not None:
+            net.metrics.counter(
+                "catchup.fallbacks",
+                "restarts that fell back to a full RS rebuild",
+            ).inc()
+        if net.is_available(node_id):
+            net.fail(node_id)
+        try:
+            self.recovery.recover_nodes([node_id])
+        except RecoveryError:
+            # Not recoverable right now (spares exhausted, too many
+            # losses); the self-healing probe loop retries later.
+            return {"role": "fenced"}
+        return {"role": "rebuilt"}

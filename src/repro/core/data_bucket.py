@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import zlib
+from collections import deque
 from contextlib import contextmanager
 from typing import Any
 
@@ -32,6 +33,27 @@ from repro.sim.faults import RetryPolicy
 from repro.sim.messages import HEADER_BYTES, Message
 from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.rs.encoder import delta_payload
+from repro.store.simdisk import DiskError, SimDisk, disk_rng
+from repro.store.wal import BucketLog
+
+#: Kinds a fenced (restarted, not yet caught-up) data bucket refuses
+#: with NodeUnavailable: everything that serves or mutates record state.
+#: Catch-up traffic (catchup.load, wal.tail), structural commands and
+#: status probes stay answerable — a fenced bucket is indistinguishable
+#: from a dead one to the data plane, nothing more.
+DATA_FENCED_KINDS = frozenset(
+    {
+        "insert",
+        "update",
+        "delete",
+        "search",
+        "scan",
+        "ops.batch",
+        "record.fetch",
+        "bucket.dump",
+        "signature.dump",
+    }
+)
 
 
 class RSDataServer(DataServer):
@@ -81,6 +103,30 @@ class RSDataServer(DataServer):
         #: monotonic Δ sequence number; the *same* stream goes to every
         #: parity bucket, so one counter serves all channels from here
         self._parity_seq = 0
+        # durable storage plane (None = the legacy RAM-only server;
+        # enable_durability wires it when config.durability is on)
+        self._disk = None
+        self._wal = None
+        self._delta_history: deque | None = None
+        self._ckpt_interval = 0
+        self._appends_since_ckpt = 0
+        #: incarnation stamped by the coordinator; a rebuilt spare under
+        #: the same node id gets a higher epoch, fencing stale disks
+        self.epoch = 0
+        #: True between restart-replay and catch-up completion: the
+        #: bucket answers catch-up traffic but refuses the data plane
+        self.fenced = False
+        self._restarting = False
+
+    # ------------------------------------------------------------------
+    # fencing
+    # ------------------------------------------------------------------
+    def receive(self, message: Message) -> Any:
+        if self.fenced and message.kind in DATA_FENCED_KINDS:
+            failure = NodeUnavailable(self.node_id)
+            failure.fenced = True
+            raise failure
+        return super().receive(message)
 
     # ------------------------------------------------------------------
     # rank management
@@ -156,6 +202,10 @@ class RSDataServer(DataServer):
             del self._rank_to_key[r_max]
             self._assign_rank(key_max, free)
         self._rank_counter = target
+        if self._wal is not None:
+            # the move ops logged above; the counter shrink (and drained
+            # free list) is the one effect they do not imply
+            self._log_entry({"ctl": "counter", "counter": target})
         return ops
 
     # ------------------------------------------------------------------
@@ -170,7 +220,7 @@ class RSDataServer(DataServer):
         # spare rebuilt from dumps treat any in-flight retransmission of
         # seq <= S as a duplicate.
         self._parity_seq += 1
-        return {
+        op = {
             "op": action,
             "key": key,
             "rank": rank,
@@ -179,6 +229,13 @@ class RSDataServer(DataServer):
             "length": length,
             "seq": self._parity_seq,
         }
+        if self._wal is not None:
+            # WAL-before-send: the mutation already applied locally, and
+            # it hits disk before the Δ leaves (or the op is acked), so
+            # every acked operation is in the durable prefix + fsync
+            # staleness window by construction.
+            self._log_entry(op)
+        return op
 
     def _send_parity(self, op: dict) -> None:
         if "drop_parity_seq" in mutants.ACTIVE and op["op"] == "update":
@@ -221,7 +278,7 @@ class RSDataServer(DataServer):
         stacked kernel (:meth:`ParityServer._fold_block`)."""
         seq0 = self._parity_seq + 1
         self._parity_seq += len(keys)
-        return {
+        block = {
             "block": action,
             "pos": self.position,
             "seq0": seq0,
@@ -230,6 +287,9 @@ class RSDataServer(DataServer):
             "deltas": deltas,
             "lengths": lengths,
         }
+        if self._wal is not None:
+            self._log_entry(block)
+        return block
 
     def _send_parity_block(self, block: dict) -> None:
         """Queue one columnar block in the Δ stream (FIFO with per-op
@@ -582,6 +642,8 @@ class RSDataServer(DataServer):
         self.bucket.records = dict(stay)
         self.bucket.level += 1
         self._last_reported_size = -1
+        if self._wal is not None:
+            self._log_entry({"ctl": "level", "level": self.bucket.level})
         self._send_parity_batch(delete_ops)
         self.send(
             data_node(self.file_id, target),
@@ -630,6 +692,8 @@ class RSDataServer(DataServer):
             self.ranks.clear()
             self._rank_to_key.clear()
             self.bucket.records = {}
+        if self._wal is not None:
+            self._log_entry({"ctl": "wipe"})
         self.send(
             data_node(self.file_id, into),
             "records.bulk",
@@ -725,9 +789,399 @@ class RSDataServer(DataServer):
         # Resume the Δ stream where the lost bucket left it, so the
         # surviving parity buckets' channel expectations stay aligned.
         self._parity_seq = payload.get("parity_seq", 0)
+        if self._wal is not None:
+            # A rebuilt (or snapshot-restored) image is the new durable
+            # baseline; whatever the disk held belonged to another life.
+            self.checkpoint_now()
 
     def handle_status(self, message: Message) -> dict:
         status = super().handle_status(message)
         status.update(group=self.group, position=self.position,
                       counter=self._rank_counter)
+        if self._wal is not None:
+            status.update(fenced=self.fenced, epoch=self.epoch)
         return status
+
+    def handle_level_set(self, message: Message) -> Any:
+        result = super().handle_level_set(message)
+        if self._wal is not None:
+            self._log_entry({"ctl": "level", "level": self.bucket.level})
+        return result
+
+    # ------------------------------------------------------------------
+    # durable storage plane: WAL, checkpoints, restart and catch-up
+    # ------------------------------------------------------------------
+    def enable_durability(self, config) -> None:
+        """Attach the simulated disk and WAL (``config.durability``).
+
+        Ends with a baseline checkpoint: recovery then always finds a
+        durable image of the bucket's *birth* state, so a crash before
+        the first periodic checkpoint still replays cleanly.
+        """
+        from repro.sim.rng import DEFAULT_SEED
+
+        self._disk = SimDisk(
+            self.node_id,
+            rng=disk_rng(DEFAULT_SEED, self.node_id),
+            profile=self._disk_profile,
+        )
+        self._wal = BucketLog(self._disk, fsync_interval=config.wal_fsync_interval)
+        self._ckpt_interval = config.durability_checkpoint_interval
+        self._delta_history = deque(maxlen=config.delta_log_capacity)
+        self.checkpoint_now()
+
+    def _disk_profile(self) -> dict:
+        """Current disk fault profile from the network's fault plane."""
+        net = self.network
+        if net is None or net.fault_plane is None:
+            return {}
+        return net.fault_plane.disk_profile(self.node_id, net.now)
+
+    def _log_entry(self, entry: dict) -> None:
+        """One WAL frame (mutation op/block or a ``ctl`` record).
+
+        Sequenced entries also join the in-RAM history ring that serves
+        a restarted parity bucket's catch-up ask.  Disk errors are
+        fail-stop (:meth:`_fail_stop`): a bucket that cannot log must
+        not keep mutating, or its disk diverges from its acked state.
+        """
+        try:
+            self._wal.append(entry)
+        except DiskError:
+            self._fail_stop()
+        if "ctl" not in entry:
+            self._delta_history.append(entry)
+        self._appends_since_ckpt += 1
+        if self._appends_since_ckpt >= self._ckpt_interval:
+            self.checkpoint_now()
+
+    def _fail_stop(self) -> None:
+        """Crash the node rather than run past a disk write it lost."""
+        net = self.network
+        if net is not None and net.is_available(self.node_id):
+            net.fail(self.node_id)
+        raise NodeUnavailable(self.node_id)
+
+    def checkpoint_now(self) -> None:
+        """Write a full-state checkpoint and truncate the WAL.
+
+        The lazy parity queue is part of the image: those Δs were acked
+        locally but may never have left, and the restart resend path
+        (:meth:`handle_catchup_load`) needs them back.
+        """
+        state = {
+            "kind": "data",
+            "epoch": self.epoch,
+            "level": self.bucket.level,
+            "counter": self._rank_counter,
+            "free": sorted(self._free_ranks),
+            "records": [
+                (key, self.ranks[key], payload)
+                for key, payload in self.bucket.records.items()
+            ],
+            "parity_seq": self._parity_seq,
+            "queue": list(self._parity_queue),
+        }
+        try:
+            self._wal.checkpoint(state)
+        except DiskError:
+            self._fail_stop()
+        self._appends_since_ckpt = 0
+        net = self.network
+        if net is not None and net.tracer is not None:
+            net.tracer.emit(
+                "disk.checkpoint", node=self.node_id, lsn=self._wal.lsn,
+                records=len(self.bucket.records),
+            )
+        if net is not None and net.metrics is not None:
+            net.metrics.counter(
+                "disk.checkpoints", "bucket checkpoints written"
+            ).inc()
+
+    # -- restart-with-delta-catch-up -----------------------------------
+    def on_restored(self) -> None:
+        """Network hook: this node just came back from a crash.
+
+        RAM-only servers (durability off) keep the legacy silent-rebirth
+        semantics — state intact, nobody told — which the pre-durability
+        chaos suites pin byte-for-byte: the hook returns immediately.
+        """
+        if self._wal is None or self._restarting:
+            return
+        self._restarting = True
+        try:
+            self._restart()
+        except NodeUnavailable:
+            # A disk fail-stop (or a coordinator verdict) put the node
+            # back down mid-restart; the probe sweep will rebuild it.
+            pass
+        finally:
+            self._restarting = False
+
+    def _restart(self) -> None:
+        """Replay the durable prefix, fence, and rejoin the file.
+
+        The crash is applied to the disk *here*: a failed node runs no
+        code in the simulation, so dropping the unsynced tail (and any
+        torn-write / bit-rot rule) at restore time is equivalent to
+        dropping it at crash time.
+        """
+        net = self._net()
+        self._disk.crash()
+        state, tail, clean = self._wal.recover()
+        # Everything volatile is lost with the process.
+        self._parity_queue = []
+        self._coalesce_depth = 0
+        self.bucket.records = {}
+        self.ranks = {}
+        self._rank_to_key = {}
+        self._free_ranks = []
+        self._rank_counter = 0
+        self._parity_seq = 0
+        self._delta_history.clear()
+        self._appends_since_ckpt = 0
+        if state is None or state.get("kind") != "data":
+            # No readable checkpoint (torn or rotted): the tail has no
+            # base to replay onto — everything on disk is suspect.
+            clean, tail = False, []
+            self.epoch = 0
+        else:
+            self.epoch = state["epoch"]
+            self.bucket.level = state["level"]
+            self._rank_counter = state["counter"]
+            self._free_ranks = list(state["free"])
+            heapq.heapify(self._free_ranks)
+            for key, rank, payload in state["records"]:
+                self.bucket.put(key, payload)
+                self._assign_rank(key, rank)
+            self._parity_seq = state["parity_seq"]
+            self._parity_queue = [dict(op) for op in state["queue"]]
+            for entry in tail:
+                self._replay_entry(entry)
+                if "ctl" not in entry:
+                    self._delta_history.append(entry)
+        self.fenced = True
+        if net.tracer is not None:
+            net.tracer.emit(
+                "bucket.restart", node=self.node_id, kind="data",
+                bucket=self.number, seq=self._parity_seq, clean=clean,
+                replayed=len(tail),
+            )
+        if net.metrics is not None:
+            net.metrics.counter("disk.restarts", "bucket restart replays").inc()
+        self._rejoin_file(clean)
+
+    def _rejoin_file(self, clean: bool) -> None:
+        """Report the restart; the coordinator catches us up or rebuilds.
+
+        The verdict itself travels out-of-band: a ``catchup.load``
+        arriving mid-call unfences us, a rebuild replaces us under our
+        own node id.  The reply is informational, so a lost reply after
+        the coordinator acted changes nothing.
+        """
+        net = self._net()
+        payload = {
+            "node": self.node_id,
+            "kind": "data",
+            "bucket": self.number,
+            "group": self.group,
+            "epoch": self.epoch,
+            "seq": self._parity_seq,
+            "clean": clean,
+        }
+        policy = self.retry_policy
+        for attempt in range(policy.attempts):
+            try:
+                self.call(self._coordinator(), "rejoin", payload)
+                return
+            except DeliveryFault as fault:
+                if fault.stage == "reply":
+                    return  # the coordinator acted; only the ack was lost
+            except (NodeUnavailable, UnknownNode):
+                pass  # coordinator dark (pre-takeover window)
+            if attempt + 1 < policy.attempts:
+                net.advance(policy.delay(
+                    attempt, zlib.crc32(f"{self.node_id}->rejoin".encode()),
+                ))
+        # Could not reach the coordinator: stay down — a fenced bucket
+        # nobody knows about is indistinguishable from a dead one, and
+        # the probe sweep will find and rebuild it.  Guard on identity:
+        # if a rebuild already replaced us under this id, failing the id
+        # would kill the healthy replacement.
+        if net.nodes.get(self.node_id) is self:
+            net.fail(self.node_id)
+        raise NodeUnavailable(self.node_id)
+
+    # -- WAL replay ----------------------------------------------------
+    def _replay_entry(self, entry: dict) -> None:
+        if "ctl" in entry:
+            ctl = entry["ctl"]
+            if ctl == "level":
+                self.bucket.level = entry["level"]
+            elif ctl == "counter":
+                # compaction epilogue: free list drained, counter shrunk
+                self._free_ranks = []
+                self._rank_counter = entry["counter"]
+            elif ctl == "wipe":
+                self.bucket.records = {}
+                self.ranks = {}
+                self._rank_to_key = {}
+                self._free_ranks = []
+                self._rank_counter = 0
+            return
+        if "block" in entry:
+            for key, rank, delta, length in zip(
+                entry["keys"], entry["ranks"], entry["deltas"], entry["lengths"]
+            ):
+                self._replay_one(entry["block"], key, rank, delta, length)
+            return
+        self._replay_one(
+            entry["op"], entry["key"], entry["rank"], entry["delta"],
+            entry["length"],
+        )
+
+    def _replay_one(
+        self, action: str, key: int, rank: int, delta: bytes, length: int
+    ) -> None:
+        """Apply one logged mutation to the store.
+
+        Inserts log the payload verbatim; updates log the XOR Δ, so the
+        new value is ``old ⊕ Δ`` trimmed to the logged length (exactly
+        how the parity channel reconstructs it).
+        """
+        if action == "insert":
+            self._adopt_rank(rank)
+            self._assign_rank(key, rank)
+            self.bucket.put(key, delta)
+        elif action == "update":
+            old = self.bucket.get(key)
+            self.bucket.put(key, delta_payload(old, delta)[:length])
+        elif key in self.bucket:  # delete
+            self.bucket.delete(key)
+            self._release_rank(self._unassign_rank(key))
+
+    def _adopt_rank(self, rank: int) -> None:
+        """Claim a *specific* rank during replay or catch-up: pull it
+        from the free heap if present, else extend the counter to cover
+        it (ranks skipped on the way up become free, exactly as the
+        live allocation path left them)."""
+        if rank <= self._rank_counter:
+            if rank in self._free_ranks:
+                self._free_ranks.remove(rank)
+                heapq.heapify(self._free_ranks)
+        else:
+            while self._rank_counter < rank:
+                self._rank_counter += 1
+                if self._rank_counter < rank:
+                    heapq.heappush(self._free_ranks, self._rank_counter)
+
+    @staticmethod
+    def _entry_seq_range(entry: dict) -> tuple[int, int]:
+        """Inclusive Δ-sequence span of one logged entry."""
+        if "block" in entry:
+            return entry["seq0"], entry["seq0"] + len(entry["keys"]) - 1
+        return entry["seq"], entry["seq"]
+
+    # -- serving catch-up ----------------------------------------------
+    def handle_wal_tail(self, message: Message) -> dict:
+        """A restarted parity bucket asks for the Δs it missed.
+
+        Returns every entry with a sequence number above ``after`` from
+        the in-RAM history ring; ``covered`` is False when the ring no
+        longer reaches back that far (checkpoints retire old WAL frames)
+        — the asker must then fall back to a full rebuild.
+        """
+        after = message.payload["after"]
+        live = self._parity_seq
+        ops: list[dict] = []
+        next_needed = after + 1
+        covered = True
+        for entry in self._delta_history or ():
+            lo, hi = self._entry_seq_range(entry)
+            if hi < next_needed:
+                continue
+            if lo > next_needed:
+                covered = False
+                break
+            ops.append(entry)
+            next_needed = hi + 1
+        covered = covered and next_needed > live
+        return {"covered": covered, "live": live, "ops": ops}
+
+    # -- receiving catch-up --------------------------------------------
+    def handle_catchup_load(self, message: Message) -> dict:
+        """Apply the coordinator's delta catch-up verdict and unfence.
+
+        ``set`` holds the *final* state of every key that changed while
+        we were down (the coordinator already resolved per-key winners);
+        ``delete`` lists keys whose final state is absence.  Neither
+        fans out Δs — the live parity buckets already reflect them.
+
+        ``resend_after`` (when present) means some parity bucket lags
+        our own durable prefix (Δs we logged but never shipped — the
+        lazy-queue vulnerability window the WAL exists to close): we
+        re-fan-out our tail above it, in sequence order, merged from the
+        restored queue and the history ring.  Per-channel sequence
+        numbers make the copies other parities already hold harmless
+        duplicates.  The reply's ``floor`` is the highest sequence the
+        resend could *not* reach back past; the coordinator rebuilds any
+        parity bucket still gapped below it.
+        """
+        payload = message.payload
+        disk_seq = self._parity_seq
+        deletes = payload.get("delete", [])
+        items = payload.get("set", [])
+        for key in deletes:
+            if key in self.bucket:
+                self.bucket.delete(key)
+                self._release_rank(self._unassign_rank(key))
+        # Two passes: release every stale rank first, then adopt the
+        # final ones — a catch-up that swaps two keys' ranks would
+        # otherwise collide mid-loop.
+        for key, rank, value in items:
+            if key in self.ranks:
+                self._release_rank(self._unassign_rank(key))
+        for key, rank, value in items:
+            self._adopt_rank(rank)
+            self._assign_rank(key, rank)
+            self.bucket.put(key, value)
+        self._parity_seq = payload["parity_seq"]
+        self.fenced = False
+        # Resend our unshipped tail to lagging parity channels.
+        floor = disk_seq
+        resend_after = payload.get("resend_after")
+        if resend_after is not None and resend_after < disk_seq:
+            pool: dict[int, tuple[int, dict]] = {}
+            for entry in list(self._parity_queue) + list(self._delta_history):
+                lo, hi = self._entry_seq_range(entry)
+                if hi > resend_after and lo <= disk_seq:
+                    pool[lo] = (hi, entry)
+            resend: list[dict] = []
+            for lo in sorted(pool, reverse=True):
+                hi, entry = pool[lo]
+                if hi != floor:
+                    break  # gap: entries below were retired by checkpoints
+                resend.append(entry)
+                floor = lo - 1
+            floor = max(floor, resend_after)
+            resend.reverse()
+            self._parity_queue = []
+            if resend:
+                self._fanout("parity.batch", {"ops": resend},
+                             size=self._parity_batch_size_of(resend))
+        else:
+            # Every parity channel is at (or past) our durable prefix:
+            # the restored queue is all duplicates.
+            self._parity_queue = []
+        net = self._net()
+        if net.tracer is not None:
+            net.tracer.emit(
+                "catchup.data", node=self.node_id, bucket=self.number,
+                set=len(items), deleted=len(deletes), seq=self._parity_seq,
+            )
+        if net.metrics is not None:
+            net.metrics.counter(
+                "catchup.records", "records shipped by delta catch-up"
+            ).inc(len(items) + len(deletes))
+        self.checkpoint_now()
+        return {"floor": floor}

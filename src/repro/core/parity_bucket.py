@@ -31,6 +31,9 @@ scans run as one 2D kernel, and bulk encode batches land as one
 
 from __future__ import annotations
 
+import zlib
+from collections import deque
+
 import numpy as np
 
 from repro.check import mutants
@@ -38,9 +41,27 @@ from repro.core.records import ParityRecord
 from repro.core.stripe_store import StripeStore
 from repro.gf.field import GF
 from repro.rs.encoder import fold_delta
+from repro.sim.faults import RetryPolicy
 from repro.sim.messages import Message
-from repro.sim.network import NodeUnavailable, UnknownNode
+from repro.sim.network import DeliveryFault, NodeUnavailable, UnknownNode
 from repro.sim.node import Node
+from repro.store.simdisk import DiskError, SimDisk, disk_rng
+from repro.store.wal import BucketLog
+
+#: Kinds a fenced (restarted, not yet caught-up) parity bucket refuses
+#: with NodeUnavailable: everything that folds Δs or serves content.
+#: Catch-up traffic (catchup.parity, delta.tail), channel resets and
+#: status probes stay answerable.
+PARITY_FENCED_KINDS = frozenset(
+    {
+        "parity.update",
+        "parity.batch",
+        "parity.locate",
+        "parity.rank",
+        "parity.dump",
+        "signature.dump",
+    }
+)
 
 
 class StoredParityRecord(ParityRecord):
@@ -122,6 +143,29 @@ class ParityServer(Node):
         #: how many of those folds were coefficient-1 (pure XOR)
         self.xor_folds = 0
         self.general_folds = 0
+        # durable storage plane (None = the legacy RAM-only server;
+        # enable_durability wires it when config.durability is on)
+        self._disk = None
+        self._wal = None
+        #: per-position ring of (seq, action, key, rank) descriptors of
+        #: applied Δs — serves a restarted data bucket's catch-up ask
+        self._delta_log: dict[int, deque] | None = None
+        self._delta_log_cap = 0
+        self._ckpt_interval = 0
+        self._appends_since_ckpt = 0
+        self.epoch = 0
+        self.fenced = False
+        self._restarting = False
+
+    # ------------------------------------------------------------------
+    # fencing
+    # ------------------------------------------------------------------
+    def receive(self, message: Message):
+        if self.fenced and message.kind in PARITY_FENCED_KINDS:
+            failure = NodeUnavailable(self.node_id)
+            failure.fenced = True
+            raise failure
+        return super().receive(message)
 
     # ------------------------------------------------------------------
     # storage layout helpers
@@ -297,6 +341,8 @@ class ParityServer(Node):
         verdict = self._channel_check(message.payload)
         if verdict == "apply":
             self._apply(message.payload)
+            if self._wal is not None:
+                self._record_applied_ops([message.payload])
             return {"status": "applied"}
         if verdict == "stale":
             self._report_stale()
@@ -424,6 +470,8 @@ class ParityServer(Node):
                 verdict = self._channel_check(op)
                 if verdict == "apply":
                     self._apply(op)
+                    if self._wal is not None:
+                        self._record_applied_ops([op])
                     applied += 1
                 elif verdict == "stale":
                     return applied, True
@@ -471,6 +519,14 @@ class ParityServer(Node):
             self.xor_folds += n
         else:
             self.general_folds += n
+        if self._wal is not None:
+            seq0 = block["seq0"]
+            ring = self._delta_log.setdefault(
+                pos, deque(maxlen=self._delta_log_cap)
+            )
+            for i in range(n):
+                ring.append((seq0 + i, action, keys[i], ranks[i]))
+            self._log_entry({"pblock": block})
         return n, False
 
     def _bulk_foldable(self, ops: list[dict], start: int) -> int:
@@ -556,6 +612,8 @@ class ParityServer(Node):
                 self.xor_folds += len(applies)
             else:
                 self.general_folds += len(applies)
+            if self._wal is not None:
+                self._record_applied_ops(applies)
             return len(applies), stale
         for op, row, needed in zip(applies, scaled, needs):
             rank = op["rank"]
@@ -577,6 +635,8 @@ class ParityServer(Node):
                 self._key_index[op["key"]] = (rank, pos)
             else:  # update
                 record.lengths[pos] = op["length"]
+        if self._wal is not None:
+            self._record_applied_ops(applies)
         return len(applies), stale
 
     def _fold_prescaled(
@@ -616,8 +676,10 @@ class ParityServer(Node):
             tracer.emit(
                 "parity.batch", node=self.node_id, ops=len(ops)
             )
+        encoded = False
         if self._bulk_encodable(ops):
             applied = self._bulk_encode(ops)
+            encoded = True
         else:
             applied = 0
             i = 0
@@ -636,6 +698,8 @@ class ParityServer(Node):
                     stale = verdict == "stale"
                     if verdict == "apply":
                         self._apply(op)
+                        if self._wal is not None:
+                            self._record_applied_ops([op])
                         applied += 1
                     i += 1
                 if stale:
@@ -646,6 +710,10 @@ class ParityServer(Node):
             self._expected_seq.update(
                 {int(pos): seq for pos, seq in expected.items()}
             )
+        if self._wal is not None and (encoded or expected):
+            # Whole-group encodes and channel re-bases are full-state
+            # events (recovery paths): checkpoint instead of logging.
+            self.checkpoint_now()
         return {"status": "applied", "applied": applied}
 
     def handle_parity_reset(self, message: Message) -> None:
@@ -665,6 +733,10 @@ class ParityServer(Node):
             )
         for pos in positions:
             self._expected_seq.pop(pos, None)
+        if self._wal is not None:
+            for pos in positions:
+                self._delta_log.pop(pos, None)
+            self._log_entry({"ctl": "reset", "positions": list(positions)})
 
     # ------------------------------------------------------------------
     # queries used by recovery
@@ -716,10 +788,11 @@ class ParityServer(Node):
         record = self.records.get(message.payload["rank"])
         return record.snapshot(self.field) if record else None
 
-    def handle_parity_load(self, message: Message) -> None:
-        """Bulk-load recovered content into a fresh (spare) parity bucket."""
-        snaps = message.payload["records"]
+    def _load_records(self, snaps: list[dict]) -> None:
+        """Replace the whole record set from snapshots (load / restart)."""
         self.records = {}
+        if self._store is not None:
+            self._store = StripeStore(self.field)
         for snap in snaps:
             record = self._new_record(snap["rank"])
             record.keys = dict(snap["keys"])
@@ -739,6 +812,10 @@ class ParityServer(Node):
             for rank, record in self.records.items()
             for pos, key in record.keys.items()
         }
+
+    def handle_parity_load(self, message: Message) -> None:
+        """Bulk-load recovered content into a fresh (spare) parity bucket."""
+        self._load_records(message.payload["records"])
         # A rebuilt spare is encoded from the group's *current* data, so
         # every Δ the senders have issued is already reflected; adopting
         # their counters makes any in-flight retransmission a duplicate.
@@ -746,6 +823,12 @@ class ParityServer(Node):
             int(pos): seq
             for pos, seq in message.payload.get("expected_seqs", {}).items()
         }
+        self.stale = False
+        if self._wal is not None:
+            # A rebuilt image is the new durable baseline; whatever the
+            # disk held belonged to another life.
+            self._delta_log.clear()
+            self.checkpoint_now()
 
     def handle_signature_dump(self, message: Message) -> dict:
         """Algebraic signatures of every parity record, keyed by rank.
@@ -777,7 +860,7 @@ class ParityServer(Node):
         }
 
     def handle_status(self, message: Message) -> dict:
-        return {
+        status = {
             "group": self.group,
             "index": self.index,
             "records": len(self.records),
@@ -787,3 +870,281 @@ class ParityServer(Node):
             ),
             "stale": self.stale,
         }
+        if self._wal is not None:
+            status.update(fenced=self.fenced, epoch=self.epoch)
+        return status
+
+    # ------------------------------------------------------------------
+    # durable storage plane: WAL, checkpoints, restart and catch-up
+    # ------------------------------------------------------------------
+    def enable_durability(self, config) -> None:
+        """Attach the simulated disk and WAL (``config.durability``)."""
+        from repro.sim.rng import DEFAULT_SEED
+
+        self._disk = SimDisk(
+            self.node_id,
+            rng=disk_rng(DEFAULT_SEED, self.node_id),
+            profile=self._disk_profile,
+        )
+        self._wal = BucketLog(self._disk, fsync_interval=config.wal_fsync_interval)
+        self._ckpt_interval = config.durability_checkpoint_interval
+        self._delta_log = {}
+        self._delta_log_cap = config.delta_log_capacity
+        self.checkpoint_now()
+
+    def _disk_profile(self) -> dict:
+        net = self.network
+        if net is None or net.fault_plane is None:
+            return {}
+        return net.fault_plane.disk_profile(self.node_id, net.now)
+
+    def _log_entry(self, entry: dict) -> None:
+        try:
+            self._wal.append(entry)
+        except DiskError:
+            self._fail_stop()
+        self._appends_since_ckpt += 1
+        if self._appends_since_ckpt >= self._ckpt_interval:
+            self.checkpoint_now()
+
+    def _fail_stop(self) -> None:
+        """Crash the node rather than run past a disk write it lost."""
+        net = self.network
+        if net is not None and net.is_available(self.node_id):
+            net.fail(self.node_id)
+        raise NodeUnavailable(self.node_id)
+
+    def _record_applied_ops(self, applies: list[dict]) -> None:
+        """Post-apply durability duties: note sequenced Δs in the
+        per-position catch-up ring, then WAL the batch in one frame."""
+        for op in applies:
+            if op.get("seq") is not None:
+                self._delta_log.setdefault(
+                    op["pos"], deque(maxlen=self._delta_log_cap)
+                ).append((op["seq"], op["op"], op["key"], op["rank"]))
+        self._log_entry({"pops": applies})
+
+    def checkpoint_now(self) -> None:
+        """Write a full-state checkpoint and truncate the WAL."""
+        state = {
+            "kind": "parity",
+            "epoch": self.epoch,
+            "records": self._snapshots(),
+            "expected_seqs": dict(self._expected_seq),
+            "stale": self.stale,
+            "coord": self.coord_checkpoint,
+            "delta_log": {
+                pos: list(ring) for pos, ring in self._delta_log.items()
+            },
+        }
+        try:
+            self._wal.checkpoint(state)
+        except DiskError:
+            self._fail_stop()
+        self._appends_since_ckpt = 0
+        net = self.network
+        if net is not None and net.tracer is not None:
+            net.tracer.emit(
+                "disk.checkpoint", node=self.node_id, lsn=self._wal.lsn,
+                records=len(self.records),
+            )
+        if net is not None and net.metrics is not None:
+            net.metrics.counter(
+                "disk.checkpoints", "bucket checkpoints written"
+            ).inc()
+
+    # -- restart-with-delta-catch-up -----------------------------------
+    def on_restored(self) -> None:
+        """Network hook: this node just came back from a crash.
+
+        RAM-only servers (durability off) keep the legacy silent-rebirth
+        semantics, which the pre-durability chaos suites pin: the hook
+        returns immediately.
+        """
+        if self._wal is None or self._restarting:
+            return
+        self._restarting = True
+        try:
+            self._restart()
+        except NodeUnavailable:
+            pass  # disk fail-stop mid-restart; the probe sweep rebuilds
+        finally:
+            self._restarting = False
+
+    def _restart(self) -> None:
+        """Replay the durable prefix, fence, and rejoin the file."""
+        net = self._net()
+        self._disk.crash()
+        state, tail, clean = self._wal.recover()
+        self._expected_seq = {}
+        self.stale = False
+        self.coord_checkpoint = None
+        self._delta_log = {}
+        self._appends_since_ckpt = 0
+        if state is None or state.get("kind") != "parity":
+            clean, tail = False, []
+            self.epoch = 0
+            self._load_records([])
+        else:
+            self.epoch = state["epoch"]
+            self._load_records(state["records"])
+            self._expected_seq = {
+                int(pos): seq for pos, seq in state["expected_seqs"].items()
+            }
+            self.stale = bool(state["stale"])
+            self.coord_checkpoint = state["coord"]
+            self._delta_log = {
+                int(pos): deque(
+                    (tuple(item) for item in ring), maxlen=self._delta_log_cap
+                )
+                for pos, ring in state["delta_log"].items()
+            }
+            for frame in tail:
+                self._replay_frame(frame)
+        self.fenced = True
+        if net.tracer is not None:
+            net.tracer.emit(
+                "bucket.restart", node=self.node_id, kind="parity",
+                bucket=self.index, clean=clean, replayed=len(tail),
+            )
+        if net.metrics is not None:
+            net.metrics.counter("disk.restarts", "bucket restart replays").inc()
+        self._rejoin_file(clean)
+
+    def _rejoin_file(self, clean: bool) -> None:
+        """Report the restart; the coordinator catches us up or rebuilds.
+
+        Mirrors the data-bucket flow: the verdict travels out-of-band
+        (``catchup.parity`` unfences, a rebuild replaces us under our
+        own id), so a lost reply after the coordinator acted is
+        harmless.
+        """
+        net = self._net()
+        payload = {
+            "node": self.node_id,
+            "kind": "parity",
+            "group": self.group,
+            "index": self.index,
+            "epoch": self.epoch,
+            "expected_seqs": dict(self._expected_seq),
+            "clean": clean and not self.stale,
+        }
+        policy = RetryPolicy()
+        for attempt in range(policy.attempts):
+            try:
+                self.call(f"{self.file_id}.coord", "rejoin", payload)
+                return
+            except DeliveryFault as fault:
+                if fault.stage == "reply":
+                    return
+            except (NodeUnavailable, UnknownNode):
+                pass
+            if attempt + 1 < policy.attempts:
+                net.advance(policy.delay(
+                    attempt, zlib.crc32(f"{self.node_id}->rejoin".encode()),
+                ))
+        if net.nodes.get(self.node_id) is self:
+            net.fail(self.node_id)
+        raise NodeUnavailable(self.node_id)
+
+    # -- WAL replay ----------------------------------------------------
+    def _replay_frame(self, frame: dict) -> None:
+        if "ctl" in frame:
+            if frame["ctl"] == "reset":
+                for pos in frame["positions"]:
+                    self._expected_seq.pop(pos, None)
+                    self._delta_log.pop(pos, None)
+            return
+        for op in (
+            self._expand_block(frame["pblock"]) if "pblock" in frame
+            else frame["pops"]
+        ):
+            self._replay_apply(op)
+
+    def _replay_apply(self, op: dict) -> None:
+        """Re-fold one logged Δ without channel checks (the live path
+        already classified it as an apply) but with the same channel
+        advancement, so replayed state matches pre-crash state."""
+        seq = op.get("seq")
+        if seq is not None:
+            self._expected_seq[op["pos"]] = seq + 1
+            self._delta_log.setdefault(
+                op["pos"], deque(maxlen=self._delta_log_cap)
+            ).append((seq, op["op"], op["key"], op["rank"]))
+        self._apply(op)
+
+    # -- serving catch-up ----------------------------------------------
+    def handle_delta_tail(self, message: Message) -> dict:
+        """A restarted data bucket asks which Δs it issued past its
+        durable prefix: ``(seq, action, key, rank)`` descriptors from
+        the per-position ring.  The coordinator resolves these to final
+        record states (payloads come from record recovery, not from
+        parity symbols).  ``covered`` is False when the ring no longer
+        reaches back to ``after`` + 1.
+        """
+        pos = message.payload["pos"]
+        after = message.payload["after"]
+        live = self._expected_seq.get(pos, 1) - 1
+        ops: list[dict] = []
+        covered = True
+        if after < live:
+            ring = (self._delta_log or {}).get(pos)
+            next_needed = after + 1
+            if ring is None:
+                covered = False
+            else:
+                for seq, action, key, rank in ring:
+                    if seq < next_needed:
+                        continue
+                    if seq > next_needed:
+                        covered = False
+                        break
+                    ops.append(
+                        {"seq": seq, "op": action, "key": key, "rank": rank}
+                    )
+                    next_needed += 1
+                covered = covered and next_needed > live
+        return {"covered": covered, "live": live, "ops": ops}
+
+    # -- receiving catch-up --------------------------------------------
+    def handle_catchup_parity(self, message: Message) -> dict:
+        """Apply the Δs this bucket missed while down, then unfence.
+
+        ``ops`` is each group member's WAL tail past our channel
+        expectation (op dicts and columnar blocks, in sequence order).
+        Everything runs through the normal channel check, so overlap
+        with what we already hold dedups per-op; a gap (``stale``
+        verdict) means the coordinator's coverage check was defeated by
+        a concurrent channel advance — report failure so it falls back
+        to a full rebuild.
+        """
+        applied = 0
+        for entry in message.payload["ops"]:
+            ops = (
+                self._expand_block(entry) if "block" in entry else [entry]
+            )
+            for op in ops:
+                verdict = self._channel_check(op)
+                if verdict == "apply":
+                    self._apply(op)
+                    if op.get("seq") is not None:
+                        self._delta_log.setdefault(
+                            op["pos"], deque(maxlen=self._delta_log_cap)
+                        ).append((op["seq"], op["op"], op["key"], op["rank"]))
+                    applied += 1
+                elif verdict == "stale":
+                    return {"ok": False, "applied": applied}
+        self.fenced = False
+        self.stale = False
+        net = self._net()
+        if net.tracer is not None:
+            net.tracer.emit(
+                "catchup.parity", node=self.node_id, group=self.group,
+                index=self.index, applied=applied,
+            )
+        if net.metrics is not None:
+            net.metrics.counter(
+                "catchup.records", "records shipped by delta catch-up"
+            ).inc(applied)
+        self.checkpoint_now()
+        return {"ok": True, "applied": applied}

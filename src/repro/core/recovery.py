@@ -681,6 +681,8 @@ class RecoveryManager:
     ) -> None:
         coordinator = self.coordinator
         node_id = data_node(self._file_id, bucket)
+        if coordinator.config.durability:
+            coordinator.bump_epoch(node_id)
         self._net.unregister(node_id)
         level = coordinator.state.level_of(bucket)
         server = coordinator.make_server(bucket, level)
@@ -715,6 +717,8 @@ class RecoveryManager:
     ) -> None:
         coordinator = self.coordinator
         node_id = parity_node(self._file_id, group, index)
+        if coordinator.config.durability:
+            coordinator.bump_epoch(node_id)
         self._net.unregister(node_id)
         server = coordinator.make_parity_server(group, index)
         self._net.register(server)
@@ -729,6 +733,164 @@ class RecoveryManager:
             # The spare crashed the instant it was installed; the next
             # probe round rebuilds it like any other loss.
             pass
+
+    # ------------------------------------------------------------------
+    # delta catch-up (durable restart rejoin)
+    # ------------------------------------------------------------------
+    def catch_up_data(self, bucket: int, payload: dict) -> bool:
+        """Catch a cleanly-restarted data bucket up from its Δ tail.
+
+        The bucket replayed its WAL to ``payload["seq"]`` and is fenced.
+        The live parity buckets' per-position rings hold the Δs it
+        issued past that prefix; the coordinator resolves them to final
+        record states (payloads via record recovery — the parity symbols
+        alone cannot be unfolded) and ships a ``catchup.load``.  Returns
+        False when the evidence is insufficient — no reachable parity,
+        tail evicted from every ring — and the caller must fall back to
+        a full RS rebuild.  Repair traffic scales with the missed tail,
+        not with the bucket (experiment E21's headline).
+        """
+        coordinator = self.coordinator
+        m = coordinator.config.group_size
+        group = group_of(bucket, m)
+        if group in self._recovering_groups:
+            return False  # the group is mid-rebuild higher up the stack
+        pos = position_of(bucket, m)
+        k = coordinator.group_level(group)
+        node_id = data_node(self._file_id, bucket)
+        disk_seq = payload["seq"]
+        coord_id = coordinator.node_id
+        net = self._net
+
+        tails: dict[int, dict] = {}
+        for index in range(k):
+            pnode = parity_node(self._file_id, group, index)
+            if not net.is_available(pnode):
+                continue
+            try:
+                tails[index] = net.call(
+                    coord_id, pnode, "delta.tail",
+                    {"pos": pos, "after": disk_seq},
+                )
+            except NodeUnavailable:
+                continue
+        if k > 0 and not tails:
+            # Without parity evidence the durable prefix cannot be
+            # proven complete against what was acknowledged.
+            return False
+
+        live_max = max((t["live"] for t in tails.values()), default=disk_seq)
+        ops: list[dict] = []
+        if live_max > disk_seq:
+            source = next(
+                (t for t in tails.values()
+                 if t["live"] == live_max and t["covered"]),
+                None,
+            )
+            if source is None:
+                return False  # too stale: every ring evicted the tail
+            ops = source["ops"]
+
+        # Per-key winners, in sequence order (a later op supersedes).
+        final: dict[int, dict] = {}
+        for op in ops:
+            final[op["key"]] = op
+        deletes = sorted(
+            key for key, op in final.items() if op["op"] == "delete"
+        )
+        items: list[tuple[int, int, bytes]] = []
+        for key in sorted(final):
+            op = final[key]
+            if op["op"] == "delete":
+                continue
+            found, value = self.recover_record(key)
+            if not found:  # pragma: no cover - directory is authoritative
+                return False
+            items.append((key, op["rank"], value))
+
+        min_live = min((t["live"] for t in tails.values()), default=disk_seq)
+        net.call(
+            coord_id, node_id, "catchup.load",
+            {
+                "set": items,
+                "delete": deletes,
+                "parity_seq": max(live_max, disk_seq),
+                "resend_after": min_live if min_live < disk_seq else None,
+            },
+        )
+
+        # Post-verify every live parity channel against the final
+        # sequence: the resend above closes lags it can reach back to
+        # (``floor``); anything still gapped would otherwise stay
+        # silently behind until the next Δ arrives — or forever, under
+        # quiescence — so it is rebuilt now.
+        target = max(live_max, disk_seq)
+        lagging = []
+        for index in range(k):
+            pnode = parity_node(self._file_id, group, index)
+            if not net.is_available(pnode):
+                continue  # down: the self-healing probe loop owns it
+            try:
+                check = net.call(
+                    coord_id, pnode, "delta.tail",
+                    {"pos": pos, "after": target},
+                )
+            except NodeUnavailable:
+                continue
+            if check["live"] < target:
+                lagging.append(index)
+        if lagging:
+            self.recover_nodes(
+                [parity_node(self._file_id, group, i) for i in lagging],
+                best_effort=True,
+            )
+        return True
+
+    def catch_up_parity(self, group: int, index: int, payload: dict) -> bool:
+        """Catch a cleanly-restarted parity bucket up from member WALs.
+
+        Each group member returns its WAL tail past the parity's
+        restored channel expectation; the ops (original Δ payloads, in
+        per-channel sequence order) are replayed through the normal
+        channel check.  Returns False — full-rebuild fallback — when a
+        member is unreachable, a tail is no longer covered by the
+        member's history ring, or a member's live sequence is *behind*
+        the parity's expectation (the member lost a WAL tail this
+        parity had applied: the channel's numbering diverged and
+        re-encoding from current data is the only safe repair).
+        """
+        coordinator = self.coordinator
+        if group in self._recovering_groups:
+            return False
+        m = coordinator.config.group_size
+        node_id = parity_node(self._file_id, group, index)
+        expected = {
+            int(p): s for p, s in payload.get("expected_seqs", {}).items()
+        }
+        coord_id = coordinator.node_id
+        net = self._net
+
+        ops: list[dict] = []
+        for bucket in group_buckets(
+            group, m, coordinator.state.bucket_count
+        ):
+            pos = position_of(bucket, m)
+            member = data_node(self._file_id, bucket)
+            after = expected.get(pos, 1) - 1
+            try:
+                tail = net.call(
+                    coord_id, member, "wal.tail", {"after": after}
+                )
+            except NodeUnavailable:
+                return False  # a member is down: its tail is unknowable
+            if tail["live"] < after:
+                return False  # sequence divergence (see docstring)
+            if not tail["covered"]:
+                return False
+            ops.extend(tail["ops"])
+
+        reply = net.call(coord_id, node_id, "catchup.parity", {"ops": ops})
+        return bool(reply["ok"])
 
     # ------------------------------------------------------------------
     # record recovery (degraded reads)

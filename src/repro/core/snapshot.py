@@ -42,6 +42,9 @@ def snapshot_file(file: LHRSFile) -> dict:
                 "level": server.level,
                 "counter": server._rank_counter,
                 "free_ranks": sorted(server._free_ranks),
+                # Δ-channel high-water: a restored durable bucket must
+                # resume its per-channel numbering, not restart it.
+                "parity_seq": server._parity_seq,
                 "records": [
                     (key, server.ranks[key], payload)
                     for key, payload in server.bucket.records.items()
@@ -54,6 +57,7 @@ def snapshot_file(file: LHRSFile) -> dict:
             {
                 "group": server.group,
                 "index": server.index,
+                "expected_seqs": dict(server._expected_seq),
                 # _snapshots renders a stripe-store bucket in one
                 # contiguous bytes pass; identical dicts either way.
                 "records": server._snapshots(),
@@ -70,6 +74,11 @@ def snapshot_file(file: LHRSFile) -> dict:
             "compact_ranks": config.compact_ranks,
             "parity_batch_size": config.parity_batch_size,
             "parity_stripe_store": config.parity_stripe_store,
+            "durability": config.durability,
+            "wal_fsync_interval": config.wal_fsync_interval,
+            "durability_checkpoint_interval":
+                config.durability_checkpoint_interval,
+            "delta_log_capacity": config.delta_log_capacity,
         },
         "state": {
             "n": coordinator.state.n,
@@ -120,7 +129,9 @@ def restore_file(snapshot: dict, file_id: str = "f",
         if level > current:
             coordinator.raise_group_level(group, level)
 
-    # Bulk-load contents.
+    # Bulk-load contents.  On a durable file, bucket.load/parity.load
+    # end in a checkpoint, so the restored servers' disks hold a
+    # restart-consistent image from the first instant.
     for bucket in snapshot["data_buckets"]:
         net.send(
             coordinator.node_id,
@@ -131,6 +142,7 @@ def restore_file(snapshot: dict, file_id: str = "f",
                 "counter": bucket["counter"],
                 "free_ranks": bucket["free_ranks"],
                 "level": bucket["level"],
+                "parity_seq": bucket.get("parity_seq", 0),
             },
         )
     for parity in snapshot["parity_buckets"]:
@@ -138,7 +150,13 @@ def restore_file(snapshot: dict, file_id: str = "f",
             coordinator.node_id,
             f"{file_id}.p{parity['group']}.{parity['index']}",
             "parity.load",
-            {"records": parity["records"]},
+            {
+                "records": parity["records"],
+                "expected_seqs": {
+                    int(pos): seq
+                    for pos, seq in parity.get("expected_seqs", {}).items()
+                },
+            },
         )
     return file
 

@@ -96,6 +96,13 @@ EVENT_TYPES = frozenset(
         "coord.takeover.end",
         "coord.resume",
         "coord.whois",
+        # durable storage plane: local checkpoints, restart replay and
+        # the delta catch-up / full-rebuild-fallback rejoin path
+        "disk.checkpoint",
+        "bucket.restart",
+        "catchup.data",
+        "catchup.parity",
+        "catchup.fallback",
     }
 )
 

@@ -77,6 +77,12 @@ class FailureInjector:
         it usually means a misspelled id silently "recovered" — and
         raises :class:`ValueError` unless ``force=True`` opts in (e.g.
         to clear failures applied directly through ``network.fail``).
+
+        A normal heal routes the node through the rejoin handshake
+        (``Network.restore`` fires its ``on_restored`` hook: local
+        replay, fencing, delta catch-up).  ``force=True`` doubles as
+        the legacy *silent* restore — state intact, nobody told — the
+        escape hatch the pre-durability chaos suites pin.
         """
         targets = list(node_ids) if node_ids is not None else sorted(self._injected)
         for node_id in targets:
@@ -85,7 +91,7 @@ class FailureInjector:
                     f"node {node_id!r} was not failed by this injector "
                     "(pass force=True to restore it anyway)"
                 )
-            self.network.restore(node_id)
+            self.network.restore(node_id, silent=force)
             self._injected.discard(node_id)
 
     @property

@@ -71,6 +71,14 @@ DEFAULT_PROTECTED_KINDS = frozenset(
         "coord.journal.fetch",
         "coord.checkpoint",
         "coord.checkpoint.fetch",
+        # restart/catch-up control plane: a rejoining bucket's tail
+        # fetch and state transfer ride the reliable channel, like the
+        # recovery dumps/loads above (the rejoin request itself stays
+        # fault-prone — its sender retries).
+        "wal.tail",
+        "delta.tail",
+        "catchup.load",
+        "catchup.parity",
     }
 )
 
@@ -143,7 +151,7 @@ class FaultRule:
     ``kinds`` is an exact set (None = every kind); ``sender`` and
     ``recipient`` are glob patterns (None = anyone).  The probabilities
     are cumulative-exclusive: a single uniform draw picks drop, else
-    fail, else duplicate, else delay, else clean delivery.
+    fail, else duplicate, else corrupt, else delay, else clean delivery.
     """
 
     kinds: frozenset[str] | None = None
@@ -152,6 +160,9 @@ class FaultRule:
     drop: float = 0.0
     fail: float = 0.0
     duplicate: float = 0.0
+    #: delivered with seeded byte-flips in bytes-valued payload fields
+    #: (an in-flight corruption the algebraic-signature scrub must catch)
+    corrupt: float = 0.0
     delay: float = 0.0
     #: a delayed message matures within (0, delay_window] clock units
     delay_window: float = 4.0
@@ -159,11 +170,14 @@ class FaultRule:
     until: float | None = None
 
     def __post_init__(self) -> None:
-        for name in ("drop", "fail", "duplicate", "delay"):
+        for name in ("drop", "fail", "duplicate", "corrupt", "delay"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} probability must be in [0, 1]")
-        if self.drop + self.fail + self.duplicate + self.delay > 1.0:
+        if (
+            self.drop + self.fail + self.duplicate + self.corrupt + self.delay
+            > 1.0
+        ):
             raise ValueError("fault probabilities must sum to <= 1")
         if self.delay_window <= 0:
             raise ValueError("delay_window must be positive")
@@ -227,6 +241,46 @@ class SlowRule:
         return fnmatchcase(node_id, self.node)
 
 
+@dataclass(frozen=True)
+class DiskRule:
+    """Storage-plane faults for a node's :class:`~repro.store.SimDisk`.
+
+    Where :class:`FaultRule` batters messages in flight, a disk rule
+    batters bytes at rest: ``torn_write`` is the probability a crash
+    leaves a prefix of the first unsynced append behind (a torn WAL
+    frame), ``bitrot`` the probability a crash flips ``bitrot_flips``
+    seeded bytes in one durable file, ``io_error`` the per-operation
+    probability of a transient :class:`~repro.store.DiskError`, and
+    ``slow_factor`` stretches the virtual io time of every fsync.
+    Matching rules merge: probabilities take the max, slow factors
+    multiply.  Crashing always loses the unsynced tail — that is the
+    disk model itself, not a fault rule.
+    """
+
+    node: str = "*"
+    torn_write: float = 0.0
+    bitrot: float = 0.0
+    bitrot_flips: int = 1
+    io_error: float = 0.0
+    slow_factor: float = 1.0
+    until: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("torn_write", "bitrot", "io_error"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        if self.bitrot_flips < 1:
+            raise ValueError("bitrot_flips must be >= 1")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1 (a speedup is not a fault)")
+
+    def applies(self, node_id: str, now: float) -> bool:
+        if self.until is not None and now >= self.until:
+            return False
+        return fnmatchcase(node_id, self.node)
+
+
 class FaultPlane:
     """Per-message fault decisions plus the delayed-message hold queues."""
 
@@ -238,6 +292,7 @@ class FaultPlane:
         self.rng = rng or make_rng()
         self.rules: list[FaultRule] = []
         self.slow_rules: list[SlowRule] = []
+        self.disk_rules: list[DiskRule] = []
         self.protected_kinds = frozenset(protected_kinds)
         #: (sender, recipient) -> FIFO of (release_at, Message)
         self._held: dict[tuple[str, str], deque] = {}
@@ -273,11 +328,42 @@ class FaultPlane:
         self.slow_rules.append(rule)
         return rule
 
+    def add_disk_rule(self, **kwargs) -> DiskRule:
+        """Append a :class:`DiskRule` (keyword arguments as its fields)."""
+        rule = DiskRule(**kwargs)
+        self.disk_rules.append(rule)
+        return rule
+
+    def disk_profile(self, node_id: str, now: float) -> dict:
+        """Merged disk-fault profile for one node at one instant.
+
+        Probabilities take the max across matching rules, slow factors
+        multiply; an empty dict means the neutral profile.
+        """
+        profile: dict = {}
+        slow = 1.0
+        for rule in self.disk_rules:
+            if not rule.applies(node_id, now):
+                continue
+            for name in ("torn_write", "bitrot", "io_error"):
+                value = getattr(rule, name)
+                if value > profile.get(name, 0.0):
+                    profile[name] = value
+            if rule.bitrot > 0.0:
+                profile["bitrot_flips"] = max(
+                    profile.get("bitrot_flips", 1), rule.bitrot_flips
+                )
+            slow *= rule.slow_factor
+        if slow != 1.0:
+            profile["slow_factor"] = slow
+        return profile
+
     def clear_rules(self) -> None:
-        """Drop every rule (fault and slow); held messages stay queued
-        until released."""
+        """Drop every rule (fault, slow and disk); held messages stay
+        queued until released."""
         self.rules.clear()
         self.slow_rules.clear()
+        self.disk_rules.clear()
 
     # ------------------------------------------------------------------
     # gray failure: service slowdown
@@ -344,6 +430,10 @@ class FaultPlane:
                 self._trace(message, "duplicate")
                 return "duplicate", now
             draw -= rule.duplicate
+            if draw < rule.corrupt:
+                self._trace(message, "corrupt")
+                return "corrupt", now
+            draw -= rule.corrupt
             if draw < rule.delay and can_delay:
                 jitter = float(self.rng.random()) * rule.delay_window
                 self._trace(message, "delay")

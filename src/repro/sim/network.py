@@ -290,7 +290,7 @@ class Network:
         if self.tracer is not None:
             self.tracer.emit("node.fail", node=node_id)
 
-    def restore(self, node_id: str) -> None:
+    def restore(self, node_id: str, silent: bool = False) -> None:
         """Bring a failed node back (its state as the node object holds it).
 
         Strict: restoring an id that was never registered raises
@@ -298,12 +298,24 @@ class Network:
         failure schedule must not silently "succeed".  Restoring a
         registered, not-failed node is a no-op (the node may have been
         rebuilt onto a spare while its crash window was still open).
+
+        A restored node that defines ``on_restored`` (the durable
+        bucket servers) is told it just rebooted, which starts its
+        local replay + rejoin handshake.  ``silent=True`` skips the
+        hook — the legacy rebirth semantics (node state intact, nobody
+        told), kept as the escape hatch chaos tests rely on.  Nodes
+        without the hook restore exactly as before either way.
         """
         if node_id not in self.nodes:
             raise UnknownNode(node_id)
-        if node_id in self.failed and self.tracer is not None:
+        was_failed = node_id in self.failed
+        if was_failed and self.tracer is not None:
             self.tracer.emit("node.restore", node=node_id)
         self.failed.discard(node_id)
+        if was_failed and not silent:
+            hook = getattr(self.nodes[node_id], "on_restored", None)
+            if hook is not None:
+                hook()
 
     def is_available(self, node_id: str) -> bool:
         """True when the node exists and is not failed."""
@@ -630,6 +642,10 @@ class Network:
                 self._deliver(Message(sender, recipient, kind, payload,
                                       message.size))
                 return
+            if outcome == "corrupt":
+                plane.counters["corrupted"] += 1
+                self._deliver(self._corrupted_copy(message))
+                return
         self._deliver(message)
 
     def call(self, sender: str, recipient: str, kind: str, payload: Any = None,
@@ -671,6 +687,9 @@ class Network:
                 self._deliver(message)
                 result = self._deliver(
                     Message(sender, recipient, kind, payload, message.size))
+            elif outcome == "corrupt":
+                plane.counters["corrupted"] += 1
+                result = self._deliver(self._corrupted_copy(message))
             else:
                 result = self._deliver(message)
             reply = Message(recipient, sender, f"{kind}.reply", result)
@@ -693,6 +712,37 @@ class Network:
         reply = Message(recipient, sender, f"{kind}.reply", result)
         self._record_reply(reply, self._depth + 1)
         return result
+
+    def _corrupted_copy(self, message: Message) -> Message:
+        """The message with seeded byte-flips in its bytes-valued payload.
+
+        Models in-flight corruption that slips past link checksums: the
+        frame arrives, parses, and carries wrong bytes — exactly what
+        the algebraic-signature scrub exists to catch.  Flip positions
+        draw from the fault plane's generator (deterministic per seed).
+        """
+        rng = self.fault_plane.rng
+
+        def flip(data: bytes) -> bytes:
+            if not data:
+                return data
+            buf = bytearray(data)
+            pos = int(rng.integers(len(buf)))
+            buf[pos] ^= 1 << int(rng.integers(8))
+            return bytes(buf)
+
+        payload = message.payload
+        if isinstance(payload, bytes):
+            payload = flip(payload)
+        elif isinstance(payload, dict):
+            payload = {
+                key: flip(value) if isinstance(value, bytes) else value
+                for key, value in payload.items()
+            }
+        return Message(
+            message.sender, message.recipient, message.kind, payload,
+            message.size,
+        )
 
     def _record_reply(self, reply: Message, depth: int) -> None:
         """Account one successful reply leg (stats, metrics, trace)."""
@@ -750,6 +800,9 @@ class Network:
                     ] += 1
                     unavailable.append(recipient)
                     continue
+                if outcome == "corrupt":
+                    plane.counters["corrupted"] += 1
+                    message = self._corrupted_copy(message)
             if self.multicast_available and charged_request:
                 # Multicast fabric: later copies of the request are free.
                 self._depth += 1

@@ -1,0 +1,33 @@
+"""Durable bucket storage: simulated disk + write-ahead log.
+
+``repro.store`` gives every bucket a local, fault-injectable storage
+plane: :class:`~repro.store.simdisk.SimDisk` models a disk with
+explicit fsync barriers and crash-at-any-unsynced-point semantics, and
+:class:`~repro.store.wal.BucketLog` layers a checksummed write-ahead
+log plus periodic checkpoints on top of it.  Both are deterministic:
+every fault decision (torn write, bit rot, io-error) comes from a
+seeded per-node generator, so crash/restart schedules replay exactly.
+
+See ``docs/durability.md`` for the disk model, the WAL frame format
+and the restart-with-delta-catch-up protocol built on top.
+"""
+
+from repro.store.simdisk import DiskError, SimDisk, disk_rng
+from repro.store.wal import (
+    BucketLog,
+    decode_blob,
+    decode_frames,
+    encode_blob,
+    encode_frame,
+)
+
+__all__ = [
+    "BucketLog",
+    "DiskError",
+    "SimDisk",
+    "decode_blob",
+    "decode_frames",
+    "disk_rng",
+    "encode_blob",
+    "encode_frame",
+]

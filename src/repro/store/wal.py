@@ -1,0 +1,189 @@
+"""Checksummed write-ahead log frames and checkpoints over a SimDisk.
+
+Frame format (little-endian)::
+
+    <u32 body length> <u32 crc32(body)> <body ...>
+
+The body is canonical JSON (sorted keys, compact separators) with
+``bytes`` values encoded as ``{"__b__": <base64>}`` — deterministic, so
+identical records serialize to identical bytes.  Every frame carries an
+``lsn`` (apply-LSN): replay skips frames at or below the checkpoint's
+LSN high-water, which closes the checkpoint/truncate crash window
+(a crash between checkpoint fsync and log truncate must not double-
+apply the tail).
+
+Replay stops at the *first* frame that is short, torn or fails its
+checksum — everything before it is the durable prefix, everything after
+is untrusted.  :meth:`BucketLog.recover` reports whether the stop was a
+clean end-of-log or a torn/rotted tail so the caller can decide between
+delta catch-up and a full rebuild.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+import zlib
+from typing import Any
+
+from repro.store.simdisk import SimDisk
+
+_HEADER = struct.Struct("<II")
+
+#: sanity cap — a rotted length field must not make replay allocate GBs
+_MAX_FRAME = 1 << 26
+
+
+# ----------------------------------------------------------------------
+# body codec (canonical JSON with bytes support)
+# ----------------------------------------------------------------------
+def _encode(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__b__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    return value
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__b__"}:
+            return base64.b64decode(value["__b__"])
+        return {
+            (int(k) if k.lstrip("-").isdigit() else k): _decode(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def encode_frame(record: dict) -> bytes:
+    """One checksummed frame: header + canonical-JSON body."""
+    body = json.dumps(
+        _encode(record), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_frames(data: bytes) -> tuple[list[dict], bool]:
+    """``(records, clean)`` — the durable prefix, never beyond.
+
+    ``clean`` is False when the scan stopped at a torn or corrupt frame
+    rather than the exact end of the log.
+    """
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            return records, False  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_FRAME or offset + _HEADER.size + length > total:
+            return records, False  # torn / rotted length
+        body = data[offset + _HEADER.size:offset + _HEADER.size + length]
+        if zlib.crc32(body) != crc:
+            return records, False  # rotted body
+        try:
+            records.append(_decode(json.loads(body.decode("utf-8"))))
+        except (ValueError, UnicodeDecodeError):
+            return records, False
+        offset += _HEADER.size + length
+    return records, True
+
+
+def encode_blob(state: dict) -> bytes:
+    """A whole-file checksummed blob (checkpoints): one frame."""
+    return encode_frame(state)
+
+
+def decode_blob(data: bytes) -> dict | None:
+    """Inverse of :func:`encode_blob`; None when torn/rotted/absent."""
+    if not data:
+        return None
+    records, clean = decode_frames(data)
+    if len(records) != 1 or not clean:
+        return None
+    return records[0]
+
+
+# ----------------------------------------------------------------------
+# per-bucket log
+# ----------------------------------------------------------------------
+class BucketLog:
+    """WAL + checkpoint discipline for one bucket over a SimDisk.
+
+    ``append(record)`` stamps a monotonically increasing ``lsn`` into
+    the record and fsyncs every ``fsync_interval`` appends (1 = every
+    append, the strict default).  ``checkpoint(state)`` stages an
+    atomic whole-file replace carrying the current LSN high-water and
+    truncates the log in the same fsync barrier.  ``recover()`` replays
+    checkpoint + log to the last durable prefix.
+    """
+
+    LOG = "wal"
+    CHECKPOINT = "checkpoint"
+
+    def __init__(self, disk: SimDisk, fsync_interval: int = 1) -> None:
+        self.disk = disk
+        self.fsync_interval = max(1, int(fsync_interval))
+        self.lsn = 0
+        self._unsynced_appends = 0
+
+    def append(self, record: dict) -> int:
+        """Log one record; returns the LSN it was stamped with."""
+        self.lsn += 1
+        framed = dict(record)
+        framed["lsn"] = self.lsn
+        self.disk.append(self.LOG, encode_frame(framed))
+        self._unsynced_appends += 1
+        if self._unsynced_appends >= self.fsync_interval:
+            self.sync()
+        return self.lsn
+
+    def sync(self) -> None:
+        """Explicit fsync barrier on the log."""
+        if self._unsynced_appends:
+            self.disk.fsync(self.LOG)
+            self._unsynced_appends = 0
+
+    def checkpoint(self, state: dict) -> None:
+        """Atomically persist ``state`` and truncate the log.
+
+        The blob carries ``lsn`` (high-water of everything folded into
+        the state) so replay can skip already-applied frames if a crash
+        lands between the two fsync barriers below.
+        """
+        self.sync()
+        blob = dict(state)
+        blob["lsn"] = self.lsn
+        self.disk.write_file(self.CHECKPOINT, encode_blob(blob))
+        self.disk.fsync(self.CHECKPOINT)
+        # A crash exactly here leaves checkpoint *and* full log; the
+        # LSN skip in recover() makes the overlap harmless.
+        self.disk.truncate(self.LOG)
+        self.disk.fsync(self.LOG)
+
+    def recover(self) -> tuple[dict | None, list[dict], bool]:
+        """``(checkpoint_state, tail_records, clean)`` after a crash.
+
+        ``checkpoint_state`` is None when no checkpoint survived (or it
+        was torn/rotted).  ``tail_records`` are the WAL frames after the
+        checkpoint's LSN high-water, in order.  ``clean`` is False when
+        the WAL scan hit a torn or corrupt frame — the durable prefix
+        is still trustworthy, but the caller knows bytes were lost in a
+        way fsync accounting alone does not explain.
+        """
+        state = decode_blob(self.disk.read(self.CHECKPOINT))
+        base_lsn = int(state["lsn"]) if state is not None else 0
+        records, clean = decode_frames(self.disk.read(self.LOG))
+        tail = [rec for rec in records if int(rec.get("lsn", 0)) > base_lsn]
+        top = max(
+            [base_lsn] + [int(rec.get("lsn", 0)) for rec in records]
+        )
+        self.lsn = top
+        self._unsynced_appends = 0
+        return state, tail, clean

@@ -1,6 +1,8 @@
 """Tests for whole-file snapshot and restore."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import AvailabilityPolicy, LHRSConfig, LHRSFile
 from repro.core.snapshot import from_json, restore_file, snapshot_file, to_json
@@ -74,6 +76,69 @@ class TestRoundtrip:
         restored = restore_file(snapshot_file(original), file_id="r")
         assert restored.census_with_ranks() == original.census_with_ranks()
         assert restored.verify_parity_consistency() == []
+
+
+class TestDurableRoundtrip:
+    def test_snapshot_carries_durability_config_and_channel_state(self):
+        original, _ = build(count=120, durability=True,
+                            wal_fsync_interval=4)
+        snap = snapshot_file(original)
+        assert snap["config"]["durability"] is True
+        assert snap["config"]["wal_fsync_interval"] == 4
+        # Δ-channel high-water marks travel with the image.
+        assert any(b["parity_seq"] > 0 for b in snap["data_buckets"])
+        assert any(p["expected_seqs"] for p in snap["parity_buckets"])
+
+    def test_restored_durable_file_survives_restart_with_catchup(self):
+        """The restored servers' disks hold a restart-consistent image
+        from the load: an immediate crash + heal must go through delta
+        catch-up, not a full rebuild."""
+        original, keys = build(count=150, durability=True,
+                               wal_fsync_interval=4)
+        restored = restore_file(snapshot_file(original), file_id="r")
+        tracer, _, _ = restored.enable_observability()
+        restored.failures.crash(["r.d1"])
+        restored.failures.heal(["r.d1"])
+        assert tracer.counts.get("catchup.fallback") is None
+        assert tracer.counts.get("bucket.restart") == 1
+        assert restored.search(keys[0]).found
+        assert restored.verify_parity_consistency() == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        count=st.integers(20, 160),
+        durability=st.booleans(),
+        stripe=st.booleans(),
+        capacity=st.sampled_from([4, 8, 16]),
+    )
+    def test_roundtrip_property(self, seed, count, durability, stripe,
+                                capacity):
+        """Any (workload, config) point round-trips: census, ranks,
+        levels and parity all byte-identical — StripeStore and the
+        durable plane included."""
+        original, keys = build(
+            count=count, seed=seed, bucket_capacity=capacity,
+            durability=durability, parity_stripe_store=stripe,
+        )
+        rng = make_rng(seed + 1)
+        for key in rng.choice(keys, size=min(10, count), replace=False):
+            original.update(int(key), b"mutated")
+        for key in rng.choice(keys, size=min(5, count), replace=False):
+            original.delete(int(key))
+        restored = restore_file(snapshot_file(original), file_id="r")
+        assert restored.census_with_ranks() == original.census_with_ranks()
+        assert restored.levels_census() == original.levels_census()
+        assert restored.verify_parity_consistency() == []
+        # the restored image re-snapshots to the same logical content
+        snap = snapshot_file(original)
+        resnap = snapshot_file(restored)
+        assert [b["records"] for b in resnap["data_buckets"]] == [
+            b["records"] for b in snap["data_buckets"]
+        ]
+        assert [b["parity_seq"] for b in resnap["data_buckets"]] == [
+            b["parity_seq"] for b in snap["data_buckets"]
+        ]
 
 
 class TestValidation:

@@ -1,0 +1,159 @@
+"""SimDisk semantics: fsync barriers, crash loss, torn writes, bit-rot.
+
+The disk model is the foundation the WAL's durability argument stands
+on, so its contract is pinned operation by operation: only fsynced
+bytes survive a crash, staged whole-file replaces are atomic, and every
+fault draw comes from the disk's own seeded generator (independent of
+the network RNG, so crash damage replays exactly).
+"""
+
+import pytest
+
+from repro.store import DiskError, SimDisk, disk_rng
+
+
+def make_disk(profile=None, seed=7, node="n1"):
+    return SimDisk(
+        node,
+        rng=disk_rng(seed, node),
+        profile=(lambda: profile) if profile is not None else None,
+    )
+
+
+class TestWritePath:
+    def test_append_visible_to_read_before_fsync(self):
+        disk = make_disk()
+        disk.append("wal", b"abc")
+        assert disk.read("wal") == b"abc"
+        assert disk.unsynced_bytes("wal") == 3
+
+    def test_fsync_moves_tail_to_durable(self):
+        disk = make_disk()
+        disk.append("wal", b"abc")
+        disk.fsync("wal")
+        assert disk.unsynced_bytes("wal") == 0
+        disk.crash()
+        assert disk.read("wal") == b"abc"
+
+    def test_crash_drops_unsynced_tail(self):
+        disk = make_disk()
+        disk.append("wal", b"abc")
+        disk.fsync("wal")
+        disk.append("wal", b"def")
+        disk.crash()
+        assert disk.read("wal") == b"abc"
+
+    def test_write_file_is_atomic_until_fsync(self):
+        disk = make_disk()
+        disk.append("ckpt", b"old")
+        disk.fsync("ckpt")
+        disk.write_file("ckpt", b"new-image")
+        # staged replace is visible to reads ...
+        assert disk.read("ckpt") == b"new-image"
+        disk.crash()
+        # ... but a crash before fsync leaves the old image untouched
+        assert disk.read("ckpt") == b"old"
+
+    def test_write_file_durable_after_fsync(self):
+        disk = make_disk()
+        disk.write_file("ckpt", b"image")
+        disk.fsync("ckpt")
+        disk.crash()
+        assert disk.read("ckpt") == b"image"
+
+    def test_staged_replace_supersedes_earlier_appends(self):
+        disk = make_disk()
+        disk.append("wal", b"aaa")
+        disk.write_file("wal", b"replaced")
+        disk.fsync("wal")
+        assert disk.read("wal") == b"replaced"
+
+    def test_truncate_stages_empty_file(self):
+        disk = make_disk()
+        disk.append("wal", b"aaa")
+        disk.fsync("wal")
+        disk.truncate("wal")
+        disk.fsync("wal")
+        assert disk.read("wal") == b""
+
+    def test_exists(self):
+        disk = make_disk()
+        assert not disk.exists("wal")
+        disk.append("wal", b"x")
+        assert disk.exists("wal")
+
+
+class TestFaults:
+    def test_torn_write_leaves_prefix_of_first_dropped_append(self):
+        disk = make_disk({"torn_write": 1.0})
+        disk.append("wal", b"durable|")
+        disk.fsync("wal")
+        disk.append("wal", b"first-dropped")
+        disk.append("wal", b"second-dropped")
+        disk.crash()
+        image = disk.read("wal")
+        assert image.startswith(b"durable|")
+        torn = image[len(b"durable|"):]
+        # a strict, non-empty prefix of the first dropped append only
+        assert 1 <= len(torn) < len(b"first-dropped")
+        assert b"first-dropped".startswith(torn)
+        assert b"second" not in image
+
+    def test_bitrot_flips_bytes_in_durable_image(self):
+        disk = make_disk({"bitrot": 1.0, "bitrot_flips": 3})
+        disk.append("wal", bytes(64))
+        disk.fsync("wal")
+        disk.crash()
+        image = disk.read("wal")
+        assert len(image) == 64
+        flipped = sum(1 for byte in image if byte != 0)
+        assert 1 <= flipped <= 3
+
+    def test_io_error_raises_disk_error(self):
+        disk = make_disk({"io_error": 1.0})
+        with pytest.raises(DiskError):
+            disk.append("wal", b"x")
+
+    def test_slow_factor_stretches_io_time(self):
+        fast = make_disk()
+        slow = make_disk({"slow_factor": 4.0})
+        for disk in (fast, slow):
+            disk.append("wal", b"x" * 100)
+            disk.fsync("wal")
+        assert slow.io_time == pytest.approx(4.0 * fast.io_time)
+        assert fast.io_time == pytest.approx(100.0)
+
+    def test_crash_damage_is_deterministic_per_seed(self):
+        def run():
+            disk = make_disk({"torn_write": 1.0, "bitrot": 1.0}, seed=99)
+            disk.append("wal", b"base-frame")
+            disk.fsync("wal")
+            disk.append("wal", b"doomed-tail-bytes")
+            disk.crash()
+            return disk.read("wal")
+
+        assert run() == run()
+
+    def test_distinct_nodes_draw_independent_fault_streams(self):
+        streams = []
+        for node in ("f.d1", "f.d2"):
+            disk = SimDisk(node, rng=disk_rng(5, node),
+                           profile=lambda: {"torn_write": 0.5})
+            damage = []
+            for round_ in range(24):
+                disk.append("wal", b"tail-%02d-payload" % round_)
+                disk.crash()
+                damage.append(len(disk.read("wal")))
+            streams.append(damage)
+        assert streams[0] != streams[1]
+
+
+class TestCounters:
+    def test_append_and_fsync_counters(self):
+        disk = make_disk()
+        disk.append("wal", b"abcd")
+        disk.append("wal", b"ef")
+        disk.fsync("wal")
+        assert disk.appends == 2
+        assert disk.fsyncs == 1
+        assert disk.bytes_written == 6

@@ -136,6 +136,7 @@ class TestCli:
             "repro/sdds/client.py",
             "repro/core/data_bucket.py",
             "repro/check",
+            "repro/store",
         }
 
     def test_floor_spec_validation(self):

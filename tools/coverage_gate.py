@@ -42,6 +42,9 @@ DEFAULT_FLOORS: dict[str, float] = {
     # Model-checking harness (this PR): the linearizability checker,
     # schedulers and shrinker must stay exercised end to end.
     "repro/check": 85.0,
+    # Durable storage plane (this PR): the simulated disk and WAL codec
+    # underpin every restart-recovery claim — keep them pinned.
+    "repro/store": 85.0,
 }
 
 
