@@ -1,4 +1,4 @@
-"""Command-line demos: ``python -m repro <command>``.
+"""Command-line entry points: ``python -m repro <command>``.
 
 Commands
 --------
@@ -13,15 +13,56 @@ check
     injection and schedule perturbation, verify every history is
     linearizable, and shrink any violation to a minimal replayable
     counterexample.
+lint
+    Static analysis: protocol conformance against the message-schema
+    registry, determinism hygiene, trace/metric taxonomy, Δ sequence
+    guards, and docs sync.  See docs/static_analysis.md.
+
+Every command supports ``--json``: human-readable progress is
+suppressed and a single JSON object is printed on stdout instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
+from dataclasses import dataclass
+from typing import Callable, Protocol
 
 
-def cmd_demo(args: argparse.Namespace) -> int:
+class CommandRun(Protocol):
+    def __call__(
+        self, args: argparse.Namespace, out: Callable[[str], None]
+    ) -> "tuple[int, dict]": ...
+
+
+@dataclass(frozen=True)
+class Command:
+    """One ``python -m repro`` subcommand.
+
+    ``configure`` adds the command's arguments to its subparser;
+    ``run`` receives the parsed namespace plus an ``out`` printer
+    (a no-op under ``--json``) and returns ``(exit_status,
+    json_payload)``.
+    """
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: CommandRun
+
+
+def _configure_demo(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--records", type=int, default=2000)
+    parser.add_argument("--group-size", type=int, default=4)
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--capacity", type=int, default=32)
+
+
+def _run_demo(
+    args: argparse.Namespace, out: Callable[[str], None]
+) -> tuple[int, dict]:
     from repro import LHRSConfig, LHRSFile
 
     config = LHRSConfig(
@@ -30,49 +71,79 @@ def cmd_demo(args: argparse.Namespace) -> int:
         bucket_capacity=args.capacity,
     )
     file = LHRSFile(config)
-    print(f"Inserting {args.records} records "
-          f"(m={args.group_size}, k={args.k}, b={args.capacity})...")
+    out(f"Inserting {args.records} records "
+        f"(m={args.group_size}, k={args.k}, b={args.capacity})...")
     for key in range(args.records):
         file.insert(key, f"value-{key}".encode())
-    print(f"  {file.bucket_count} data buckets, "
-          f"{file.parity_bucket_count()} parity buckets, "
-          f"load {file.load_factor():.2f}, "
-          f"overhead {file.storage_overhead():.2f}")
+    out(f"  {file.bucket_count} data buckets, "
+        f"{file.parity_bucket_count()} parity buckets, "
+        f"load {file.load_factor():.2f}, "
+        f"overhead {file.storage_overhead():.2f}")
 
     victims = list(range(min(args.k, file.bucket_count)))
-    print(f"Crashing data buckets {victims} (one group, within k)...")
+    out(f"Crashing data buckets {victims} (one group, within k)...")
     for bucket in victims:
         file.fail_data_bucket(bucket)
     probe = next(key for key in range(args.records)
                  if file.find_bucket_of(key) in victims)
     outcome = file.search(probe)
-    print(f"  search({probe}) during the outage -> {outcome.value!r}")
-    print(f"  all buckets healed: "
-          f"{all(file.network.is_available(f'f.d{b}') for b in victims)}")
+    out(f"  search({probe}) during the outage -> {outcome.value!r}")
+    healed = all(file.network.is_available(f"f.d{b}") for b in victims)
+    out(f"  all buckets healed: {healed}")
     problems = file.verify_parity_consistency()
-    print(f"  parity consistent: {not problems}")
-    print(f"  P(all data | p=0.99) = {file.analytic_availability(0.99):.6f} "
-          f"(plain LH*: {0.99 ** file.bucket_count:.6f})")
-    return 0 if not problems else 1
+    out(f"  parity consistent: {not problems}")
+    availability = file.analytic_availability(0.99)
+    out(f"  P(all data | p=0.99) = {availability:.6f} "
+        f"(plain LH*: {0.99 ** file.bucket_count:.6f})")
+    payload = {
+        "records": args.records,
+        "data_buckets": file.bucket_count,
+        "parity_buckets": file.parity_bucket_count(),
+        "load_factor": file.load_factor(),
+        "storage_overhead": file.storage_overhead(),
+        "degraded_search_ok": outcome.value is not None,
+        "healed": healed,
+        "parity_consistent": not problems,
+        "availability_p99": availability,
+    }
+    return (0 if not problems else 1), payload
 
 
-def cmd_availability(args: argparse.Namespace) -> int:
+def _configure_availability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--p", type=float, default=0.99)
+    parser.add_argument("--m", type=int, default=4)
+    parser.add_argument("--max-k", type=int, default=3)
+
+
+def _run_availability(
+    args: argparse.Namespace, out: Callable[[str], None]
+) -> tuple[int, dict]:
     from repro.core import file_availability
 
     sizes = [4, 16, 64, 256, 1024, 4096]
     levels = list(range(args.max_k + 1))
-    print(f"P(all data servable), p={args.p}, group size m={args.m}")
-    print(f"{'M':>7} " + " ".join(f"{'k=' + str(k):>10}" for k in levels))
+    out(f"P(all data servable), p={args.p}, group size m={args.m}")
+    out(f"{'M':>7} " + " ".join(f"{'k=' + str(k):>10}" for k in levels))
+    table: dict[str, dict[str, float]] = {}
     for size in sizes:
-        row = " ".join(
-            f"{file_availability(size, args.m, args.p, k=k):>10.6f}"
+        values = {
+            f"k={k}": file_availability(size, args.m, args.p, k=k)
             for k in levels
-        )
-        print(f"{size:>7} {row}")
-    return 0
+        }
+        table[str(size)] = values
+        row = " ".join(f"{v:>10.6f}" for v in values.values())
+        out(f"{size:>7} {row}")
+    return 0, {"p": args.p, "m": args.m, "table": table}
 
 
-def cmd_codec(args: argparse.Namespace) -> int:
+def _configure_codec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m", type=int, default=4)
+    parser.add_argument("--payload", type=int, default=4096)
+
+
+def _run_codec(
+    args: argparse.Namespace, out: Callable[[str], None]
+) -> tuple[int, dict]:
     import numpy as np
 
     from repro import GF, RSCodec
@@ -82,55 +153,97 @@ def cmd_codec(args: argparse.Namespace) -> int:
         rng.integers(0, 256, args.payload, dtype=np.uint8).tobytes()
         for _ in range(args.m)
     ]
-    print(f"RS codec on this CPU: m={args.m}, stripe {args.payload} B/record")
+    out(f"RS codec on this CPU: m={args.m}, stripe {args.payload} B/record")
+    measurements = []
     for width in (8, 16):
         for k in (1, 2, 3):
             codec = RSCodec(m=args.m, k=k, field=GF(width))
-            start = time.perf_counter()
+            # Throughput measurement of this machine, not simulation
+            # state: wall-clock is the measurand.
+            start = time.perf_counter()  # lint: allow[determinism.wall-clock]
             rounds = 0
-            while time.perf_counter() - start < 0.2:
+            while time.perf_counter() - start < 0.2:  # lint: allow[determinism.wall-clock]
                 parity = codec.encode(payloads)
                 rounds += 1
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # lint: allow[determinism.wall-clock]
             mb = rounds * args.m * args.payload / 1e6
             shares = {j: p for j, p in enumerate(payloads)}
             shares.update({args.m + i: p for i, p in enumerate(parity)})
             survivors = {p: v for p, v in shares.items() if p >= k}
-            start = time.perf_counter()
+            start = time.perf_counter()  # lint: allow[determinism.wall-clock]
             codec.recover(survivors, list(range(k)))
-            decode_ms = (time.perf_counter() - start) * 1e3
-            print(f"  GF(2^{width:>2}) k={k}: encode {mb / elapsed:7.0f} MB/s"
-                  f"   decode f={k}: {decode_ms:6.2f} ms")
-    return 0
+            decode_ms = (time.perf_counter() - start) * 1e3  # lint: allow[determinism.wall-clock]
+            out(f"  GF(2^{width:>2}) k={k}: encode {mb / elapsed:7.0f} MB/s"
+                f"   decode f={k}: {decode_ms:6.2f} ms")
+            measurements.append({
+                "field_width": width,
+                "k": k,
+                "encode_mb_s": mb / elapsed,
+                "decode_ms": decode_ms,
+            })
+    return 0, {"m": args.m, "payload": args.payload,
+               "measurements": measurements}
 
 
-def cmd_check(args: argparse.Namespace) -> int:
+def _configure_check(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of workload seeds to run")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (seeds run seed_base..+seeds-1)")
+    parser.add_argument("--ops", type=int, default=120)
+    parser.add_argument("--keys", type=int, default=24)
+    parser.add_argument("--prefill", type=int, default=16)
+    parser.add_argument("--crash-rate", type=float, default=0.05)
+    parser.add_argument("--scheduler", default="pct",
+                        choices=["none", "fifo", "pct"],
+                        help="delivery-schedule perturbation mode")
+    parser.add_argument("--mutant", default=None,
+                        help="enable a validation mutant (self-test of "
+                             "the checker; the run should fail)")
+    parser.add_argument("--artifact", default="counterexample.json",
+                        help="where to write the shrunk counterexample")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="dump the raw failing scenario unshrunk")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="run all seeds even after a violation")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay a saved counterexample instead")
+
+
+def _run_check(
+    args: argparse.Namespace, out: Callable[[str], None]
+) -> tuple[int, dict]:
     from repro.check.harness import Counterexample, make_workload, run_scenario
     from repro.check.mutants import MUTANT_NAMES
     from repro.check.shrink import shrink_scenario
 
     if args.replay:
         example = Counterexample.load(args.replay)
-        print(f"Replaying {args.replay} "
-              f"(mutant={example.mutant or 'none'})...")
+        out(f"Replaying {args.replay} "
+            f"(mutant={example.mutant or 'none'})...")
         result = example.replay()
-        print(result.verdict.describe())
+        out(result.verdict.describe())
+        payload = {"replay": args.replay, "reproduced": not result.ok}
         if result.ok:
-            print("replay PASSED (no violation reproduced)")
-            return 1
-        print("replay reproduced the violation")
-        return 0
+            out("replay PASSED (no violation reproduced)")
+            return 1, payload
+        out("replay reproduced the violation")
+        return 0, payload
 
     mutant = args.mutant
     if mutant is not None and mutant not in MUTANT_NAMES:
-        print(f"unknown mutant {mutant!r}; choose from "
-              f"{sorted(MUTANT_NAMES)}")
-        return 2
+        out(f"unknown mutant {mutant!r}; choose from "
+            f"{sorted(MUTANT_NAMES)}")
+        return 2, {"error": f"unknown mutant {mutant!r}"}
 
-    start = time.perf_counter()
+    # Progress timing for the operator; the workloads themselves are
+    # seed-deterministic.
+    start = time.perf_counter()  # lint: allow[determinism.wall-clock]
     failures = 0
+    seeds_run = 0
     for index in range(args.seeds):
         seed = args.seed_base + index
+        seeds_run = index + 1
         scenario = make_workload(
             seed=seed,
             ops=args.ops,
@@ -142,84 +255,84 @@ def cmd_check(args: argparse.Namespace) -> int:
         )
         result = run_scenario(scenario, mutant=mutant)
         if result.ok:
-            print(f"  seed {seed}: ok "
-                  f"({result.verdict.checked_ops} ops, "
-                  f"{result.verdict.states_explored} states)")
+            out(f"  seed {seed}: ok "
+                f"({result.verdict.checked_ops} ops, "
+                f"{result.verdict.states_explored} states)")
             continue
         failures += 1
-        print(f"  seed {seed}: VIOLATION")
-        print(result.verdict.describe())
+        out(f"  seed {seed}: VIOLATION")
+        out(result.verdict.describe())
         shrunk = scenario
         if not args.no_shrink:
             shrunk, stats = shrink_scenario(scenario, mutant=mutant)
-            print(f"  shrunk {stats.initial_steps} -> {stats.final_steps} "
-                  f"steps in {stats.runs} runs")
+            out(f"  shrunk {stats.initial_steps} -> {stats.final_steps} "
+                f"steps in {stats.runs} runs")
             result = run_scenario(shrunk, mutant=mutant)
         example = Counterexample.from_result(result, mutant=mutant)
         example.save(args.artifact)
-        print(f"  counterexample written to {args.artifact}")
+        out(f"  counterexample written to {args.artifact}")
         if not args.keep_going:
             break
-    elapsed = time.perf_counter() - start
-    print(f"{args.seeds if args.keep_going else index + 1} seed(s), "
-          f"{failures} violation(s), {elapsed:.1f}s")
-    return 1 if failures else 0
+    elapsed = time.perf_counter() - start  # lint: allow[determinism.wall-clock]
+    out(f"{seeds_run} seed(s), {failures} violation(s), {elapsed:.1f}s")
+    return (1 if failures else 0), {
+        "seeds": seeds_run,
+        "violations": failures,
+        "artifact": args.artifact if failures else None,
+    }
+
+
+def _configure_lint(parser: argparse.ArgumentParser) -> None:
+    from repro.lint import cli as lint_cli
+
+    lint_cli.configure(parser)
+
+
+def _run_lint(
+    args: argparse.Namespace, out: Callable[[str], None]
+) -> tuple[int, dict]:
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args, out)
+
+
+COMMANDS: tuple[Command, ...] = (
+    Command("demo", "build, crash, heal", _configure_demo, _run_demo),
+    Command("availability", "P(M, k) table",
+            _configure_availability, _run_availability),
+    Command("codec", "codec throughput", _configure_codec, _run_codec),
+    Command("check", "linearizability model checking",
+            _configure_check, _run_check),
+    Command("lint", "protocol/determinism static analysis",
+            _configure_lint, _run_lint),
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="LH*RS reproduction demos",
+        description="LH*RS reproduction demos and tooling",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    demo = sub.add_parser("demo", help="build, crash, heal")
-    demo.add_argument("--records", type=int, default=2000)
-    demo.add_argument("--group-size", type=int, default=4)
-    demo.add_argument("--k", type=int, default=2)
-    demo.add_argument("--capacity", type=int, default=32)
-    demo.set_defaults(func=cmd_demo)
-
-    avail = sub.add_parser("availability", help="P(M, k) table")
-    avail.add_argument("--p", type=float, default=0.99)
-    avail.add_argument("--m", type=int, default=4)
-    avail.add_argument("--max-k", type=int, default=3)
-    avail.set_defaults(func=cmd_availability)
-
-    codec = sub.add_parser("codec", help="codec throughput")
-    codec.add_argument("--m", type=int, default=4)
-    codec.add_argument("--payload", type=int, default=4096)
-    codec.set_defaults(func=cmd_codec)
-
-    check = sub.add_parser(
-        "check", help="linearizability model checking"
-    )
-    check.add_argument("--seeds", type=int, default=50,
-                       help="number of workload seeds to run")
-    check.add_argument("--seed-base", type=int, default=0,
-                       help="first seed (seeds run seed_base..+seeds-1)")
-    check.add_argument("--ops", type=int, default=120)
-    check.add_argument("--keys", type=int, default=24)
-    check.add_argument("--prefill", type=int, default=16)
-    check.add_argument("--crash-rate", type=float, default=0.05)
-    check.add_argument("--scheduler", default="pct",
-                       choices=["none", "fifo", "pct"],
-                       help="delivery-schedule perturbation mode")
-    check.add_argument("--mutant", default=None,
-                       help="enable a validation mutant (self-test of "
-                            "the checker; the run should fail)")
-    check.add_argument("--artifact", default="counterexample.json",
-                       help="where to write the shrunk counterexample")
-    check.add_argument("--no-shrink", action="store_true",
-                       help="dump the raw failing scenario unshrunk")
-    check.add_argument("--keep-going", action="store_true",
-                       help="run all seeds even after a violation")
-    check.add_argument("--replay", metavar="FILE", default=None,
-                       help="replay a saved counterexample instead")
-    check.set_defaults(func=cmd_check)
+    for command in COMMANDS:
+        cmd_parser = sub.add_parser(command.name, help=command.help)
+        cmd_parser.add_argument(
+            "--json", action="store_true",
+            help="emit a single JSON object instead of progress text",
+        )
+        command.configure(cmd_parser)
+        cmd_parser.set_defaults(_command=command)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    command: Command = args._command
+    out: Callable[[str], None] = (
+        (lambda line: None) if args.json else print
+    )
+    status, payload = command.run(args, out)
+    if args.json:
+        print(json.dumps({"command": command.name, "status": status,
+                          **payload}, indent=2, sort_keys=True))
+    return status
 
 
 if __name__ == "__main__":

@@ -11,12 +11,21 @@ of the paper.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.gf.tables import PRIMITIVE_POLYNOMIALS, build_mul_tables, build_tables
 
-_SYMBOL_DTYPES = {4: np.uint8, 8: np.uint8, 16: np.uint16}
+#: Symbol arrays carry uint8 or uint16 elements depending on the field
+#: width; the dtype is a per-instance property, so the static type stays
+#: width-generic.
+Symbols = npt.NDArray[Any]
+
+_SYMBOL_DTYPES: dict[int, type[np.generic]] = {
+    4: np.uint8, 8: np.uint8, 16: np.uint16,
+}
 
 
 class GF:
@@ -32,7 +41,7 @@ class GF:
         "_exp_mul", "_log_mul", "_mul_rows", "_pair_rows",
     )
 
-    def __init__(self, width: int = 8):
+    def __init__(self, width: int = 8) -> None:
         if width not in PRIMITIVE_POLYNOMIALS:
             raise ValueError(
                 f"unsupported field width {width!r}; supported: "
@@ -45,11 +54,11 @@ class GF:
         self._exp_mul, self._log_mul = build_mul_tables(width)
         # Per-scalar full multiplication rows (lazy); only worthwhile for
         # small fields where a row is tiny (16 or 256 entries).
-        self._mul_rows: dict[int, np.ndarray] = {}
+        self._mul_rows: dict[int, Symbols] = {}
         # Per-scalar byte-*pair* rows for GF(2^8): 65536 uint16 entries
         # mapping a little-endian symbol pair to its scaled pair, so the
         # batch kernels gather half as many elements per coefficient.
-        self._pair_rows: dict[int, np.ndarray] = {}
+        self._pair_rows: dict[int, Symbols] = {}
 
     # ------------------------------------------------------------------
     # scalar arithmetic
@@ -115,11 +124,11 @@ class GF:
     # vectorized symbol arithmetic
     # ------------------------------------------------------------------
     @property
-    def symbol_dtype(self) -> type:
+    def symbol_dtype(self) -> type[np.generic]:
         """numpy dtype used for symbol arrays of this field."""
         return _SYMBOL_DTYPES[self.width]
 
-    def mul_row(self, scalar: int) -> np.ndarray:
+    def mul_row(self, scalar: int) -> Symbols:
         """Full product row ``[scalar * x for x in field]`` (w <= 8 only).
 
         Cached per scalar; turns scalar-vector multiplication into a single
@@ -135,7 +144,7 @@ class GF:
             self._mul_rows[scalar] = row
         return row
 
-    def mul_pair_row(self, scalar: int) -> np.ndarray:
+    def mul_pair_row(self, scalar: int) -> Symbols:
         """Product table over byte *pairs* for GF(2^8) (65536 uint16 entries).
 
         ``mul_pair_row(a)[x0 | (x1 << 8)] == (a*x0) | ((a*x1) << 8)``, so
@@ -152,7 +161,7 @@ class GF:
             self._pair_rows[scalar] = pair
         return pair
 
-    def _mul_symbols_log(self, symbols: np.ndarray, scalar: int) -> np.ndarray:
+    def _mul_symbols_log(self, symbols: Symbols, scalar: int) -> Symbols:
         """Multiply a symbol array by a scalar via log tables (any width)."""
         if scalar == 0:
             return np.zeros_like(symbols)
@@ -162,7 +171,7 @@ class GF:
         out = self._exp[safe + self._log[scalar]]
         return np.where(symbols == 0, 0, out)
 
-    def mul_symbols(self, symbols: np.ndarray, scalar: int) -> np.ndarray:
+    def mul_symbols(self, symbols: npt.ArrayLike, scalar: int) -> Symbols:
         """Return ``scalar * symbols`` as a new symbol-dtype array.
 
         Works on arrays of any shape (the table gathers are elementwise).
@@ -180,7 +189,7 @@ class GF:
             return self.mul_row(scalar)[symbols]
         return self._exp_mul[self._log_mul[symbols] + self._log_mul[scalar]]
 
-    def mul_matrix(self, symbols_2d: np.ndarray, scalar: int) -> np.ndarray:
+    def mul_matrix(self, symbols_2d: npt.ArrayLike, scalar: int) -> Symbols:
         """``scalar * symbols_2d`` for a stacked (rows x length) matrix.
 
         The batch counterpart of :meth:`mul_symbols`: one table gather
@@ -192,7 +201,7 @@ class GF:
             raise ValueError("mul_matrix expects a 2-D (rows x length) matrix")
         return self.mul_symbols(symbols_2d, scalar)
 
-    def mul_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def mul_arrays(self, a: npt.ArrayLike, b: npt.ArrayLike) -> Symbols:
         """Elementwise field product of two symbol arrays (any shape).
 
         Enabled by the zero-safe table layout: one gather handles zeros
@@ -202,7 +211,7 @@ class GF:
         b = np.asarray(b)
         return self._exp_mul[self._log_mul[a] + self._log_mul[b]]
 
-    def gf_matmul(self, coefficients, stacked: np.ndarray) -> np.ndarray:
+    def gf_matmul(self, coefficients: Any, stacked: npt.ArrayLike) -> Symbols:
         """Multiply a coefficient matrix against a stacked share tensor.
 
         ``coefficients`` is an (r x c) grid of field scalars (a nested
@@ -272,7 +281,7 @@ class GF:
         """How many field symbols one payload byte carries."""
         return 8.0 / self.width
 
-    def symbols_from_bytes(self, data: bytes, length: int | None = None) -> np.ndarray:
+    def symbols_from_bytes(self, data: bytes, length: int | None = None) -> Symbols:
         """View ``data`` as a symbol array, zero-padded to ``length`` symbols.
 
         GF(2^16) payloads of odd byte length are padded with a zero byte;
@@ -297,7 +306,7 @@ class GF:
             return padded
         return symbols.astype(self.symbol_dtype, copy=True)
 
-    def bytes_from_symbols(self, symbols: np.ndarray, byte_length: int | None = None) -> bytes:
+    def bytes_from_symbols(self, symbols: npt.ArrayLike, byte_length: int | None = None) -> bytes:
         """Inverse of :meth:`symbols_from_bytes`, truncated to ``byte_length``."""
         symbols = np.ascontiguousarray(symbols, dtype=self.symbol_dtype)
         if self.width == 8:
@@ -340,7 +349,7 @@ class GF:
 
     def stack_payloads(
         self, payloads: Sequence[bytes | None], length: int
-    ) -> np.ndarray:
+    ) -> Symbols:
         """Pack byte payloads into one (n x length) zero-padded symbol matrix.
 
         ``None`` (or empty) entries become all-zero rows — the padding
@@ -353,14 +362,14 @@ class GF:
         bytes_per_row = length if self.width == 8 else (
             2 * length if self.width == 16 else (length + 1) // 2
         )
-        if (
-            self.width in (8, 16)
-            and payloads
-            and all(p is not None and len(p) == bytes_per_row for p in payloads)
-        ):
+        uniform = [
+            p for p in payloads
+            if p is not None and len(p) == bytes_per_row
+        ]
+        if self.width in (8, 16) and payloads and len(uniform) == len(payloads):
             # Uniform full-width payloads (bulk encodes of fixed-size
             # records): one join + one memcpy instead of a per-row loop.
-            raw = np.frombuffer(b"".join(payloads), dtype=np.uint8).reshape(
+            raw = np.frombuffer(b"".join(uniform), dtype=np.uint8).reshape(
                 len(payloads), bytes_per_row
             )
         else:
@@ -382,7 +391,7 @@ class GF:
         symbols[:, 1::2] = (raw >> 4)[:, : length // 2]
         return symbols
 
-    def scale_accumulate(self, acc: np.ndarray, scalar: int, data: bytes) -> None:
+    def scale_accumulate(self, acc: Symbols, scalar: int, data: bytes) -> None:
         """In-place ``acc ^= scalar * symbols(data)`` (the Δ-record fold).
 
         ``acc`` must be a symbol array at least as long as the payload.

@@ -10,10 +10,12 @@ field's scalar ops, with numpy holding the element grid.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.gf.field import GF
+from repro.gf.field import GF, Symbols
 
 
 class GFMatrix:
@@ -21,7 +23,9 @@ class GFMatrix:
 
     __slots__ = ("field", "data")
 
-    def __init__(self, field: GF, data: Sequence[Sequence[int]] | np.ndarray):
+    def __init__(
+        self, field: GF, data: "Sequence[Sequence[int]] | npt.NDArray[Any]"
+    ) -> None:
         self.field = field
         array = np.array(data, dtype=np.int64)
         if array.ndim != 2:
@@ -82,7 +86,7 @@ class GFMatrix:
     def cols(self) -> int:
         return int(self.data.shape[1])
 
-    def __getitem__(self, index) -> int:
+    def __getitem__(self, index: Any) -> "int | GFMatrix":
         value = self.data[index]
         if np.isscalar(value) or value.ndim == 0:
             return int(value)
@@ -145,7 +149,7 @@ class GFMatrix:
                 out[i, j] = acc
         return GFMatrix(f, out)
 
-    def mul_stacked(self, stacked: np.ndarray) -> np.ndarray:
+    def mul_stacked(self, stacked: npt.ArrayLike) -> Symbols:
         """This matrix times a stacked share tensor via the batch kernel.
 
         ``stacked`` has shape ``(cols, ...)`` — e.g. all ranks of a
@@ -160,7 +164,7 @@ class GFMatrix:
         if len(vector) != self.cols:
             raise ValueError("vector length does not match column count")
         f = self.field
-        out = []
+        out: list[int] = []
         for i in range(self.rows):
             acc = 0
             for t in range(self.cols):

@@ -25,7 +25,10 @@ for stronger detection, as the original papers recommend.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 from repro.gf.field import GF
 
@@ -68,7 +71,7 @@ def signature_vector(field: GF, data: bytes, count: int = 2,
     )
 
 
-def signature_matrix(field: GF, matrix: np.ndarray, count: int = 2,
+def signature_matrix(field: GF, matrix: npt.ArrayLike, count: int = 2,
                      ) -> list[tuple[int, ...]]:
     """Signature vectors for every row of a stacked symbol matrix.
 
@@ -88,7 +91,7 @@ def signature_matrix(field: GF, matrix: np.ndarray, count: int = 2,
         return [(0,) * count for _ in range(n)]
     indices = np.arange(length, dtype=np.int64)
     out: list[tuple[int, ...]] = []
-    columns = []
+    columns: list[npt.NDArray[Any]] = []
     for power in range(1, count + 1):
         # alpha^power at position i is exp((power * i) mod (2^w - 1));
         # mul_arrays broadcasts it across every row in one gather.

@@ -15,8 +15,10 @@ how the paper's C implementation works and what we vectorize with numpy.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 #: Primitive polynomials (with the x^w term included) for the supported
 #: widths.  These are the conventional choices used by most RS codecs.
@@ -33,7 +35,7 @@ LOG_ZERO_SENTINEL = 1 << 30
 
 
 @lru_cache(maxsize=None)
-def build_mul_tables(width: int) -> tuple[np.ndarray, np.ndarray]:
+def build_mul_tables(width: int) -> tuple[npt.NDArray[Any], npt.NDArray[Any]]:
     """Return the branch-free ``(exp_mul, log_mul)`` multiplication tables.
 
     The scalar tables from :func:`build_tables` leave ``log[0]`` as a
@@ -62,7 +64,7 @@ def build_mul_tables(width: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 @lru_cache(maxsize=None)
-def build_tables(width: int) -> tuple[np.ndarray, np.ndarray]:
+def build_tables(width: int) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
     """Return ``(exp, log)`` tables for GF(2^width).
 
     ``exp`` has length ``2 * (2^w - 1)`` (the cycle repeated twice) so that

@@ -1,0 +1,99 @@
+"""Grandfathered findings: the baseline file.
+
+``tools/lint_baseline.json`` holds findings that predate a checker (or
+are accepted for a documented reason) keyed by their line-independent
+fingerprints.  ``python -m repro lint --strict`` fails on any finding
+*not* in the baseline — and on any baseline entry that no longer
+matches a live finding, so fixed violations must leave the file
+(``--write-baseline`` rewrites it from the current run, preserving the
+``reason`` of entries that survive).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: list[dict] | None = None):
+        self.entries: list[dict] = entries or []
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        return cls(list(data.get("entries", [])))
+
+    def fingerprints(self) -> dict[str, dict]:
+        return {
+            entry["fingerprint"]: entry
+            for entry in self.entries
+            if "fingerprint" in entry
+        }
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Split findings into (new, baselined); third = stale entries."""
+        known = self.fingerprints()
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            fp = finding.fingerprint()
+            if fp in known:
+                baselined.append(finding)
+                matched.add(fp)
+            else:
+                new.append(finding)
+        stale = [
+            entry for fp, entry in known.items() if fp not in matched
+        ]
+        return new, baselined, stale
+
+    @staticmethod
+    def write(
+        path: Path, findings: list[Finding], previous: "Baseline"
+    ) -> int:
+        """Rewrite the baseline from ``findings``; returns the count.
+
+        ``reason`` strings of surviving entries are preserved — a
+        baseline entry without a reason is a smell the doc workflow
+        (docs/static_analysis.md) tells reviewers to push back on.
+        """
+        reasons = {
+            entry["fingerprint"]: entry.get("reason", "")
+            for entry in previous.entries
+            if "fingerprint" in entry
+        }
+        entries = []
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.check, f.symbol, f.message)
+        ):
+            fp = finding.fingerprint()
+            entries.append(
+                {
+                    "check": finding.check,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "message": finding.message,
+                    "fingerprint": fp,
+                    "reason": reasons.get(fp, ""),
+                }
+            )
+        payload = {
+            "comment": (
+                "Grandfathered repro.lint findings; every entry needs a "
+                "reason.  Regenerate with "
+                "`python -m repro lint --write-baseline`."
+            ),
+            "entries": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return len(entries)

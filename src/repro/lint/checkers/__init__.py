@@ -1,0 +1,1 @@
+"""The checker modules; each exports ``check(ctx)`` and ``RULES``."""

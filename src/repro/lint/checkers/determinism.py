@@ -1,0 +1,185 @@
+"""Determinism hygiene: no wall clocks, no unseeded randomness, no
+set-order dependence under ``src/repro``.
+
+Byte-identical seeded traces (the replay-determinism CI gate) require
+that nothing in the simulation reads wall-clock time, draws from global
+RNG state, or lets a hash-order ``set`` iteration decide message or
+record order.  Justified exceptions (the CLI's CPU-throughput timer)
+carry an inline ``# lint: allow[determinism.wall-clock]`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import dotted_name, innermost_functions
+
+RULES = (
+    "determinism.wall-clock",
+    "determinism.unseeded-rng",
+    "determinism.set-iter",
+)
+
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+UNSEEDED = {
+    "os.urandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+}
+
+_SET_METHODS = {
+    "difference", "union", "intersection", "symmetric_difference",
+}
+
+
+def _import_map(tree: ast.AST) -> dict[str, str]:
+    """Local alias -> canonical dotted module/object name."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _canonical(call_name: str, aliases: dict[str, str]) -> str:
+    head, _, rest = call_name.partition(".")
+    base = aliases.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+def _is_set_expr(expr: ast.AST, func: ast.AST | None, depth: int = 0) -> bool:
+    """Heuristic: does this expression evaluate to a set?"""
+    if depth > 3:
+        return False
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Name) and expr.func.id in (
+            "set", "frozenset"
+        ):
+            return True
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _SET_METHODS
+        ):
+            return True
+        return False
+    if isinstance(expr, ast.Name) and func is not None:
+        assigned = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == expr.id
+                    ):
+                        if not _is_set_expr(node.value, func, depth + 1):
+                            return False
+                        assigned = True
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id == expr.id:
+                    annotation = ast.unparse(node.annotation)
+                    if annotation.startswith(("set", "frozenset")):
+                        assigned = True
+                    elif node.value is None or not _is_set_expr(
+                        node.value, func, depth + 1
+                    ):
+                        return False
+                    else:
+                        assigned = True
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id == expr.id:
+                    return assigned  # |= keeps the set shape if seeded so
+        return assigned
+    return False
+
+
+def check(ctx) -> None:
+    for source in ctx.sources:
+        aliases = _import_map(source.tree)
+        owner = innermost_functions(source.tree)
+
+        for node in ast.walk(source.tree):
+            # forbidden calls ------------------------------------------
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                canonical = _canonical(name, aliases)
+                if canonical in WALL_CLOCK:
+                    ctx.report(
+                        "determinism.wall-clock", source, node.lineno,
+                        f"{canonical}() reads the wall clock — use the "
+                        "simulated clock (Network.now/virtual_time)",
+                        symbol=canonical,
+                    )
+                elif canonical in UNSEEDED or canonical.startswith(
+                    "random."
+                ):
+                    ctx.report(
+                        "determinism.unseeded-rng", source, node.lineno,
+                        f"{canonical}() draws from unseeded/global "
+                        "randomness — use a seeded np.random.Generator",
+                        symbol=canonical,
+                    )
+                elif canonical.startswith("numpy.random."):
+                    tail = canonical.removeprefix("numpy.random.")
+                    if tail == "default_rng":
+                        if not node.args and not node.keywords:
+                            ctx.report(
+                                "determinism.unseeded-rng", source,
+                                node.lineno,
+                                "default_rng() without a seed is "
+                                "entropy-seeded — pass an explicit seed",
+                                symbol=canonical,
+                            )
+                    elif tail[:1].islower():
+                        # module-level numpy RNG (np.random.rand, .seed,
+                        # .shuffle, ...) shares mutable global state.
+                        ctx.report(
+                            "determinism.unseeded-rng", source,
+                            node.lineno,
+                            f"np.random.{tail}() uses numpy's global "
+                            "RNG state — use a seeded Generator",
+                            symbol=canonical,
+                        )
+                continue
+
+            # set iteration --------------------------------------------
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it, owner.get(id(node))):
+                    ctx.report(
+                        "determinism.set-iter", source, node.lineno,
+                        "iterating a set: order is hash-dependent — "
+                        "iterate sorted(...) or keep a list/dict",
+                    )

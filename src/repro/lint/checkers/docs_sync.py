@@ -1,0 +1,49 @@
+"""Docs sync: the protocol.md message-kind index is generated, never
+hand-edited.
+
+``docs/protocol.md`` carries a kind-index table between the
+``protocol-kind-index`` markers; it must equal
+:func:`repro.proto.schema.render_protocol_table` byte-for-byte.
+Regenerate with ``python -m repro lint --protocol-table`` after any
+registry change.
+"""
+
+from __future__ import annotations
+
+from repro.proto.schema import TABLE_BEGIN, TABLE_END, render_protocol_table
+
+RULES = ("docs.protocol-table",)
+
+DOCS_PATH = "docs/protocol.md"
+
+
+def check(ctx) -> None:
+    path = ctx.root / DOCS_PATH
+    if not path.exists():
+        ctx.report_global(
+            "docs.protocol-table", DOCS_PATH,
+            "docs/protocol.md is missing",
+        )
+        return
+    text = path.read_text()
+    begin = text.find(TABLE_BEGIN)
+    end = text.find(TABLE_END)
+    if begin < 0 or end < 0 or end < begin:
+        ctx.report_global(
+            "docs.protocol-table", DOCS_PATH,
+            f"generated-table markers missing ({TABLE_BEGIN} ... "
+            f"{TABLE_END}); insert them and paste the output of "
+            "`python -m repro lint --protocol-table`",
+        )
+        return
+    inner = text[begin + len(TABLE_BEGIN):end].strip("\n")
+    expected = render_protocol_table(
+        ctx.registry.values()
+    ).strip("\n")
+    if inner != expected:
+        ctx.report_global(
+            "docs.protocol-table", DOCS_PATH,
+            "the kind-index table is stale — regenerate it with "
+            "`python -m repro lint --protocol-table` and paste it "
+            "between the markers",
+        )

@@ -1,0 +1,36 @@
+"""Pragma hygiene: suppressions must be real and alive.
+
+Runs last: the engine records which ``# lint: allow[...]`` pragmas
+suppressed a finding this run; anything left is either a typo
+(``pragma.unknown`` — the code names no rule) or a dead suppression
+(``pragma.unused`` — nothing to suppress anymore, delete it).
+"""
+
+from __future__ import annotations
+
+from repro.lint.pragmas import code_matches
+
+RULES = ("pragma.unknown", "pragma.unused")
+
+
+def check(ctx) -> None:
+    from repro.lint.engine import all_rules
+
+    rules = all_rules()
+    for source in ctx.sources:
+        for line, codes in sorted(source.pragmas.items()):
+            for code in sorted(codes):
+                if code != "*" and not any(
+                    code_matches(code, rule) for rule in rules
+                ):
+                    ctx.report(
+                        "pragma.unknown", source, line,
+                        f"allow[{code}] names no known lint rule",
+                        symbol=code,
+                    )
+                elif (source.rel, line, code) not in ctx.used_pragmas:
+                    ctx.report(
+                        "pragma.unused", source, line,
+                        f"allow[{code}] suppresses nothing — remove it",
+                        symbol=code,
+                    )

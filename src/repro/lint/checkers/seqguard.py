@@ -1,0 +1,54 @@
+"""Seq-guard heuristic: Δ-applying handlers must consult their
+per-channel sequence check.
+
+The GF fold is its own inverse — re-applying a retransmitted Δ
+silently corrupts parity — so every handler the registry marks with
+``seq_guard`` identifiers (``parity.update``, ``parity.batch``, the
+catch-up kinds) must reference at least one of them in its body.  A
+refactor that drops the channel check now fails lint instead of
+waiting for a lucky PCT seed to catch double-application dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.proto.schema import handler_name
+
+RULES = ("seq-guard.missing",)
+
+
+def _referenced_names(func: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def check(ctx) -> None:
+    guarded = {
+        handler_name(kind): (kind, entry.seq_guard)
+        for kind, entry in ctx.registry.items()
+        if entry.seq_guard
+    }
+    for source in ctx.sources:
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            target = guarded.get(node.name)
+            if target is None:
+                continue
+            kind, guards = target
+            if not set(guards) & _referenced_names(node):
+                ctx.report(
+                    "seq-guard.missing", source, node.lineno,
+                    f"handler for Δ-applying kind {kind!r} references "
+                    f"none of its sequence guards {sorted(guards)} — "
+                    "a retransmitted Δ would double-apply",
+                    symbol=kind,
+                )

@@ -1,0 +1,96 @@
+"""Taxonomy conformance: trace event types and metric names.
+
+Every statically resolvable ``tracer.emit("<type>", ...)`` must name a
+type registered in :data:`repro.obs.trace.EVENT_TYPES` (the runtime
+raises too, but only when observability happens to be on — this makes
+the typo a lint error on every run), and every metric instrument name
+must match :data:`repro.proto.schema.METRIC_NAME_RE` so exporters and
+dashboards can rely on one grammar.  F-string names are validated on
+their literal segments with placeholders treated as one segment body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import receiver_text, walk_calls
+from repro.proto.schema import METRIC_NAME_RE
+
+RULES = (
+    "taxonomy.unknown-event",
+    "taxonomy.metric-name",
+)
+
+_METRIC_ATTRS = {"counter", "gauge", "histogram"}
+
+
+def _fstring_probe(node: ast.JoinedStr) -> str | None:
+    """A grammar probe for an f-string name: placeholders become ``x``.
+
+    Returns None when a placeholder abuts nothing checkable (empty
+    literal parts only).
+    """
+    parts: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        elif isinstance(value, ast.FormattedValue):
+            parts.append("x")
+        else:
+            return None
+    return "".join(parts)
+
+
+def check(ctx) -> None:
+    for source in ctx.sources:
+        for call in walk_calls(source.tree):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = receiver_text(call).lower()
+
+            # trace events -------------------------------------------------
+            if func.attr == "emit" and "trace" in receiver:
+                if not call.args:
+                    continue
+                arg = call.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, str
+                ):
+                    if arg.value not in ctx.event_types:
+                        ctx.report(
+                            "taxonomy.unknown-event", source, call.lineno,
+                            f"trace event type {arg.value!r} is not in "
+                            "EVENT_TYPES (repro/obs/trace.py)",
+                            symbol=arg.value,
+                        )
+                else:
+                    ctx.bump("taxonomy.dynamic-events")
+
+            # metric names -------------------------------------------------
+            elif func.attr in _METRIC_ATTRS and (
+                "metric" in receiver or receiver.endswith("registry")
+            ):
+                if not call.args:
+                    continue
+                arg = call.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, str
+                ):
+                    name = arg.value
+                elif isinstance(arg, ast.JoinedStr):
+                    probe = _fstring_probe(arg)
+                    if probe is None:
+                        ctx.bump("taxonomy.dynamic-metrics")
+                        continue
+                    name = probe
+                else:
+                    ctx.bump("taxonomy.dynamic-metrics")
+                    continue
+                if not METRIC_NAME_RE.match(name):
+                    ctx.report(
+                        "taxonomy.metric-name", source, call.lineno,
+                        f"metric name {name!r} violates the naming "
+                        "grammar (dotted lowercase, [a-z0-9_] segments)",
+                        symbol=name,
+                    )

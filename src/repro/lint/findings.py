@@ -1,0 +1,42 @@
+"""Finding records and their stable fingerprints."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one place.
+
+    ``line`` is advisory (0 = whole file); the fingerprint deliberately
+    excludes it so baselined findings survive unrelated code motion.
+    ``symbol`` anchors the finding to a stable name (a message kind, a
+    handler, a metric) for the same reason.
+    """
+
+    check: str   #: rule id, e.g. ``proto.unregistered-kind``
+    path: str    #: repo-relative posix path
+    line: int    #: 1-based source line (0 = file-level)
+    message: str
+    symbol: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-independent)."""
+        raw = f"{self.check}|{self.path}|{self.symbol}|{self.message}"
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: {self.check}: {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "check": self.check,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,50 @@
+"""Inline suppression pragmas: ``# lint: allow[rule, rule2]``.
+
+A pragma suppresses matching findings reported on its own line or on
+the line directly below (so a standalone pragma comment can sit above a
+multi-line statement).  Codes match hierarchically: ``determinism``
+suppresses ``determinism.wall-clock``; ``*`` suppresses everything.
+
+The pragma checker (last in the run) reports pragmas whose code names
+no known rule and pragmas that suppressed nothing — dead suppressions
+rot exactly like dead baselines.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+PRAGMA_RE = re.compile(r"lint:\s*allow\[([^\]]*)\]")
+
+
+def parse_pragmas(text: str) -> dict[int, set[str]]:
+    """Map of 1-based line -> allow-codes declared on that line.
+
+    Only real comment tokens count — a pragma spelled inside a string
+    literal is inert (and therefore never "unused" either).
+    """
+    pragmas: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                code.strip() for code in match.group(1).split(",")
+                if code.strip()
+            }
+            if codes:
+                pragmas.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass  # a syntactically broken file fails elsewhere, loudly
+    return pragmas
+
+
+def code_matches(code: str, check: str) -> bool:
+    """Does pragma/allow ``code`` cover rule id ``check``?"""
+    return code == "*" or code == check or check.startswith(code + ".")

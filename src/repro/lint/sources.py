@@ -1,0 +1,37 @@
+"""Source loading: parsed files with their pragma tables."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.pragmas import parse_pragmas
+
+
+class SourceFile:
+    """One parsed python source under analysis."""
+
+    def __init__(self, rel: str, text: str):
+        #: repo-relative posix path (``src/repro/...`` for real files;
+        #: fixture tests use synthetic names).
+        self.rel = rel
+        self.text = text
+        self.tree = ast.parse(text, filename=rel)
+        self.pragmas = parse_pragmas(text)
+
+    @classmethod
+    def from_path(cls, root: Path, path: Path) -> "SourceFile":
+        rel = path.relative_to(root).as_posix()
+        return cls(rel, path.read_text())
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.rel!r})"
+
+
+def load_sources(root: Path) -> list[SourceFile]:
+    """Every python file under ``src/repro``, sorted by path."""
+    base = root / "src" / "repro"
+    return [
+        SourceFile.from_path(root, path)
+        for path in sorted(base.rglob("*.py"))
+    ]

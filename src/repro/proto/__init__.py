@@ -1,0 +1,37 @@
+"""Machine-readable protocol registry (the wire contract).
+
+``repro.proto.schema`` is the single source of truth for every message
+kind on the simulated network: payload fields, direction, send/call
+mode, reply shape and (for Δ-applying handlers) the per-channel
+sequence guard the handler must consult.  The static-analysis suite
+(``repro.lint``) cross-checks every send/call site and every
+``handle_*`` method against this registry, and the message-kind index
+in ``docs/protocol.md`` is generated from it byte-for-byte
+(``python -m repro lint --protocol-table``).
+"""
+
+from repro.proto.schema import (
+    EVENT_NAME_RE,
+    METRIC_NAME_RE,
+    REGISTRY,
+    TABLE_BEGIN,
+    TABLE_END,
+    MessageKind,
+    handler_name,
+    kinds,
+    render_protocol_table,
+    validate_registry,
+)
+
+__all__ = [
+    "EVENT_NAME_RE",
+    "METRIC_NAME_RE",
+    "REGISTRY",
+    "TABLE_BEGIN",
+    "TABLE_END",
+    "MessageKind",
+    "handler_name",
+    "kinds",
+    "render_protocol_table",
+    "validate_registry",
+]

@@ -32,7 +32,7 @@ import numpy as np
 #: Neutral fault profile: crashes still lose the unsynced tail (that is
 #: the core semantics, not a fault), but writes never tear, bits never
 #: rot, io never errors and the disk is full speed.
-NEUTRAL_PROFILE: dict = {
+NEUTRAL_PROFILE: dict[str, float] = {
     "torn_write": 0.0,
     "bitrot": 0.0,
     "bitrot_flips": 1,
@@ -63,7 +63,7 @@ class SimDisk:
         self,
         node_id: str,
         rng: np.random.Generator | None = None,
-        profile: Callable[[], dict] | None = None,
+        profile: Callable[[], dict[str, float]] | None = None,
     ) -> None:
         self.node_id = node_id
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -84,7 +84,7 @@ class SimDisk:
     # ------------------------------------------------------------------
     # fault profile
     # ------------------------------------------------------------------
-    def _profile(self) -> dict:
+    def _profile(self) -> dict[str, float]:
         if self.profile is None:
             return NEUTRAL_PROFILE
         merged = dict(NEUTRAL_PROFILE)

@@ -61,7 +61,7 @@ def _decode(value: Any) -> Any:
     return value
 
 
-def encode_frame(record: dict) -> bytes:
+def encode_frame(record: dict[str, Any]) -> bytes:
     """One checksummed frame: header + canonical-JSON body."""
     body = json.dumps(
         _encode(record), sort_keys=True, separators=(",", ":")
@@ -69,13 +69,13 @@ def encode_frame(record: dict) -> bytes:
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
-def decode_frames(data: bytes) -> tuple[list[dict], bool]:
+def decode_frames(data: bytes) -> tuple[list[dict[str, Any]], bool]:
     """``(records, clean)`` — the durable prefix, never beyond.
 
     ``clean`` is False when the scan stopped at a torn or corrupt frame
     rather than the exact end of the log.
     """
-    records: list[dict] = []
+    records: list[dict[str, Any]] = []
     offset = 0
     total = len(data)
     while offset < total:
@@ -95,12 +95,12 @@ def decode_frames(data: bytes) -> tuple[list[dict], bool]:
     return records, True
 
 
-def encode_blob(state: dict) -> bytes:
+def encode_blob(state: dict[str, Any]) -> bytes:
     """A whole-file checksummed blob (checkpoints): one frame."""
     return encode_frame(state)
 
 
-def decode_blob(data: bytes) -> dict | None:
+def decode_blob(data: bytes) -> dict[str, Any] | None:
     """Inverse of :func:`encode_blob`; None when torn/rotted/absent."""
     if not data:
         return None
@@ -133,7 +133,7 @@ class BucketLog:
         self.lsn = 0
         self._unsynced_appends = 0
 
-    def append(self, record: dict) -> int:
+    def append(self, record: dict[str, Any]) -> int:
         """Log one record; returns the LSN it was stamped with."""
         self.lsn += 1
         framed = dict(record)
@@ -150,7 +150,7 @@ class BucketLog:
             self.disk.fsync(self.LOG)
             self._unsynced_appends = 0
 
-    def checkpoint(self, state: dict) -> None:
+    def checkpoint(self, state: dict[str, Any]) -> None:
         """Atomically persist ``state`` and truncate the log.
 
         The blob carries ``lsn`` (high-water of everything folded into
@@ -167,7 +167,7 @@ class BucketLog:
         self.disk.truncate(self.LOG)
         self.disk.fsync(self.LOG)
 
-    def recover(self) -> tuple[dict | None, list[dict], bool]:
+    def recover(self) -> "tuple[dict[str, Any] | None, list[dict[str, Any]], bool]":
         """``(checkpoint_state, tail_records, clean)`` after a crash.
 
         ``checkpoint_state`` is None when no checkpoint survived (or it

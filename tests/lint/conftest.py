@@ -1,0 +1,62 @@
+"""Fixture plumbing for the repro.lint tests.
+
+Checker tests run the real engine over *synthetic* sources: each case
+is a seeded-violation snippet plus a clean twin, so every rule is
+demonstrated both firing and staying quiet.
+"""
+
+import pytest
+
+from repro.lint.engine import run_lint
+from repro.lint.sources import SourceFile
+from repro.proto.schema import MessageKind
+
+
+@pytest.fixture
+def lint():
+    """Run selected checkers over inline snippets.
+
+    Returns ``(result, checks)``-style helper:
+    ``lint({"src/repro/x.py": code}, checks=["proto"], registry=...)``.
+    """
+
+    def _run(snippets, *, checks, root=None, registry=None,
+             event_types=None):
+        sources = [
+            SourceFile(rel, text) for rel, text in sorted(snippets.items())
+        ]
+        from pathlib import Path
+
+        return run_lint(
+            root=root if root is not None else Path("/nonexistent"),
+            sources=sources,
+            checks=checks,
+            registry=registry,
+            event_types=event_types,
+        )
+
+    return _run
+
+
+@pytest.fixture
+def toy_registry():
+    """A minimal registry for fixture snippets."""
+    entries = (
+        MessageKind(
+            "toy.put", "client", "data", "send",
+            ("key", "value", "note?"),
+            section="misc", summary="store",
+        ),
+        MessageKind(
+            "toy.delta", "data", "parity", "send",
+            ("seq", "delta"),
+            section="misc", summary="Δ",
+            seq_guard=("_expected_seq",),
+        ),
+        MessageKind(
+            "toy.net", "coordinator", "data", "send",
+            ("level",),
+            section="misc", summary="via network handle",
+        ),
+    )
+    return {entry.kind: entry for entry in entries}

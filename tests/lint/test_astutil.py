@@ -1,0 +1,102 @@
+"""The constant-propagation and AST helpers behind the checkers."""
+
+import ast
+
+from repro.lint.astutil import (
+    dotted_name,
+    innermost_functions,
+    literal_strings,
+    receiver_text,
+)
+from repro.lint.findings import Finding
+
+
+def _resolve(code, expr_of):
+    """Parse ``code``, locate the expression via ``expr_of(tree)`` and
+    resolve it against its innermost enclosing function."""
+    tree = ast.parse(code)
+    owner = innermost_functions(tree)
+    expr = expr_of(tree)
+    return literal_strings(expr, owner.get(id(expr)))
+
+
+def _first_call_arg(tree):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            return node.args[0]
+    raise AssertionError("no call found")
+
+
+class TestLiteralStrings:
+    def test_plain_constant(self):
+        assert _resolve("f('x')", _first_call_arg) == {"x"}
+
+    def test_ternary_resolves_both_arms(self):
+        code = "def g(flag):\n    f('a' if flag else 'b')\n"
+        assert _resolve(code, _first_call_arg) == {"a", "b"}
+
+    def test_local_constant_propagates(self):
+        code = "def g():\n    kind = 'x'\n    f(kind)\n"
+        assert _resolve(code, _first_call_arg) == {"x"}
+
+    def test_reassigned_local_collects_all_values(self):
+        code = (
+            "def g(flag):\n"
+            "    kind = 'a'\n"
+            "    if flag:\n"
+            "        kind = 'b'\n"
+            "    f(kind)\n"
+        )
+        assert _resolve(code, _first_call_arg) == {"a", "b"}
+
+    def test_parameter_is_dynamic(self):
+        code = "def g(kind):\n    f(kind)\n"
+        assert _resolve(code, _first_call_arg) is None
+
+    def test_loop_target_is_dynamic(self):
+        code = "def g(ks):\n    for kind in ks:\n        f(kind)\n"
+        assert _resolve(code, _first_call_arg) is None
+
+    def test_augassign_is_dynamic(self):
+        code = "def g():\n    kind = 'a'\n    kind += 'b'\n    f(kind)\n"
+        assert _resolve(code, _first_call_arg) is None
+
+    def test_tuple_unpack_is_dynamic(self):
+        code = "def g(pair):\n    kind, other = pair\n    f(kind)\n"
+        assert _resolve(code, _first_call_arg) is None
+
+    def test_non_string_constant_is_dynamic(self):
+        assert _resolve("f(7)", _first_call_arg) is None
+
+    def test_module_level_name_without_function_is_dynamic(self):
+        assert _resolve("kind = 'x'\nf(kind)\n", _first_call_arg) is None
+
+
+class TestReceivers:
+    def test_dotted_name(self):
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(expr) == "a.b.c"
+        call = ast.parse("f()[0]", mode="eval").body
+        assert dotted_name(call) is None
+
+    def test_receiver_text(self):
+        call = ast.parse("self.net.send('a')", mode="eval").body
+        assert receiver_text(call) == "self.net"
+        bare = ast.parse("send('a')", mode="eval").body
+        assert receiver_text(bare) == ""
+
+
+class TestFindingFormat:
+    def test_format_with_line(self):
+        f = Finding("proto.dead-handler", "src/repro/a.py", 12, "msg")
+        assert f.format() == "src/repro/a.py:12: proto.dead-handler: msg"
+
+    def test_format_file_level(self):
+        f = Finding("docs.protocol-table", "docs/protocol.md", 0, "msg")
+        assert f.format() == "docs/protocol.md: docs.protocol-table: msg"
+
+    def test_to_json_carries_fingerprint(self):
+        f = Finding("x", "p", 1, "m", symbol="s")
+        data = f.to_json()
+        assert data["fingerprint"] == f.fingerprint()
+        assert data["symbol"] == "s"

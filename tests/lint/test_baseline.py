@@ -1,0 +1,69 @@
+"""Baseline round-trips: grandfather, survive code motion, go stale."""
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+
+
+def _finding(message="kind 'x' is odd", line=10):
+    return Finding("proto.unsent-kind", "src/repro/a.py", line,
+                   message, symbol="x")
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_line(self):
+        assert _finding(line=10).fingerprint() == \
+            _finding(line=99).fingerprint()
+
+    def test_fingerprint_varies_with_message(self):
+        assert _finding().fingerprint() != \
+            _finding(message="different").fingerprint()
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        count = Baseline.write(path, [_finding()], Baseline())
+        assert count == 1
+        loaded = Baseline.load(path)
+        assert list(loaded.fingerprints()) == [_finding().fingerprint()]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_reasons_survive_rewrite(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [_finding()], Baseline())
+        loaded = Baseline.load(path)
+        loaded.entries[0]["reason"] = "predates the checker"
+        Baseline.write(path, [_finding(line=42)], loaded)
+        again = Baseline.load(path)
+        assert again.entries[0]["reason"] == "predates the checker"
+
+
+class TestPartition:
+    def test_baselined_findings_are_split_out(self):
+        known = _finding()
+        fresh = Finding("proto.dead-handler", "src/repro/b.py", 3,
+                        "handle_x() is dead", symbol="handle_x")
+        baseline = Baseline([{"fingerprint": known.fingerprint()}])
+        new, baselined, stale = baseline.partition([known, fresh])
+        assert new == [fresh]
+        assert baselined == [known]
+        assert stale == []
+
+    def test_fixed_finding_leaves_a_stale_entry(self):
+        entry = {"fingerprint": _finding().fingerprint(),
+                 "check": "proto.unsent-kind"}
+        baseline = Baseline([entry])
+        new, baselined, stale = baseline.partition([])
+        assert (new, baselined) == ([], [])
+        assert stale == [entry]
+
+    def test_strict_mode_fails_on_stale(self):
+        from repro.lint.engine import LintResult
+
+        clean = LintResult(findings=[])
+        assert clean.ok(strict=True)
+        stale = LintResult(findings=[], stale_baseline=[{"x": 1}])
+        assert stale.ok(strict=False)
+        assert not stale.ok(strict=True)

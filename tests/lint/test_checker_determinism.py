@@ -1,0 +1,130 @@
+"""Determinism-hygiene checker: wall clocks, ambient randomness and
+unordered set iteration are all seeded violations here."""
+
+
+def _rules(result):
+    return [(f.check, f.line) for f in result.findings]
+
+
+class TestWallClock:
+    def test_time_time_fires(self, lint):
+        result = lint(
+            {"src/repro/x.py": "import time\nnow = time.time()\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.wall-clock", 2)]
+
+    def test_import_alias_is_canonicalized(self, lint):
+        result = lint(
+            {"src/repro/x.py": "import time as clock\nt = clock.time()\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.wall-clock", 2)]
+
+    def test_from_import_is_canonicalized(self, lint):
+        result = lint(
+            {"src/repro/x.py":
+             "from time import perf_counter\nt = perf_counter()\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.wall-clock", 2)]
+
+    def test_datetime_now_fires(self, lint):
+        result = lint(
+            {"src/repro/x.py":
+             "import datetime\nd = datetime.datetime.now()\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.wall-clock", 2)]
+
+    def test_pragma_suppresses(self, lint):
+        code = (
+            "import time\n"
+            "t = time.time()  # lint: allow[determinism.wall-clock]\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestRandomness:
+    def test_unseeded_default_rng_fires(self, lint):
+        result = lint(
+            {"src/repro/x.py":
+             "import numpy as np\nrng = np.random.default_rng()\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.unseeded-rng", 2)]
+
+    def test_seeded_default_rng_is_clean(self, lint):
+        result = lint(
+            {"src/repro/x.py":
+             "import numpy as np\nrng = np.random.default_rng(7)\n"},
+            checks=["determinism"],
+        )
+        assert result.findings == []
+
+    def test_module_level_random_fires(self, lint):
+        result = lint(
+            {"src/repro/x.py": "import random\nx = random.random()\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.unseeded-rng", 2)]
+
+    def test_random_instance_is_clean(self, lint):
+        code = (
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "x = rng.random()\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert [f for f in result.findings
+                if f.check == "determinism.unseeded-rng"
+                and f.line == 3] == []
+
+    def test_os_urandom_and_uuid4_fire(self, lint):
+        code = "import os\nimport uuid\na = os.urandom(8)\nb = uuid.uuid4()\n"
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert _rules(result) == [
+            ("determinism.unseeded-rng", 3),
+            ("determinism.unseeded-rng", 4),
+        ]
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_fires(self, lint):
+        result = lint(
+            {"src/repro/x.py": "for x in {1, 2, 3}:\n    pass\n"},
+            checks=["determinism"],
+        )
+        assert _rules(result) == [("determinism.set-iter", 1)]
+
+    def test_for_over_set_typed_local_fires(self, lint):
+        code = (
+            "def f(items):\n"
+            "    seen = set(items)\n"
+            "    for x in seen:\n"
+            "        print(x)\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert _rules(result) == [("determinism.set-iter", 3)]
+
+    def test_sorted_set_is_clean(self, lint):
+        code = (
+            "def f(items):\n"
+            "    seen = set(items)\n"
+            "    for x in sorted(seen):\n"
+            "        print(x)\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert result.findings == []
+
+    def test_comprehension_over_set_fires(self, lint):
+        code = "def f(s):\n    return [x for x in frozenset(s)]\n"
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert _rules(result) == [("determinism.set-iter", 2)]
+
+    def test_list_iteration_is_clean(self, lint):
+        code = "def f(items):\n    for x in list(items):\n        pass\n"
+        result = lint({"src/repro/x.py": code}, checks=["determinism"])
+        assert result.findings == []

@@ -1,0 +1,52 @@
+"""Docs-sync checker: the protocol.md kind index must match the
+registry byte-for-byte."""
+
+from repro.proto.schema import TABLE_BEGIN, TABLE_END, render_protocol_table
+
+
+def _docs(tmp_path, body):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "protocol.md").write_text(body)
+    return tmp_path
+
+
+class TestDocsSync:
+    def test_missing_markers_fire(self, lint, tmp_path, toy_registry):
+        root = _docs(tmp_path, "# Protocol\n\nno markers here\n")
+        result = lint({}, checks=["docs"], root=root,
+                      registry=toy_registry)
+        assert [f.check for f in result.findings] == ["docs.protocol-table"]
+        assert "markers missing" in result.findings[0].message
+
+    def test_stale_table_fires(self, lint, tmp_path, toy_registry):
+        body = (
+            f"# Protocol\n\n{TABLE_BEGIN}\n| old | stale |\n{TABLE_END}\n"
+        )
+        root = _docs(tmp_path, body)
+        result = lint({}, checks=["docs"], root=root,
+                      registry=toy_registry)
+        assert [f.check for f in result.findings] == ["docs.protocol-table"]
+        assert "stale" in result.findings[0].message
+
+    def test_matching_table_is_clean(self, lint, tmp_path, toy_registry):
+        table = render_protocol_table(toy_registry.values())
+        body = (
+            f"# Protocol\n\n{TABLE_BEGIN}\n{table.rstrip()}\n{TABLE_END}\n"
+        )
+        root = _docs(tmp_path, body)
+        result = lint({}, checks=["docs"], root=root,
+                      registry=toy_registry)
+        assert result.findings == []
+
+    def test_missing_docs_file_fires(self, lint, tmp_path, toy_registry):
+        result = lint({}, checks=["docs"], root=tmp_path,
+                      registry=toy_registry)
+        assert [f.check for f in result.findings] == ["docs.protocol-table"]
+
+    def test_render_is_deterministic(self, toy_registry):
+        first = render_protocol_table(toy_registry.values())
+        second = render_protocol_table(
+            list(reversed(list(toy_registry.values())))
+        )
+        assert first == second
+        assert first.startswith("| kind |")

@@ -1,0 +1,220 @@
+"""Protocol-conformance checker: every rule fires on a seeded
+violation and stays quiet on the clean twin."""
+
+
+def _checks(result, rule):
+    return [f for f in result.findings if f.check == rule]
+
+
+class TestSendSites:
+    def test_unregistered_kind_fires(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def go(self):\n"
+            "        self.send('peer', 'toy.unknown', {'x': 1})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        found = _checks(result, "proto.unregistered-kind")
+        assert len(found) == 1
+        assert found[0].symbol == "toy.unknown"
+        assert found[0].line == 3
+
+    def test_registered_kind_is_clean(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def go(self):\n"
+            "        self.send('peer', 'toy.put',\n"
+            "                  {'key': 1, 'value': b''})\n"
+            "    def handle_toy_put(self, message):\n"
+            "        return message.payload['key']\n"
+            "    def handle_toy_delta(self, message):\n"
+            "        if message.payload['seq'] != self._expected_seq:\n"
+            "            return\n"
+            "    def handle_toy_net(self, message):\n"
+            "        return message.payload['level']\n"
+            "    def also(self):\n"
+            "        self.send('p', 'toy.delta', {'seq': 0, 'delta': b''})\n"
+            "        self.net.send('me', 'peer', 'toy.net', {'level': 2})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert result.findings == []
+
+    def test_network_send_reads_kind_at_third_position(
+        self, lint, toy_registry
+    ):
+        # net.send(sender, recipient, kind): 'peer' must not be taken
+        # as the kind.
+        code = (
+            "class S:\n"
+            "    def go(self, net):\n"
+            "        net.send('me', 'peer', 'toy.bogus', {})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert [f.symbol for f in
+                _checks(result, "proto.unregistered-kind")] == ["toy.bogus"]
+
+    def test_constant_propagation_resolves_local_kind(
+        self, lint, toy_registry
+    ):
+        code = (
+            "class S:\n"
+            "    def go(self):\n"
+            "        kind = 'toy.unknown'\n"
+            "        self.send('peer', kind, {})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert [f.symbol for f in
+                _checks(result, "proto.unregistered-kind")] == ["toy.unknown"]
+
+    def test_dynamic_kind_is_counted_not_guessed(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def forward(self, message):\n"
+            "        self.send('peer', message.kind, message.payload)\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert _checks(result, "proto.unregistered-kind") == []
+        assert result.stats.get("proto.dynamic-sites") == 1
+
+
+class TestPayloadShape:
+    def test_unknown_field_fires(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def go(self):\n"
+            "        self.send('p', 'toy.put',\n"
+            "                  {'key': 1, 'value': b'', 'typo': 9})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        found = _checks(result, "proto.payload-unknown-field")
+        assert [f.symbol for f in found] == ["toy.put.typo"]
+
+    def test_missing_required_field_fires(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def go(self):\n"
+            "        self.send('p', 'toy.put', {'key': 1})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        found = _checks(result, "proto.payload-missing-field")
+        assert [f.symbol for f in found] == ["toy.put.value"]
+
+    def test_optional_field_may_be_omitted(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def go(self):\n"
+            "        self.send('p', 'toy.put', {'key': 1, 'value': b''})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert _checks(result, "proto.payload-missing-field") == []
+
+    def test_double_splat_payload_not_checked_for_completeness(
+        self, lint, toy_registry
+    ):
+        code = (
+            "class S:\n"
+            "    def go(self, extra):\n"
+            "        self.send('p', 'toy.put', {'key': 1, **extra})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert _checks(result, "proto.payload-missing-field") == []
+
+
+class TestHandlers:
+    def test_dead_handler_fires(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def handle_toy_retired(self, message):\n"
+            "        pass\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        found = _checks(result, "proto.dead-handler")
+        assert [f.symbol for f in found] == ["handle_toy_retired"]
+
+    def test_alias_assignment_counts_as_handler(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def handle_toy_put(self, message):\n"
+            "        return message.payload['key']\n"
+            "    handle_toy_delta = handle_toy_put\n"
+            "    def handle_toy_net(self, message):\n"
+            "        pass\n"
+            "    def go(self):\n"
+            "        self.send('p', 'toy.put', {'key': 1, 'value': b''})\n"
+            "        self.send('p', 'toy.delta', {'seq': 0, 'delta': b''})\n"
+            "        self.net.send('a', 'b', 'toy.net', {'level': 1})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert _checks(result, "proto.unhandled-kind") == []
+
+    def test_unhandled_kind_fires(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def handle_toy_put(self, message):\n"
+            "        pass\n"
+            "    def handle_toy_net(self, message):\n"
+            "        pass\n"
+            "    def go(self):\n"
+            "        self.send('p', 'toy.put', {'key': 1, 'value': b''})\n"
+            "        self.send('p', 'toy.delta', {'seq': 0, 'delta': b''})\n"
+            "        self.net.send('a', 'b', 'toy.net', {'level': 1})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert [f.symbol for f in
+                _checks(result, "proto.unhandled-kind")] == ["toy.delta"]
+
+    def test_unsent_kind_fires(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def handle_toy_put(self, message):\n"
+            "        pass\n"
+            "    def handle_toy_delta(self, message):\n"
+            "        self._expected_seq += 1\n"
+            "    def handle_toy_net(self, message):\n"
+            "        pass\n"
+            "    def go(self):\n"
+            "        self.send('p', 'toy.put', {'key': 1, 'value': b''})\n"
+            "        self.net.send('a', 'b', 'toy.net', {'level': 1})\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert [f.symbol for f in
+                _checks(result, "proto.unsent-kind")] == ["toy.delta"]
+
+    def test_handler_reading_unregistered_field_fires(
+        self, lint, toy_registry
+    ):
+        code = (
+            "class S:\n"
+            "    def handle_toy_put(self, message):\n"
+            "        payload = message.payload\n"
+            "        return payload['ghost']\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        found = _checks(result, "proto.payload-unregistered-read")
+        assert [f.symbol for f in found] == ["toy.put.ghost"]
+
+    def test_handler_get_of_optional_field_is_clean(
+        self, lint, toy_registry
+    ):
+        code = (
+            "class S:\n"
+            "    def handle_toy_put(self, message):\n"
+            "        return message.payload.get('note', '')\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["proto"],
+                      registry=toy_registry)
+        assert _checks(result, "proto.payload-unregistered-read") == []

@@ -1,0 +1,59 @@
+"""Seq-guard checker: a Δ-applying handler that drops its per-channel
+sequence check fails lint instead of waiting for a lucky PCT seed."""
+
+
+class TestSeqGuard:
+    def test_guardless_delta_handler_fires(self, lint, toy_registry):
+        code = (
+            "class P:\n"
+            "    def handle_toy_delta(self, message):\n"
+            "        self.apply(message.payload['delta'])\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["seq-guard"],
+                      registry=toy_registry)
+        assert [(f.check, f.symbol) for f in result.findings] == [
+            ("seq-guard.missing", "toy.delta")
+        ]
+
+    def test_guarded_handler_is_clean(self, lint, toy_registry):
+        code = (
+            "class P:\n"
+            "    def handle_toy_delta(self, message):\n"
+            "        if message.payload['seq'] != self._expected_seq:\n"
+            "            return\n"
+            "        self.apply(message.payload['delta'])\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["seq-guard"],
+                      registry=toy_registry)
+        assert result.findings == []
+
+    def test_guard_via_helper_attribute_is_clean(self, lint, toy_registry):
+        # Referencing the guard through a helper call still counts: the
+        # rule asks for the identifier, not a specific comparison shape.
+        code = (
+            "class P:\n"
+            "    def handle_toy_delta(self, message):\n"
+            "        if not self._expected_seq_ok(message):\n"
+            "            return\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["seq-guard"],
+                      registry=toy_registry)
+        # _expected_seq_ok is a different identifier than _expected_seq:
+        # this one SHOULD fire — the guard itself is absent.
+        assert [f.check for f in result.findings] == ["seq-guard.missing"]
+
+    def test_unguarded_kinds_are_ignored(self, lint, toy_registry):
+        code = (
+            "class S:\n"
+            "    def handle_toy_put(self, message):\n"
+            "        pass\n"
+        )
+        result = lint({"src/repro/x.py": code}, checks=["seq-guard"],
+                      registry=toy_registry)
+        assert result.findings == []
+
+    def test_real_registry_marks_parity_update(self):
+        from repro.proto.schema import REGISTRY
+
+        assert REGISTRY["parity.update"].seq_guard
+        assert REGISTRY["parity.batch"].seq_guard

@@ -1,0 +1,59 @@
+"""The ``python -m repro lint`` command line."""
+
+import json
+
+from repro.__main__ import main
+from repro.proto.schema import REGISTRY
+
+
+class TestLintCli:
+    def test_strict_run_is_clean(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "lint"
+        assert payload["findings"] == []
+        assert payload["status"] == 0
+        assert "proto" in payload["checks"]
+
+    def test_check_selection(self, capsys):
+        assert main(["lint", "--check", "determinism"]) == 0
+        out = capsys.readouterr().out
+        assert "[determinism]" in out
+
+    def test_protocol_table_prints_every_kind(self, capsys):
+        assert main(["lint", "--protocol-table"]) == 0
+        out = capsys.readouterr().out
+        for kind in REGISTRY:
+            assert f"`{kind}`" in out
+
+    def test_write_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        data = json.loads(baseline.read_text())
+        assert data["entries"] == []  # the tree is clean
+        assert main(["lint", "--baseline", str(baseline), "--strict"]) == 0
+
+    def test_stale_baseline_fails_strict_only(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "entries": [{
+                "check": "proto.unsent-kind",
+                "path": "src/repro/gone.py",
+                "symbol": "gone.kind",
+                "message": "long since fixed",
+                "fingerprint": "0" * 16,
+                "reason": "",
+            }],
+        }))
+        assert main(["lint", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        assert main(["lint", "--baseline", str(baseline),
+                     "--strict"]) == 1

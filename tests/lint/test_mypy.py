@@ -1,0 +1,32 @@
+"""Strict typing over the algebraic substrate and the wire contract.
+
+The offline dev container does not ship mypy, so this test skips
+locally; the CI lint job installs the ``lint`` extra and runs it for
+real.  The configuration lives in setup.cfg ``[mypy]``.
+"""
+
+import importlib.util
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint.engine import default_root
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (offline container); CI runs this",
+)
+
+
+class TestMypyStrict:
+    def test_typed_packages_pass_strict(self):
+        root = default_root()
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", "setup.cfg"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,72 @@
+"""Pragma parsing, hierarchical matching, and pragma hygiene."""
+
+from repro.lint.pragmas import code_matches, parse_pragmas
+
+
+class TestParsing:
+    def test_basic_pragma(self):
+        pragmas = parse_pragmas("x = 1  # lint: allow[determinism]\n")
+        assert pragmas == {1: {"determinism"}}
+
+    def test_multiple_codes(self):
+        text = "x = 1  # lint: allow[proto.unsent-kind, determinism]\n"
+        assert parse_pragmas(text) == {
+            1: {"proto.unsent-kind", "determinism"}
+        }
+
+    def test_non_pragma_comments_ignored(self):
+        assert parse_pragmas("x = 1  # just a comment\n") == {}
+
+
+class TestMatching:
+    def test_exact_match(self):
+        assert code_matches("determinism.wall-clock",
+                            "determinism.wall-clock")
+
+    def test_prefix_covers_subrules(self):
+        assert code_matches("determinism", "determinism.wall-clock")
+        assert not code_matches("determinism.wall-clock", "determinism")
+
+    def test_star_covers_all(self):
+        assert code_matches("*", "proto.dead-handler")
+
+    def test_unrelated_does_not_match(self):
+        assert not code_matches("proto", "determinism.wall-clock")
+
+
+class TestHygiene:
+    def test_unknown_pragma_code_fires(self, lint):
+        code = "x = 1  # lint: allow[nonsense.rule]\n"
+        result = lint({"src/repro/x.py": code}, checks=["pragma"])
+        assert [(f.check, f.symbol) for f in result.findings] == [
+            ("pragma.unknown", "nonsense.rule")
+        ]
+
+    def test_unused_pragma_fires(self, lint):
+        code = "x = 1  # lint: allow[determinism.wall-clock]\n"
+        result = lint({"src/repro/x.py": code},
+                      checks=["determinism", "pragma"])
+        assert [(f.check, f.symbol) for f in result.findings] == [
+            ("pragma.unused", "determinism.wall-clock")
+        ]
+
+    def test_used_pragma_is_clean(self, lint):
+        code = (
+            "import time\n"
+            "t = time.time()  # lint: allow[determinism.wall-clock]\n"
+        )
+        result = lint({"src/repro/x.py": code},
+                      checks=["determinism", "pragma"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_on_line_above_suppresses(self, lint):
+        code = (
+            "import time\n"
+            "# lint: allow[determinism.wall-clock]\n"
+            "t = time.time()\n"
+        )
+        result = lint({"src/repro/x.py": code},
+                      checks=["determinism", "pragma"])
+        assert result.findings == []
+        assert result.suppressed == 1

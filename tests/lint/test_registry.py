@@ -1,0 +1,93 @@
+"""The machine-readable protocol registry itself."""
+
+import pytest
+
+from repro.proto.schema import (
+    EVENT_NAME_RE,
+    METRIC_NAME_RE,
+    REGISTRY,
+    MessageKind,
+    handler_name,
+    kinds,
+    render_protocol_table,
+    validate_registry,
+)
+
+
+class TestMessageKind:
+    def test_required_vs_optional_fields(self):
+        entry = MessageKind("t.k", "a", "b", "send",
+                            ("key", "value", "note?"))
+        assert entry.required_fields() == {"key", "value"}
+        assert entry.field_names() == {"key", "value", "note"}
+
+    def test_payload_signature(self):
+        entry = MessageKind("t.k", "a", "b", "send", ("key", "note?"))
+        assert entry.payload_signature() == "{key, note?}"
+        assert MessageKind("t.e", "a", "b", "send").payload_signature() == "—"
+
+    def test_handler_name_mangling(self):
+        assert handler_name("parity.update") == "handle_parity_update"
+        assert handler_name("read.degraded") == "handle_read_degraded"
+        # The mangling is lossy — which is exactly why the registry
+        # validates mangled-name uniqueness.
+        assert handler_name("op.ack") == handler_name("op_ack")
+
+
+class TestRegistry:
+    def test_registry_is_internally_consistent(self):
+        validate_registry()  # raises on any inconsistency
+
+    def test_kinds_is_complete(self):
+        assert kinds() == frozenset(REGISTRY)
+        assert "insert" in kinds()
+        assert "parity.update" in kinds()
+
+    def test_every_kind_matches_the_grammar(self):
+        for kind in REGISTRY:
+            assert EVENT_NAME_RE.match(kind), kind
+
+    def test_signature_dump_is_registered(self):
+        # The audit probe was absent from the hand-written docs before
+        # the registry existed; it must never drop out again.
+        entry = REGISTRY["signature.dump"]
+        assert entry.mode == "call"
+        assert "count?" in entry.payload
+
+    def test_metric_grammar_examples(self):
+        assert METRIC_NAME_RE.match("op.insert.messages")
+        assert METRIC_NAME_RE.match("disk.restarts")
+        assert not METRIC_NAME_RE.match("Op.Insert")
+        assert not METRIC_NAME_RE.match("op..x")
+
+
+class TestRenderedTable:
+    def test_contains_every_kind(self):
+        table = render_protocol_table()
+        for kind in REGISTRY:
+            assert f"`{kind}`" in table
+
+    def test_escapes_pipes_in_payload(self):
+        entry = MessageKind("t.k", "a", "b", "send", ("x",),
+                            reply="{a|b}")
+        table = render_protocol_table((entry,))
+        assert "\\|" in table
+
+    def test_deterministic_across_input_order(self):
+        entries = list(REGISTRY.values())
+        assert render_protocol_table(tuple(entries)) == \
+            render_protocol_table(tuple(reversed(entries)))
+
+    def test_duplicate_mangles_rejected(self, monkeypatch):
+        import repro.proto.schema as schema
+
+        clash = (
+            MessageKind("op.x", "a", "b", "send", section="scans"),
+            MessageKind("op_x", "a", "b", "send", section="scans"),
+        )
+        monkeypatch.setattr(schema, "_ENTRIES", clash)
+        monkeypatch.setattr(
+            schema, "REGISTRY", {e.kind: e for e in clash}
+        )
+        with pytest.raises(ValueError, match="both dispatch"):
+            schema.validate_registry()

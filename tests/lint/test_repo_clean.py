@@ -1,0 +1,44 @@
+"""The repo-clean gate: the real tree passes its own linter.
+
+This is the tier-1 enforcement of the wire contract — any message kind,
+payload field, trace event or Δ handler that drifts from the registry
+fails here, not in CI only.
+"""
+
+from repro.lint.engine import default_root, run_lint
+from repro.proto.schema import (
+    REGISTRY,
+    TABLE_BEGIN,
+    TABLE_END,
+    render_protocol_table,
+)
+
+
+class TestRepoClean:
+    def test_full_lint_is_clean(self):
+        result = run_lint()
+        assert result.findings == [], "\n".join(
+            f.format() for f in result.findings
+        )
+
+    def test_registry_coverage_is_total(self):
+        # sent-set == handled-set == registry-set: with zero proto
+        # findings, every registered kind is both sent (or evidenced)
+        # and handled, and nothing unregistered is sent or handled.
+        result = run_lint(checks=["proto"])
+        assert result.findings == []
+        assert result.stats.get("proto.handlers-seen", 0) >= len(REGISTRY)
+
+    def test_docs_table_matches_registry_byte_for_byte(self):
+        text = (default_root() / "docs" / "protocol.md").read_text()
+        begin = text.index(TABLE_BEGIN) + len(TABLE_BEGIN)
+        end = text.index(TABLE_END)
+        inner = text[begin:end].strip("\n")
+        assert inner == render_protocol_table().strip("\n")
+
+    def test_baseline_is_empty(self):
+        import json
+
+        path = default_root() / "tools" / "lint_baseline.json"
+        data = json.loads(path.read_text())
+        assert data["entries"] == []

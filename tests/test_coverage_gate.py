@@ -137,6 +137,8 @@ class TestCli:
             "repro/core/data_bucket.py",
             "repro/check",
             "repro/store",
+            "repro/lint",
+            "repro/proto",
         }
 
     def test_floor_spec_validation(self):

@@ -45,6 +45,11 @@ DEFAULT_FLOORS: dict[str, float] = {
     # Durable storage plane (this PR): the simulated disk and WAL codec
     # underpin every restart-recovery claim — keep them pinned.
     "repro/store": 85.0,
+    # Static-analysis suite (this PR): the checkers enforce the wire
+    # contract; an unexercised rule is a rule that silently stopped
+    # firing.  The registry is data-heavy, hence the higher floor.
+    "repro/lint": 85.0,
+    "repro/proto": 90.0,
 }
 
 
